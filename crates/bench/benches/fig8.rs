@@ -1,0 +1,53 @@
+//! Figure 8: temporal curves of Evolve's confidence and prediction
+//! accuracy, with per-run speedups of Evolve and Rep, for Mtrt (a) and
+//! RayTracer (b).
+//!
+//! Expected shape: confidence and accuracy rise over the first runs;
+//! speedup jumps once confidence crosses the 0.7 threshold; Evolve's
+//! speedups then exceed Rep's on most runs.
+
+use evovm::{EvolveConfig, Scenario};
+use evovm_bench::{banner, campaign, paper_runs};
+
+fn main() {
+    banner(
+        "Figure 8 — confidence/accuracy/speedup vs run index",
+        "Figure 8 (a: Mtrt, b: RayTracer)",
+    );
+    for name in ["mtrt", "raytracer"] {
+        let runs = paper_runs(name);
+        let seed = 1;
+        let evolve = campaign(name, Scenario::Evolve, runs, seed, EvolveConfig::default());
+        let rep = campaign(name, Scenario::Rep, runs, seed, EvolveConfig::default());
+        println!("--- {name} ({runs} runs, same random input order for both systems) ---");
+        println!(
+            "{:>4} {:>6} {:>9} {:>9} {:>13} {:>12}",
+            "run", "input", "conf", "acc", "evolve-spdup", "rep-spdup"
+        );
+        for (e, r) in evolve.records.iter().zip(&rep.records) {
+            println!(
+                "{:>4} {:>6} {:>9.3} {:>9.3} {:>13.3} {:>12.3}{}",
+                e.run_index,
+                e.input_index,
+                e.confidence,
+                e.accuracy,
+                e.speedup,
+                r.speedup,
+                if e.predicted { "  *" } else { "" }
+            );
+        }
+        let engaged: Vec<f64> = evolve
+            .records
+            .iter()
+            .filter(|r| r.predicted)
+            .map(|r| r.speedup)
+            .collect();
+        let rep_speedups = rep.speedups();
+        println!(
+            "\n  mean Evolve speedup once predicting: {:.3}  |  mean Rep speedup: {:.3}",
+            evovm::metrics::mean(&engaged),
+            evovm::metrics::mean(&rep_speedups)
+        );
+        println!("  (* = discriminative prediction engaged)\n");
+    }
+}

@@ -1,0 +1,53 @@
+//! Figure 9: correlation between a run's default running time and the
+//! speedup Evolve/Rep deliver on it, for Mtrt (a) and Compress (b).
+//!
+//! Expected shape: speedup grows with running time, peaks, then decays
+//! toward 1.0 for the longest runs (compile-time savings amortize away);
+//! the Evolve-vs-Rep gap widens in the mid range.
+
+use evovm::{EvolveConfig, Scenario};
+use evovm_bench::{banner, campaign};
+
+fn main() {
+    banner(
+        "Figure 9 — speedup vs default running time",
+        "Figure 9 (a: Mtrt, b: Compress)",
+    );
+    for name in ["mtrt", "compress"] {
+        // The paper plots 92 post-warmup Mtrt runs; we run 100 and drop
+        // the first 8 (Evolve predicts in few or none of them).
+        let runs = 100;
+        let warmup = 8;
+        let seed = 2;
+        let evolve = campaign(name, Scenario::Evolve, runs, seed, EvolveConfig::default());
+        let rep = campaign(name, Scenario::Rep, runs, seed, EvolveConfig::default());
+        let mut rows: Vec<(f64, f64, f64)> = evolve.records[warmup..]
+            .iter()
+            .zip(&rep.records[warmup..])
+            .map(|(e, r)| (e.default_seconds(), e.speedup, r.speedup))
+            .collect();
+        rows.sort_by(|a, b| a.0.total_cmp(&b.0));
+        println!(
+            "--- {name} ({} runs, sorted by default running time) ---",
+            rows.len()
+        );
+        println!(
+            "{:>12} {:>13} {:>10}",
+            "default(s)", "evolve-spdup", "rep-spdup"
+        );
+        for (t, es, rs) in &rows {
+            println!("{t:>12.4} {es:>13.3} {rs:>10.3}");
+        }
+        // Shape summary: tercile means show the rise/diminish pattern.
+        let third = rows.len() / 3;
+        let mean_of = |range: &[(f64, f64, f64)]| {
+            evovm::metrics::mean(&range.iter().map(|r| r.1).collect::<Vec<_>>())
+        };
+        println!(
+            "\n  Evolve speedup by running-time tercile: short={:.3} mid={:.3} long={:.3}\n",
+            mean_of(&rows[..third]),
+            mean_of(&rows[third..2 * third]),
+            mean_of(&rows[2 * third..]),
+        );
+    }
+}

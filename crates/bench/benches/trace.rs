@@ -1,0 +1,41 @@
+//! Diagnostic: per-run trace of any workload under Evolve and Rep.
+//!
+//! Not a paper figure — a debugging/inspection harness. Select the
+//! workload with the `EVOVM_TRACE` environment variable (default
+//! `compress`), e.g.:
+//!
+//! ```text
+//! EVOVM_TRACE=search cargo bench -p evovm-bench --bench trace
+//! ```
+
+use evovm::{EvolveConfig, Scenario};
+use evovm_bench::{banner, campaign, paper_runs};
+
+fn main() {
+    let name = std::env::var("EVOVM_TRACE").unwrap_or_else(|_| "compress".to_owned());
+    banner(&format!("Trace — {name}"), "diagnostic, not a paper figure");
+    let runs = paper_runs(&name);
+    let evolve = campaign(&name, Scenario::Evolve, runs, 1, EvolveConfig::default());
+    let rep = campaign(&name, Scenario::Rep, runs, 1, EvolveConfig::default());
+    println!(
+        "{:>4} {:>6} {:>10} {:>9} {:>9} {:>13} {:>10} {:>6}",
+        "run", "input", "def(s)", "conf", "acc", "evolve-spdup", "rep-spdup", "pred"
+    );
+    for (e, r) in evolve.records.iter().zip(&rep.records) {
+        println!(
+            "{:>4} {:>6} {:>10.4} {:>9.3} {:>9.3} {:>13.3} {:>10.3} {:>6}",
+            e.run_index,
+            e.input_index,
+            e.default_seconds(),
+            e.confidence,
+            e.accuracy,
+            e.speedup,
+            r.speedup,
+            if e.predicted { "*" } else { "" }
+        );
+    }
+    println!(
+        "\nraw features: {}  used: {}",
+        evolve.raw_features, evolve.used_features
+    );
+}

@@ -1,0 +1,102 @@
+//! Shared harness utilities for the paper-reproduction bench targets.
+//!
+//! Each `benches/*.rs` target regenerates one table or figure of
+//! Mao & Shen (CGO 2009); this library centralizes campaign running and
+//! table formatting so the targets stay declarative.
+
+use evovm::{Campaign, CampaignConfig, CampaignOutcome, EvolveConfig, Scenario};
+use evovm_workloads as workloads;
+
+/// Run one scenario campaign over a named workload.
+///
+/// # Panics
+///
+/// Panics on unknown workloads or failed runs — bench targets want loud
+/// failures, not skipped rows.
+pub fn campaign(
+    name: &str,
+    scenario: Scenario,
+    runs: usize,
+    seed: u64,
+    evolve: EvolveConfig,
+) -> CampaignOutcome {
+    let bench = workloads::by_name(name)
+        .unwrap_or_else(|| panic!("unknown workload `{name}`"));
+    Campaign::new(
+        &bench,
+        CampaignConfig::new(scenario).runs(runs).seed(seed).evolve(evolve),
+    )
+    .unwrap_or_else(|e| panic!("campaign setup failed for {name}: {e}"))
+    .run()
+    .unwrap_or_else(|e| panic!("campaign failed for {name}: {e}"))
+}
+
+/// The paper-style campaign length for a workload (70 for input-rich
+/// programs, 30 otherwise).
+pub fn paper_runs(name: &str) -> usize {
+    workloads::info(name).map_or(30, |i| i.campaign_runs)
+}
+
+/// The Table I benchmark order.
+pub const TABLE1_ORDER: [&str; 11] = [
+    "mtrt",
+    "compress",
+    "db",
+    "antlr",
+    "bloat",
+    "fop",
+    "euler",
+    "moldyn",
+    "montecarlo",
+    "search",
+    "raytracer",
+];
+
+/// Print a banner for a bench target.
+pub fn banner(title: &str, paper_ref: &str) {
+    println!("\n=== {title} ===");
+    println!("(reproduces {paper_ref} of Mao & Shen, CGO 2009)\n");
+}
+
+/// Format a speedup distribution as the paper's boxplot five numbers.
+pub fn box_row(label: &str, speedups: &[f64]) -> String {
+    match evovm::metrics::BoxStats::from_slice(speedups) {
+        Some(s) => format!(
+            "{label:<22} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3}",
+            s.min, s.q25, s.median, s.q75, s.max
+        ),
+        None => format!("{label:<22} (no data)"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_runs_distinguishes_rich_input_sets() {
+        assert_eq!(paper_runs("mtrt"), 70);
+        assert_eq!(paper_runs("fop"), 30);
+        assert_eq!(paper_runs("nonexistent"), 30);
+    }
+
+    #[test]
+    fn box_row_formats() {
+        let row = box_row("x", &[1.0, 2.0, 3.0]);
+        assert!(row.contains("1.000"));
+        assert!(row.contains("3.000"));
+        assert!(box_row("y", &[]).contains("no data"));
+    }
+
+    #[test]
+    fn tiny_campaign_smoke() {
+        let out = campaign(
+            "search",
+            Scenario::Default,
+            3,
+            1,
+            EvolveConfig::default(),
+        );
+        assert_eq!(out.records.len(), 3);
+    }
+}

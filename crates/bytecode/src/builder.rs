@@ -1,0 +1,339 @@
+//! Label-based construction of programs and functions.
+//!
+//! [`ProgramBuilder`] supports forward references (declare all function ids
+//! first, then define bodies in any order), which mutual recursion needs.
+//! [`FunctionBuilder`] provides fresh labels, deferred binding and automatic
+//! branch fix-ups.
+
+use std::collections::HashMap;
+
+use crate::instr::Instr;
+use crate::program::{FuncId, Function, Program, StrId};
+use crate::BytecodeError;
+
+/// A forward-referenceable position in a function under construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(u32);
+
+/// Builds one function; created by [`ProgramBuilder::function`].
+#[derive(Debug)]
+pub struct FunctionBuilder<'p> {
+    parent: &'p mut ProgramBuilder,
+    id: FuncId,
+    arity: u16,
+    next_local: u16,
+    code: Vec<Instr>,
+    labels: Vec<Option<u32>>,
+    fixups: Vec<(usize, Label)>,
+}
+
+impl<'p> FunctionBuilder<'p> {
+    /// Append an instruction; returns its index.
+    pub fn emit(&mut self, instr: Instr) -> u32 {
+        let at = self.code.len() as u32;
+        self.code.push(instr);
+        at
+    }
+
+    /// Allocate a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        let l = Label(self.labels.len() as u32);
+        self.labels.push(None);
+        l
+    }
+
+    /// Bind `label` to the next emitted instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound.
+    pub fn bind(&mut self, label: Label) {
+        let slot = &mut self.labels[label.0 as usize];
+        assert!(slot.is_none(), "label bound twice");
+        *slot = Some(self.code.len() as u32);
+    }
+
+    /// Emit an unconditional jump to `label` (bound now or later).
+    pub fn jump(&mut self, label: Label) {
+        let at = self.code.len();
+        self.code.push(Instr::Jump(u32::MAX));
+        self.fixups.push((at, label));
+    }
+
+    /// Emit a jump-if-truthy to `label`.
+    pub fn jump_if(&mut self, label: Label) {
+        let at = self.code.len();
+        self.code.push(Instr::JumpIf(u32::MAX));
+        self.fixups.push((at, label));
+    }
+
+    /// Emit a jump-if-falsy to `label`.
+    pub fn jump_if_not(&mut self, label: Label) {
+        let at = self.code.len();
+        self.code.push(Instr::JumpIfNot(u32::MAX));
+        self.fixups.push((at, label));
+    }
+
+    /// Allocate a fresh local slot beyond the arguments.
+    pub fn new_local(&mut self) -> u16 {
+        let l = self.next_local;
+        self.next_local += 1;
+        l
+    }
+
+    /// Intern a string in the parent program and return its id.
+    pub fn intern(&mut self, s: &str) -> StrId {
+        self.parent.intern(s)
+    }
+
+    /// Current instruction count.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// True if no instructions have been emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// Resolve labels and install the body into the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BytecodeError::UnboundLabel`] if any referenced label was
+    /// never bound, and [`BytecodeError::Redefined`] if this function id was
+    /// already defined.
+    pub fn finish(self) -> Result<FuncId, BytecodeError> {
+        let FunctionBuilder {
+            parent,
+            id,
+            arity,
+            next_local,
+            mut code,
+            labels,
+            fixups,
+        } = self;
+        for (at, label) in fixups {
+            let target =
+                labels[label.0 as usize].ok_or(BytecodeError::UnboundLabel(label.0))?;
+            code[at] = code[at].with_branch_target(target);
+        }
+        parent.define(
+            id,
+            Function {
+                name: parent.name_of(id),
+                arity,
+                locals: next_local,
+                code,
+            },
+        )
+    }
+}
+
+/// Builds a [`Program`]: declare ids, define bodies, intern strings, build.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    names: Vec<String>,
+    arities: Vec<u16>,
+    bodies: Vec<Option<Function>>,
+    strings: Vec<String>,
+    string_ids: HashMap<String, StrId>,
+}
+
+impl ProgramBuilder {
+    /// Create an empty builder.
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// Declare a function id without defining its body yet.
+    pub fn declare(&mut self, name: &str, arity: u16) -> FuncId {
+        let id = FuncId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.arities.push(arity);
+        self.bodies.push(None);
+        id
+    }
+
+    /// Declared arity of `id`.
+    pub fn arity(&self, id: FuncId) -> u16 {
+        self.arities[id.index()]
+    }
+
+    /// Declared name of `id`.
+    pub fn name_of(&self, id: FuncId) -> String {
+        self.names[id.index()].clone()
+    }
+
+    /// Find a declared function by name.
+    pub fn find(&self, name: &str) -> Option<FuncId> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| FuncId(i as u32))
+    }
+
+    /// Start building the body of a declared function. `extra_locals` is
+    /// the number of non-argument local slots initially allocated; more can
+    /// be added with [`FunctionBuilder::new_local`].
+    pub fn function(&mut self, id: FuncId, extra_locals: u16) -> FunctionBuilder<'_> {
+        let arity = self.arities[id.index()];
+        FunctionBuilder {
+            parent: self,
+            id,
+            arity,
+            next_local: arity + extra_locals,
+            code: Vec::new(),
+            labels: Vec::new(),
+            fixups: Vec::new(),
+        }
+    }
+
+    /// Install a fully-formed body for a declared function.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BytecodeError::Redefined`] if the id already has a body.
+    pub fn define(&mut self, id: FuncId, function: Function) -> Result<FuncId, BytecodeError> {
+        let slot = &mut self.bodies[id.index()];
+        if slot.is_some() {
+            return Err(BytecodeError::Redefined(self.names[id.index()].clone()));
+        }
+        *slot = Some(function);
+        Ok(id)
+    }
+
+    /// Intern a string, deduplicating.
+    pub fn intern(&mut self, s: &str) -> StrId {
+        if let Some(&id) = self.string_ids.get(s) {
+            return id;
+        }
+        let id = StrId(self.strings.len() as u32);
+        self.strings.push(s.to_owned());
+        self.string_ids.insert(s.to_owned(), id);
+        id
+    }
+
+    /// Finish the program with `entry` as the start function.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BytecodeError::UndefinedFunction`] if any declared function
+    /// lacks a body, and [`BytecodeError::BadEntry`] if the entry has
+    /// nonzero arity.
+    pub fn build(self, entry: FuncId) -> Result<Program, BytecodeError> {
+        if self.arities.get(entry.index()).copied() != Some(0) {
+            let name = self
+                .names
+                .get(entry.index())
+                .cloned()
+                .unwrap_or_else(|| format!("{entry}"));
+            return Err(BytecodeError::BadEntry(name));
+        }
+        let mut functions = Vec::with_capacity(self.bodies.len());
+        for (i, body) in self.bodies.into_iter().enumerate() {
+            match body {
+                Some(f) => functions.push(f),
+                None => return Err(BytecodeError::UndefinedFunction(self.names[i].clone())),
+            }
+        }
+        Ok(Program::from_parts(functions, self.strings, entry))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_fixups_resolve() {
+        let mut pb = ProgramBuilder::new();
+        let main = pb.declare("main", 0);
+        let mut f = pb.function(main, 1);
+        let l_end = f.new_label();
+        f.emit(Instr::Const(0));
+        f.emit(Instr::Store(0));
+        let l_top = f.new_label();
+        f.bind(l_top);
+        f.emit(Instr::Load(0));
+        f.emit(Instr::Const(3));
+        f.emit(Instr::ICmpGe);
+        f.jump_if(l_end);
+        f.emit(Instr::Load(0));
+        f.emit(Instr::Const(1));
+        f.emit(Instr::IAdd);
+        f.emit(Instr::Store(0));
+        f.jump(l_top);
+        f.bind(l_end);
+        f.emit(Instr::Null);
+        f.emit(Instr::Return);
+        f.finish().unwrap();
+        let p = pb.build(main).unwrap();
+        let code = &p.function(main).code;
+        assert_eq!(code[5], Instr::JumpIf(11));
+        assert_eq!(code[10], Instr::Jump(2));
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut pb = ProgramBuilder::new();
+        let main = pb.declare("main", 0);
+        let mut f = pb.function(main, 0);
+        let l = f.new_label();
+        f.jump(l);
+        assert!(matches!(f.finish(), Err(BytecodeError::UnboundLabel(_))));
+    }
+
+    #[test]
+    fn redefinition_is_an_error() {
+        let mut pb = ProgramBuilder::new();
+        let main = pb.declare("main", 0);
+        let body = Function {
+            name: "main".into(),
+            arity: 0,
+            locals: 0,
+            code: vec![Instr::Null, Instr::Return],
+        };
+        pb.define(main, body.clone()).unwrap();
+        assert!(matches!(
+            pb.define(main, body),
+            Err(BytecodeError::Redefined(_))
+        ));
+    }
+
+    #[test]
+    fn missing_body_is_an_error() {
+        let mut pb = ProgramBuilder::new();
+        let main = pb.declare("main", 0);
+        let _helper = pb.declare("helper", 1);
+        let mut f = pb.function(main, 0);
+        f.emit(Instr::Null);
+        f.emit(Instr::Return);
+        f.finish().unwrap();
+        assert!(matches!(
+            pb.build(main),
+            Err(BytecodeError::UndefinedFunction(_))
+        ));
+    }
+
+    #[test]
+    fn entry_must_have_zero_arity() {
+        let mut pb = ProgramBuilder::new();
+        let f1 = pb.declare("f", 2);
+        let mut f = pb.function(f1, 0);
+        f.emit(Instr::Null);
+        f.emit(Instr::Return);
+        f.finish().unwrap();
+        assert!(matches!(pb.build(f1), Err(BytecodeError::BadEntry(_))));
+    }
+
+    #[test]
+    fn intern_deduplicates() {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.intern("x");
+        let b = pb.intern("x");
+        let c = pb.intern("y");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

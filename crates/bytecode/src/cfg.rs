@@ -1,0 +1,304 @@
+//! Control-flow graphs, dominators and natural loops.
+//!
+//! The optimizer builds a [`Cfg`] per function to drive unreachable-code
+//! elimination, jump threading and loop-aware passes. Blocks are maximal
+//! straight-line instruction ranges; edges follow branches and fall-through.
+
+use std::collections::BTreeSet;
+
+use crate::instr::Instr;
+use crate::program::Function;
+
+/// Index of a basic block within a [`Cfg`].
+pub type BlockId = usize;
+
+/// One basic block: the instruction range `[start, end)` plus its edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// First instruction index.
+    pub start: u32,
+    /// One past the last instruction index.
+    pub end: u32,
+    /// Successor blocks in control-flow order (branch target first for
+    /// conditional branches, then fall-through).
+    pub succs: Vec<BlockId>,
+    /// Predecessor blocks.
+    pub preds: Vec<BlockId>,
+}
+
+impl Block {
+    /// Instruction indices covered by the block.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start as usize..self.end as usize
+    }
+}
+
+/// A natural loop discovered from a back edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// The loop header block.
+    pub header: BlockId,
+    /// All blocks in the loop body (including the header).
+    pub body: BTreeSet<BlockId>,
+}
+
+/// Control-flow graph over a function's bytecode.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    blocks: Vec<Block>,
+    /// For every instruction index, the block containing it.
+    block_of_instr: Vec<BlockId>,
+}
+
+impl Cfg {
+    /// Build the CFG of `f`. Block 0 is the entry block.
+    pub fn build(f: &Function) -> Cfg {
+        assert!(!f.code.is_empty(), "cannot build a CFG for empty code");
+        let len = f.code.len();
+        // Find leaders: 0, branch targets, instruction after a branch.
+        let mut is_leader = vec![false; len];
+        is_leader[0] = true;
+        for (pc, instr) in f.code.iter().enumerate() {
+            if let Some(t) = instr.branch_target() {
+                is_leader[t as usize] = true;
+            }
+            if (instr.is_branch() || matches!(instr, Instr::Return)) && pc + 1 < len {
+                is_leader[pc + 1] = true;
+            }
+        }
+        // Carve blocks.
+        let mut blocks: Vec<Block> = Vec::new();
+        let mut block_of_instr = vec![0usize; len];
+        let mut start = 0usize;
+        for pc in 0..len {
+            block_of_instr[pc] = blocks.len();
+            let last = pc + 1 == len || is_leader[pc + 1];
+            if last {
+                blocks.push(Block {
+                    start: start as u32,
+                    end: (pc + 1) as u32,
+                    succs: Vec::new(),
+                    preds: Vec::new(),
+                });
+                start = pc + 1;
+            }
+        }
+        // Wire edges.
+        let n = blocks.len();
+        for b in 0..n {
+            let last_pc = blocks[b].end as usize - 1;
+            let instr = f.code[last_pc];
+            let mut succs = Vec::new();
+            if let Some(t) = instr.branch_target() {
+                succs.push(block_of_instr[t as usize]);
+            }
+            if !instr.is_terminator() && last_pc + 1 < len {
+                succs.push(block_of_instr[last_pc + 1]);
+            }
+            blocks[b].succs = succs.clone();
+            for s in succs {
+                blocks[s].preds.push(b);
+            }
+        }
+        Cfg {
+            blocks,
+            block_of_instr,
+        }
+    }
+
+    /// The basic blocks, entry first.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// The block containing instruction `pc`.
+    pub fn block_of(&self, pc: u32) -> BlockId {
+        self.block_of_instr[pc as usize]
+    }
+
+    /// Blocks reachable from the entry, as a boolean mask.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.blocks.len()];
+        let mut work = vec![0usize];
+        while let Some(b) = work.pop() {
+            if std::mem::replace(&mut seen[b], true) {
+                continue;
+            }
+            work.extend(self.blocks[b].succs.iter().copied());
+        }
+        seen
+    }
+
+    /// Immediate-style dominator sets: `dom[b]` contains every block that
+    /// dominates `b` (including `b` itself). Unreachable blocks dominate
+    /// nothing and are dominated by everything (the conventional lattice
+    /// top); callers should mask with [`Cfg::reachable`].
+    pub fn dominators(&self) -> Vec<BTreeSet<BlockId>> {
+        let n = self.blocks.len();
+        let all: BTreeSet<BlockId> = (0..n).collect();
+        let mut dom: Vec<BTreeSet<BlockId>> = vec![all; n];
+        dom[0] = BTreeSet::from([0]);
+        let reachable = self.reachable();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in 1..n {
+                if !reachable[b] {
+                    continue;
+                }
+                let mut new: Option<BTreeSet<BlockId>> = None;
+                for &p in &self.blocks[b].preds {
+                    if !reachable[p] {
+                        continue;
+                    }
+                    new = Some(match new {
+                        None => dom[p].clone(),
+                        Some(acc) => acc.intersection(&dom[p]).copied().collect(),
+                    });
+                }
+                let mut new = new.unwrap_or_default();
+                new.insert(b);
+                if new != dom[b] {
+                    dom[b] = new;
+                    changed = true;
+                }
+            }
+        }
+        dom
+    }
+
+    /// Natural loops: for every back edge `tail -> header` (where `header`
+    /// dominates `tail`), the set of blocks that can reach `tail` without
+    /// passing through `header`.
+    pub fn natural_loops(&self) -> Vec<NaturalLoop> {
+        let dom = self.dominators();
+        let reachable = self.reachable();
+        let mut loops = Vec::new();
+        for (tail, block) in self.blocks.iter().enumerate() {
+            if !reachable[tail] {
+                continue;
+            }
+            for &header in &block.succs {
+                if !dom[tail].contains(&header) {
+                    continue;
+                }
+                // Back edge tail -> header: flood backwards from tail.
+                let mut body = BTreeSet::from([header, tail]);
+                let mut work = vec![tail];
+                while let Some(b) = work.pop() {
+                    if b == header {
+                        continue;
+                    }
+                    for &p in &self.blocks[b].preds {
+                        if body.insert(p) {
+                            work.push(p);
+                        }
+                    }
+                }
+                loops.push(NaturalLoop { header, body });
+            }
+        }
+        loops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::parse;
+
+    fn cfg_of(src: &str) -> Cfg {
+        let p = parse(src).unwrap();
+        Cfg::build(p.function(p.entry()))
+    }
+
+    const LOOP: &str = "entry func main/0 locals=1 {
+  const 0
+  store 0
+top:
+  load 0
+  const 5
+  icmpge
+  jumpif end
+  load 0
+  const 1
+  iadd
+  store 0
+  jump top
+end:
+  null
+  return
+}";
+
+    #[test]
+    fn blocks_and_edges_of_a_loop() {
+        let cfg = cfg_of(LOOP);
+        // entry, header(top..jumpif), body(..jump top), exit(end..)
+        assert_eq!(cfg.blocks().len(), 4);
+        let entry = &cfg.blocks()[0];
+        assert_eq!(entry.succs, vec![1]);
+        let header = &cfg.blocks()[1];
+        assert_eq!(header.succs, vec![3, 2]); // branch target first
+        let body = &cfg.blocks()[2];
+        assert_eq!(body.succs, vec![1]);
+        let exit = &cfg.blocks()[3];
+        assert!(exit.succs.is_empty());
+    }
+
+    #[test]
+    fn finds_the_natural_loop() {
+        let cfg = cfg_of(LOOP);
+        let loops = cfg.natural_loops();
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].header, 1);
+        assert_eq!(loops[0].body, BTreeSet::from([1, 2]));
+    }
+
+    #[test]
+    fn dominators_of_a_diamond() {
+        let cfg = cfg_of(
+            "entry func main/0 locals=1 {
+  const 1
+  jumpif right
+  const 10
+  store 0
+  jump join
+right:
+  const 20
+  store 0
+join:
+  null
+  return
+}",
+        );
+        assert_eq!(cfg.blocks().len(), 4);
+        let dom = cfg.dominators();
+        // The join block (3) is dominated only by the entry and itself.
+        assert_eq!(dom[3], BTreeSet::from([0, 3]));
+    }
+
+    #[test]
+    fn unreachable_block_detected() {
+        let cfg = cfg_of(
+            "entry func main/0 {
+  null
+  return
+  const 1
+  pop
+  null
+  return
+}",
+        );
+        let reach = cfg.reachable();
+        assert!(reach[0]);
+        assert!(reach.iter().any(|r| !r), "dead block should be unreachable");
+    }
+
+    #[test]
+    fn straight_line_code_is_one_block() {
+        let cfg = cfg_of("entry func main/0 {\n  const 1\n  const 2\n  iadd\n  return\n}");
+        assert_eq!(cfg.blocks().len(), 1);
+        assert!(cfg.blocks()[0].succs.is_empty());
+        assert_eq!(cfg.block_of(2), 0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Disassembler: renders programs in the textual assembly format accepted
+//! by [`crate::asm::parse`], so `parse(disassemble(p)) == p` up to label
+//! naming.
+
+use std::fmt::Write as _;
+
+use crate::instr::Instr;
+use crate::program::{FuncId, Function, Program};
+
+/// Render a whole program as assembly text.
+pub fn disassemble(program: &Program) -> String {
+    let mut out = String::new();
+    for (i, f) in program.functions().iter().enumerate() {
+        let id = FuncId(i as u32);
+        if id == program.entry() {
+            out.push_str("entry ");
+        }
+        disassemble_function(program, f, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a single function.
+pub fn disassemble_function(program: &Program, f: &Function, out: &mut String) {
+    let _ = writeln!(out, "func {}/{} locals={} {{", f.name, f.arity, f.locals);
+    // Collect branch targets so we can emit labels.
+    let mut targets: Vec<u32> = f.code.iter().filter_map(Instr::branch_target).collect();
+    targets.sort_unstable();
+    targets.dedup();
+    let label_of = |pc: u32| -> Option<usize> { targets.binary_search(&pc).ok() };
+    for (pc, instr) in f.code.iter().enumerate() {
+        if let Some(l) = label_of(pc as u32) {
+            let _ = writeln!(out, "L{l}:");
+        }
+        let _ = write!(out, "  ");
+        let _ = writeln!(out, "{}", render(program, instr, &label_of));
+    }
+    // A label may point one past the last instruction only in malformed
+    // code; the verifier rejects that, so we do not render it.
+    out.push_str("}\n");
+}
+
+fn render(program: &Program, instr: &Instr, label_of: &dyn Fn(u32) -> Option<usize>) -> String {
+    let lbl = |t: u32| match label_of(t) {
+        Some(l) => format!("L{l}"),
+        None => format!("@{t}"),
+    };
+    match instr {
+        Instr::Const(v) => format!("const {v}"),
+        Instr::FConst(v) => {
+            // Keep a decimal point so the assembler can distinguish floats.
+            if v.fract() == 0.0 && v.is_finite() {
+                format!("fconst {v:.1}")
+            } else {
+                format!("fconst {v}")
+            }
+        }
+        Instr::Null => "null".into(),
+        Instr::Load(n) => format!("load {n}"),
+        Instr::Store(n) => format!("store {n}"),
+        Instr::Dup => "dup".into(),
+        Instr::Pop => "pop".into(),
+        Instr::Swap => "swap".into(),
+        Instr::Add => "add".into(),
+        Instr::Sub => "sub".into(),
+        Instr::Mul => "mul".into(),
+        Instr::Div => "div".into(),
+        Instr::Rem => "rem".into(),
+        Instr::Neg => "neg".into(),
+        Instr::IAdd => "iadd".into(),
+        Instr::ISub => "isub".into(),
+        Instr::IMul => "imul".into(),
+        Instr::IDiv => "idiv".into(),
+        Instr::IRem => "irem".into(),
+        Instr::INeg => "ineg".into(),
+        Instr::FAdd => "fadd".into(),
+        Instr::FSub => "fsub".into(),
+        Instr::FMul => "fmul".into(),
+        Instr::FDiv => "fdiv".into(),
+        Instr::FNeg => "fneg".into(),
+        Instr::Shl => "shl".into(),
+        Instr::Shr => "shr".into(),
+        Instr::BitAnd => "band".into(),
+        Instr::BitOr => "bor".into(),
+        Instr::BitXor => "bxor".into(),
+        Instr::CmpEq => "cmpeq".into(),
+        Instr::CmpNe => "cmpne".into(),
+        Instr::CmpLt => "cmplt".into(),
+        Instr::CmpLe => "cmple".into(),
+        Instr::CmpGt => "cmpgt".into(),
+        Instr::CmpGe => "cmpge".into(),
+        Instr::ICmpEq => "icmpeq".into(),
+        Instr::ICmpNe => "icmpne".into(),
+        Instr::ICmpLt => "icmplt".into(),
+        Instr::ICmpLe => "icmple".into(),
+        Instr::ICmpGt => "icmpgt".into(),
+        Instr::ICmpGe => "icmpge".into(),
+        Instr::FCmpEq => "fcmpeq".into(),
+        Instr::FCmpNe => "fcmpne".into(),
+        Instr::FCmpLt => "fcmplt".into(),
+        Instr::FCmpLe => "fcmple".into(),
+        Instr::FCmpGt => "fcmpgt".into(),
+        Instr::FCmpGe => "fcmpge".into(),
+        Instr::ToFloat => "tofloat".into(),
+        Instr::ToInt => "toint".into(),
+        Instr::Jump(t) => format!("jump {}", lbl(*t)),
+        Instr::JumpIf(t) => format!("jumpif {}", lbl(*t)),
+        Instr::JumpIfNot(t) => format!("jumpifnot {}", lbl(*t)),
+        Instr::Call(id) => format!("call {}", program.function(*id).name),
+        Instr::Return => "return".into(),
+        Instr::NewArray => "newarray".into(),
+        Instr::ALoad => "aload".into(),
+        Instr::AStore => "astore".into(),
+        Instr::ALen => "alen".into(),
+        Instr::Math(m) => format!("math {m}"),
+        Instr::Print => "print".into(),
+        Instr::Publish(s) => format!("publish {:?}", program.string(*s)),
+        Instr::Done => "done".into(),
+        Instr::Nop => "nop".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    #[test]
+    fn renders_labels_and_calls() {
+        let mut pb = ProgramBuilder::new();
+        let main = pb.declare("main", 0);
+        let helper = pb.declare("helper", 1);
+        let mut h = pb.function(helper, 0);
+        h.emit(Instr::Load(0));
+        h.emit(Instr::Return);
+        h.finish().unwrap();
+        let mut f = pb.function(main, 0);
+        let l = f.new_label();
+        f.emit(Instr::Const(1));
+        f.jump_if(l);
+        f.emit(Instr::Const(5));
+        f.emit(Instr::Call(helper));
+        f.emit(Instr::Pop);
+        f.bind(l);
+        f.emit(Instr::Null);
+        f.emit(Instr::Return);
+        f.finish().unwrap();
+        let p = pb.build(main).unwrap();
+        let text = disassemble(&p);
+        assert!(text.contains("entry func main/0"), "{text}");
+        assert!(text.contains("jumpif L0"), "{text}");
+        assert!(text.contains("call helper"), "{text}");
+        assert!(text.contains("L0:"), "{text}");
+    }
+
+    #[test]
+    fn float_constants_keep_a_decimal_point() {
+        let mut pb = ProgramBuilder::new();
+        let main = pb.declare("main", 0);
+        let mut f = pb.function(main, 0);
+        f.emit(Instr::FConst(2.0));
+        f.emit(Instr::Return);
+        f.finish().unwrap();
+        let p = pb.build(main).unwrap();
+        assert!(disassemble(&p).contains("fconst 2.0"));
+    }
+}

@@ -1,0 +1,510 @@
+//! The instruction set of the evolvable VM's stack machine.
+//!
+//! The ISA is deliberately Java-flavoured: a small operand stack, numbered
+//! local slots, absolute in-function branch targets, and a split between
+//! *generic* arithmetic/comparison opcodes (dynamically typed, relatively
+//! expensive) and *specialized* typed variants that the optimizing JIT
+//! installs via quickening. The per-opcode virtual cycle costs returned by
+//! [`Instr::base_cost`] are the canonical cost model shared by the
+//! interpreter and the optimizer.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::program::{FuncId, StrId};
+
+/// Math intrinsics available to bytecode programs.
+///
+/// Unary intrinsics pop one value and push one; [`MathFn::Pow`],
+/// [`MathFn::Min`] and [`MathFn::Max`] are binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MathFn {
+    /// Square root (operates in `f64`).
+    Sqrt,
+    /// Sine.
+    Sin,
+    /// Cosine.
+    Cos,
+    /// Natural exponential.
+    Exp,
+    /// Natural logarithm.
+    Log,
+    /// Absolute value (preserves int/float kind).
+    Abs,
+    /// Floor (returns an integer value).
+    Floor,
+    /// `x.powf(y)`; binary.
+    Pow,
+    /// Minimum of two values; binary.
+    Min,
+    /// Maximum of two values; binary.
+    Max,
+}
+
+impl MathFn {
+    /// Number of operands the intrinsic pops from the stack.
+    pub fn arity(self) -> usize {
+        match self {
+            MathFn::Pow | MathFn::Min | MathFn::Max => 2,
+            _ => 1,
+        }
+    }
+
+    /// All intrinsics, for exhaustive testing.
+    pub fn all() -> &'static [MathFn] {
+        &[
+            MathFn::Sqrt,
+            MathFn::Sin,
+            MathFn::Cos,
+            MathFn::Exp,
+            MathFn::Log,
+            MathFn::Abs,
+            MathFn::Floor,
+            MathFn::Pow,
+            MathFn::Min,
+            MathFn::Max,
+        ]
+    }
+
+    /// Lowercase mnemonic used by the assembler.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            MathFn::Sqrt => "sqrt",
+            MathFn::Sin => "sin",
+            MathFn::Cos => "cos",
+            MathFn::Exp => "exp",
+            MathFn::Log => "log",
+            MathFn::Abs => "abs",
+            MathFn::Floor => "floor",
+            MathFn::Pow => "pow",
+            MathFn::Min => "min",
+            MathFn::Max => "max",
+        }
+    }
+
+    /// Parse an assembler mnemonic.
+    pub fn from_mnemonic(s: &str) -> Option<MathFn> {
+        MathFn::all().iter().copied().find(|m| m.mnemonic() == s)
+    }
+}
+
+impl fmt::Display for MathFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// One bytecode instruction.
+///
+/// Branch targets ([`Instr::Jump`], [`Instr::JumpIf`], [`Instr::JumpIfNot`])
+/// are absolute instruction indices within the owning function.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Instr {
+    // --- constants ---
+    /// Push an integer constant.
+    Const(i64),
+    /// Push a float constant.
+    FConst(f64),
+    /// Push the null reference.
+    Null,
+
+    // --- locals ---
+    /// Push local slot `n`.
+    Load(u16),
+    /// Pop into local slot `n`.
+    Store(u16),
+
+    // --- stack shuffling ---
+    /// Duplicate the top of stack.
+    Dup,
+    /// Discard the top of stack.
+    Pop,
+    /// Swap the two topmost values.
+    Swap,
+
+    // --- generic (polymorphic) arithmetic; quickened by the JIT ---
+    /// Generic addition: int+int, float+float, or mixed (promotes to float).
+    Add,
+    /// Generic subtraction.
+    Sub,
+    /// Generic multiplication.
+    Mul,
+    /// Generic division.
+    Div,
+    /// Generic remainder.
+    Rem,
+    /// Generic negation.
+    Neg,
+
+    // --- specialized integer arithmetic (installed by quickening) ---
+    /// Integer add.
+    IAdd,
+    /// Integer subtract.
+    ISub,
+    /// Integer multiply.
+    IMul,
+    /// Integer divide.
+    IDiv,
+    /// Integer remainder.
+    IRem,
+    /// Integer negate.
+    INeg,
+
+    // --- specialized float arithmetic ---
+    /// Float add.
+    FAdd,
+    /// Float subtract.
+    FSub,
+    /// Float multiply.
+    FMul,
+    /// Float divide.
+    FDiv,
+    /// Float negate.
+    FNeg,
+
+    // --- bitwise (integer only) ---
+    /// Shift left.
+    Shl,
+    /// Arithmetic shift right.
+    Shr,
+    /// Bitwise and.
+    BitAnd,
+    /// Bitwise or.
+    BitOr,
+    /// Bitwise xor.
+    BitXor,
+
+    // --- generic comparisons (push Int 0/1) ---
+    /// Generic equality.
+    CmpEq,
+    /// Generic inequality.
+    CmpNe,
+    /// Generic less-than.
+    CmpLt,
+    /// Generic less-or-equal.
+    CmpLe,
+    /// Generic greater-than.
+    CmpGt,
+    /// Generic greater-or-equal.
+    CmpGe,
+
+    // --- specialized integer comparisons ---
+    /// Integer equality.
+    ICmpEq,
+    /// Integer inequality.
+    ICmpNe,
+    /// Integer less-than.
+    ICmpLt,
+    /// Integer less-or-equal.
+    ICmpLe,
+    /// Integer greater-than.
+    ICmpGt,
+    /// Integer greater-or-equal.
+    ICmpGe,
+
+    // --- specialized float comparisons ---
+    /// Float equality.
+    FCmpEq,
+    /// Float inequality.
+    FCmpNe,
+    /// Float less-than.
+    FCmpLt,
+    /// Float less-or-equal.
+    FCmpLe,
+    /// Float greater-than.
+    FCmpGt,
+    /// Float greater-or-equal.
+    FCmpGe,
+
+    // --- conversions ---
+    /// Convert top of stack to float.
+    ToFloat,
+    /// Convert top of stack to int (truncating).
+    ToInt,
+
+    // --- control flow ---
+    /// Unconditional jump to instruction index.
+    Jump(u32),
+    /// Pop; jump if the value is truthy (nonzero int/float, non-null ref).
+    JumpIf(u32),
+    /// Pop; jump if the value is falsy.
+    JumpIfNot(u32),
+    /// Call a function: pops `arity` arguments (last argument on top),
+    /// pushes the callee's return value.
+    Call(FuncId),
+    /// Return the top of stack to the caller.
+    Return,
+
+    // --- arrays ---
+    /// Pop a length, push a new zero-filled array reference.
+    NewArray,
+    /// Pop index then array ref; push the element.
+    ALoad,
+    /// Pop value, index, array ref; store the element.
+    AStore,
+    /// Pop an array ref; push its length as an int.
+    ALen,
+
+    // --- intrinsics ---
+    /// Invoke a math intrinsic (see [`MathFn`]).
+    Math(MathFn),
+
+    // --- host interface ---
+    /// Pop a value and append it to the run's observable output.
+    Print,
+    /// Pop a value and publish it to the host under the interned name
+    /// (the XICL `updateV` channel).
+    Publish(StrId),
+    /// Signal the host that no more features will be published (the XICL
+    /// `done()` call); the VM pauses so the host may run prediction.
+    Done,
+
+    /// No operation (left behind by some rewrites; erased by DCE).
+    Nop,
+}
+
+impl Instr {
+    /// Base virtual-cycle cost of the instruction.
+    ///
+    /// This is the canonical cost model shared by the interpreter, the
+    /// adaptive optimizer's benefit estimation and the JIT's improvement
+    /// accounting. Generic (polymorphic) opcodes pay a dynamic-dispatch
+    /// premium that quickening removes.
+    pub fn base_cost(&self) -> u64 {
+        match self {
+            Instr::Const(_) | Instr::FConst(_) | Instr::Null => 1,
+            Instr::Load(_) | Instr::Store(_) => 1,
+            Instr::Dup | Instr::Pop | Instr::Swap | Instr::Nop => 1,
+
+            Instr::Add | Instr::Sub | Instr::Mul | Instr::Neg => 4,
+            Instr::Div | Instr::Rem => 8,
+
+            Instr::IAdd | Instr::ISub | Instr::IMul | Instr::INeg => 1,
+            Instr::IDiv | Instr::IRem => 4,
+            Instr::FAdd | Instr::FSub | Instr::FMul | Instr::FNeg => 2,
+            Instr::FDiv => 6,
+
+            Instr::Shl | Instr::Shr | Instr::BitAnd | Instr::BitOr | Instr::BitXor => 1,
+
+            Instr::CmpEq
+            | Instr::CmpNe
+            | Instr::CmpLt
+            | Instr::CmpLe
+            | Instr::CmpGt
+            | Instr::CmpGe => 4,
+
+            Instr::ICmpEq
+            | Instr::ICmpNe
+            | Instr::ICmpLt
+            | Instr::ICmpLe
+            | Instr::ICmpGt
+            | Instr::ICmpGe => 1,
+
+            Instr::FCmpEq
+            | Instr::FCmpNe
+            | Instr::FCmpLt
+            | Instr::FCmpLe
+            | Instr::FCmpGt
+            | Instr::FCmpGe => 2,
+
+            Instr::ToFloat | Instr::ToInt => 1,
+
+            Instr::Jump(_) => 1,
+            Instr::JumpIf(_) | Instr::JumpIfNot(_) => 2,
+            Instr::Call(_) => 15,
+            Instr::Return => 5,
+
+            Instr::NewArray => 24,
+            Instr::ALoad | Instr::AStore => 3,
+            Instr::ALen => 2,
+
+            Instr::Math(m) => match m {
+                MathFn::Pow => 20,
+                MathFn::Abs | MathFn::Floor | MathFn::Min | MathFn::Max => 3,
+                _ => 12,
+            },
+
+            Instr::Print => 30,
+            Instr::Publish(_) => 10,
+            Instr::Done => 5,
+        }
+    }
+
+    /// `(pops, pushes)` stack effect; `Call` pops the callee's arity, which
+    /// the caller must supply.
+    pub fn stack_effect(&self, call_arity: impl Fn(FuncId) -> usize) -> (usize, usize) {
+        match self {
+            Instr::Const(_) | Instr::FConst(_) | Instr::Null | Instr::Load(_) => (0, 1),
+            Instr::Store(_) | Instr::Pop | Instr::Print | Instr::Publish(_) => (1, 0),
+            Instr::Dup => (1, 2),
+            Instr::Swap => (2, 2),
+
+            Instr::Add
+            | Instr::Sub
+            | Instr::Mul
+            | Instr::Div
+            | Instr::Rem
+            | Instr::IAdd
+            | Instr::ISub
+            | Instr::IMul
+            | Instr::IDiv
+            | Instr::IRem
+            | Instr::FAdd
+            | Instr::FSub
+            | Instr::FMul
+            | Instr::FDiv
+            | Instr::Shl
+            | Instr::Shr
+            | Instr::BitAnd
+            | Instr::BitOr
+            | Instr::BitXor
+            | Instr::CmpEq
+            | Instr::CmpNe
+            | Instr::CmpLt
+            | Instr::CmpLe
+            | Instr::CmpGt
+            | Instr::CmpGe
+            | Instr::ICmpEq
+            | Instr::ICmpNe
+            | Instr::ICmpLt
+            | Instr::ICmpLe
+            | Instr::ICmpGt
+            | Instr::ICmpGe
+            | Instr::FCmpEq
+            | Instr::FCmpNe
+            | Instr::FCmpLt
+            | Instr::FCmpLe
+            | Instr::FCmpGt
+            | Instr::FCmpGe => (2, 1),
+
+            Instr::Neg | Instr::INeg | Instr::FNeg | Instr::ToFloat | Instr::ToInt => (1, 1),
+
+            Instr::Jump(_) | Instr::Nop | Instr::Done => (0, 0),
+            Instr::JumpIf(_) | Instr::JumpIfNot(_) => (1, 0),
+            Instr::Call(id) => (call_arity(*id), 1),
+            Instr::Return => (1, 0),
+
+            Instr::NewArray => (1, 1),
+            Instr::ALoad => (2, 1),
+            Instr::AStore => (3, 0),
+            Instr::ALen => (1, 1),
+
+            Instr::Math(m) => (m.arity(), 1),
+        }
+    }
+
+    /// The branch target, if this instruction is a jump.
+    pub fn branch_target(&self) -> Option<u32> {
+        match self {
+            Instr::Jump(t) | Instr::JumpIf(t) | Instr::JumpIfNot(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// Rewrite the branch target of a jump instruction, if any.
+    pub fn with_branch_target(&self, target: u32) -> Instr {
+        match self {
+            Instr::Jump(_) => Instr::Jump(target),
+            Instr::JumpIf(_) => Instr::JumpIf(target),
+            Instr::JumpIfNot(_) => Instr::JumpIfNot(target),
+            other => *other,
+        }
+    }
+
+    /// True if control never falls through to the next instruction.
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, Instr::Jump(_) | Instr::Return)
+    }
+
+    /// True if the instruction can branch (conditionally or not).
+    pub fn is_branch(&self) -> bool {
+        matches!(
+            self,
+            Instr::Jump(_) | Instr::JumpIf(_) | Instr::JumpIfNot(_)
+        )
+    }
+
+    /// True if the instruction has no side effect other than its stack
+    /// manipulation (safe to fold or remove when its result is dead).
+    pub fn is_pure(&self) -> bool {
+        !matches!(
+            self,
+            Instr::Call(_)
+                | Instr::Print
+                | Instr::Publish(_)
+                | Instr::Done
+                | Instr::Return
+                | Instr::Store(_)
+                | Instr::AStore
+                | Instr::NewArray
+                | Instr::Jump(_)
+                | Instr::JumpIf(_)
+                | Instr::JumpIfNot(_)
+                // division-likes can trap on zero, keep them
+                | Instr::Div
+                | Instr::Rem
+                | Instr::IDiv
+                | Instr::IRem
+                | Instr::FDiv
+                | Instr::ALoad
+                | Instr::ALen
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specialized_arith_is_cheaper_than_generic() {
+        assert!(Instr::IAdd.base_cost() < Instr::Add.base_cost());
+        assert!(Instr::FAdd.base_cost() < Instr::Add.base_cost());
+        assert!(Instr::ICmpLt.base_cost() < Instr::CmpLt.base_cost());
+        assert!(Instr::IDiv.base_cost() < Instr::Div.base_cost());
+    }
+
+    #[test]
+    fn branch_target_roundtrip() {
+        let j = Instr::JumpIf(7);
+        assert_eq!(j.branch_target(), Some(7));
+        assert_eq!(j.with_branch_target(9), Instr::JumpIf(9));
+        assert_eq!(Instr::IAdd.branch_target(), None);
+        assert_eq!(Instr::IAdd.with_branch_target(3), Instr::IAdd);
+    }
+
+    #[test]
+    fn terminators() {
+        assert!(Instr::Jump(0).is_terminator());
+        assert!(Instr::Return.is_terminator());
+        assert!(!Instr::JumpIf(0).is_terminator());
+        assert!(!Instr::IAdd.is_terminator());
+    }
+
+    #[test]
+    fn stack_effects_balance() {
+        let arity = |_: FuncId| 2usize;
+        assert_eq!(Instr::Call(FuncId(0)).stack_effect(arity), (2, 1));
+        assert_eq!(Instr::AStore.stack_effect(arity), (3, 0));
+        assert_eq!(Instr::Math(MathFn::Pow).stack_effect(arity), (2, 1));
+        assert_eq!(Instr::Math(MathFn::Sqrt).stack_effect(arity), (1, 1));
+    }
+
+    #[test]
+    fn math_mnemonics_roundtrip() {
+        for m in MathFn::all() {
+            assert_eq!(MathFn::from_mnemonic(m.mnemonic()), Some(*m));
+        }
+        assert_eq!(MathFn::from_mnemonic("tan"), None);
+    }
+
+    #[test]
+    fn purity_classification() {
+        assert!(Instr::IAdd.is_pure());
+        assert!(Instr::Const(1).is_pure());
+        assert!(!Instr::Print.is_pure());
+        assert!(!Instr::Call(FuncId(0)).is_pure());
+        assert!(!Instr::IDiv.is_pure());
+        assert!(!Instr::Store(0).is_pure());
+    }
+}

@@ -1,0 +1,97 @@
+//! Stack-machine bytecode for the evolvable virtual machine.
+//!
+//! This crate defines the instruction set, the program model, and the
+//! tooling around them that every other layer of the system builds on:
+//!
+//! - [`Instr`] — the instruction set: a compact, Java-flavoured stack
+//!   machine with *generic* (polymorphic) arithmetic that the optimizing
+//!   JIT later *quickens* into typed variants ([`Instr::IAdd`],
+//!   [`Instr::FAdd`], ...).
+//! - [`Program`] / [`Function`] — the unit of loading and execution; a
+//!   program is a set of functions plus an interned string pool and a
+//!   designated entry function.
+//! - [`ProgramBuilder`] / [`FunctionBuilder`] — ergonomic label-based
+//!   construction used by the MiniJava code generator and by tests.
+//! - [`asm`] / [`disasm`] — a round-trippable textual assembly format.
+//! - [`verify`] — a dataflow bytecode verifier (stack-depth consistency,
+//!   target/local/callee bounds) run before any program is executed.
+//! - [`cfg`](mod@cfg) — control-flow graphs, dominators and natural-loop detection
+//!   used by the optimizer.
+//!
+//! # Example
+//!
+//! ```
+//! use evovm_bytecode::{Instr, ProgramBuilder};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut pb = ProgramBuilder::new();
+//! let main = pb.declare("main", 0);
+//! let mut f = pb.function(main, 1);
+//! f.emit(Instr::Const(21));
+//! f.emit(Instr::Const(2));
+//! f.emit(Instr::Mul);
+//! f.emit(Instr::Print);
+//! f.emit(Instr::Null);
+//! f.emit(Instr::Return);
+//! f.finish()?;
+//! let program = pb.build(main)?;
+//! evovm_bytecode::verify::verify(&program)?;
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod asm;
+pub mod builder;
+pub mod cfg;
+pub mod disasm;
+pub mod instr;
+pub mod program;
+pub mod scalar;
+pub mod verify;
+
+pub use builder::{FunctionBuilder, Label, ProgramBuilder};
+pub use instr::{Instr, MathFn};
+pub use program::{FuncId, Function, Program, StrId};
+pub use verify::VerifyError;
+
+use std::fmt;
+
+/// Errors produced while constructing or parsing bytecode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BytecodeError {
+    /// A label was referenced but never bound to a position.
+    UnboundLabel(u32),
+    /// A function id was declared but never defined.
+    UndefinedFunction(String),
+    /// The same function id was defined twice.
+    Redefined(String),
+    /// Textual assembly failed to parse.
+    Parse {
+        /// 1-based source line of the error (0 for file-level problems).
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The entry function does not exist or has nonzero arity.
+    BadEntry(String),
+}
+
+impl fmt::Display for BytecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BytecodeError::UnboundLabel(id) => write!(f, "label {id} was never bound"),
+            BytecodeError::UndefinedFunction(name) => {
+                write!(f, "function `{name}` declared but never defined")
+            }
+            BytecodeError::Redefined(name) => write!(f, "function `{name}` defined twice"),
+            BytecodeError::Parse { line, message } => {
+                write!(f, "assembly parse error at line {line}: {message}")
+            }
+            BytecodeError::BadEntry(name) => {
+                write!(f, "entry function `{name}` missing or has nonzero arity")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BytecodeError {}

@@ -1,0 +1,185 @@
+//! The program model: functions, string pool and entry point.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::instr::Instr;
+
+/// Index of a function within a [`Program`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct FuncId(pub u32);
+
+impl FuncId {
+    /// The index as a `usize` for table lookups.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn#{}", self.0)
+    }
+}
+
+/// Index into a program's interned string pool.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct StrId(pub u32);
+
+impl StrId {
+    /// The index as a `usize` for table lookups.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for StrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "str#{}", self.0)
+    }
+}
+
+/// One function: a name, an arity, a number of local slots (including the
+/// arguments, which occupy slots `0..arity`) and a code vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Function {
+    /// Human-readable name (unique within a program).
+    pub name: String,
+    /// Number of arguments.
+    pub arity: u16,
+    /// Total local slots, `>= arity`.
+    pub locals: u16,
+    /// The instruction stream.
+    pub code: Vec<Instr>,
+}
+
+impl Function {
+    /// Sum of the base cycle costs of all instructions — a static size
+    /// proxy used by the compilation cost model.
+    pub fn static_cost(&self) -> u64 {
+        self.code.iter().map(Instr::base_cost).sum()
+    }
+}
+
+/// A complete, executable bytecode program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    functions: Vec<Function>,
+    strings: Vec<String>,
+    entry: FuncId,
+}
+
+impl Program {
+    /// Assemble a program from parts. Prefer [`crate::ProgramBuilder`].
+    pub fn from_parts(functions: Vec<Function>, strings: Vec<String>, entry: FuncId) -> Program {
+        Program {
+            functions,
+            strings,
+            entry,
+        }
+    }
+
+    /// The entry function (arity 0).
+    pub fn entry(&self) -> FuncId {
+        self.entry
+    }
+
+    /// All functions, indexable by [`FuncId::index`].
+    pub fn functions(&self) -> &[Function] {
+        &self.functions
+    }
+
+    /// Look up a function by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range (a verified program never produces
+    /// out-of-range ids).
+    pub fn function(&self, id: FuncId) -> &Function {
+        &self.functions[id.index()]
+    }
+
+    /// Mutable access to a function (used by the JIT's code installation).
+    pub fn function_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.functions[id.index()]
+    }
+
+    /// Find a function id by name.
+    pub fn find(&self, name: &str) -> Option<FuncId> {
+        self.functions
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
+    }
+
+    /// The interned string pool.
+    pub fn strings(&self) -> &[String] {
+        &self.strings
+    }
+
+    /// Resolve an interned string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn string(&self, id: StrId) -> &str {
+        &self.strings[id.index()]
+    }
+
+    /// Total instruction count across all functions.
+    pub fn instruction_count(&self) -> usize {
+        self.functions.iter().map(|f| f.code.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Program {
+        Program::from_parts(
+            vec![Function {
+                name: "main".into(),
+                arity: 0,
+                locals: 0,
+                code: vec![Instr::Null, Instr::Return],
+            }],
+            vec!["greeting".into()],
+            FuncId(0),
+        )
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let p = tiny();
+        assert_eq!(p.find("main"), Some(FuncId(0)));
+        assert_eq!(p.find("nope"), None);
+    }
+
+    #[test]
+    fn string_pool() {
+        let p = tiny();
+        assert_eq!(p.string(StrId(0)), "greeting");
+        assert_eq!(p.strings().len(), 1);
+    }
+
+    #[test]
+    fn static_cost_sums_base_costs() {
+        let p = tiny();
+        let f = p.function(FuncId(0));
+        assert_eq!(f.static_cost(), 1 + 5);
+        assert_eq!(p.instruction_count(), 2);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = tiny();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Program = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

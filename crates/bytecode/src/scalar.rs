@@ -1,0 +1,352 @@
+//! Scalar arithmetic semantics of the ISA.
+//!
+//! The interpreter (in `evovm-vm`) and the constant folder (in `evovm-opt`)
+//! both evaluate arithmetic through this module, so compiled code provably
+//! computes the same values as interpreted code.
+//!
+//! Semantics summary:
+//!
+//! - integer arithmetic wraps (two's complement, like the JVM);
+//! - mixed int/float operands promote to float;
+//! - integer division/remainder by zero is a trap ([`ArithError::DivByZero`]);
+//!   float division by zero follows IEEE-754;
+//! - bitwise ops require two integers; shift counts are masked to 6 bits;
+//! - `to_int` uses Rust's saturating float→int cast (NaN becomes 0);
+//! - comparisons yield `Int(1)` or `Int(0)`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::instr::MathFn;
+
+/// A scalar value: the arithmetic subset of the VM's value domain.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Scalar {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit IEEE-754 float.
+    Float(f64),
+}
+
+impl Scalar {
+    /// The value as a float (ints convert exactly up to 2^53).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Scalar::Int(v) => v as f64,
+            Scalar::Float(v) => v,
+        }
+    }
+
+    /// Truthiness: nonzero is true.
+    pub fn truthy(self) -> bool {
+        match self {
+            Scalar::Int(v) => v != 0,
+            Scalar::Float(v) => v != 0.0,
+        }
+    }
+
+    /// True if this is an [`Scalar::Int`].
+    pub fn is_int(self) -> bool {
+        matches!(self, Scalar::Int(_))
+    }
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scalar::Int(v) => write!(f, "{v}"),
+            Scalar::Float(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i64> for Scalar {
+    fn from(v: i64) -> Scalar {
+        Scalar::Int(v)
+    }
+}
+
+impl From<f64> for Scalar {
+    fn from(v: f64) -> Scalar {
+        Scalar::Float(v)
+    }
+}
+
+/// Arithmetic trap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithError {
+    /// Integer division or remainder by zero.
+    DivByZero,
+    /// A bitwise operation saw a float operand.
+    TypeError,
+}
+
+impl fmt::Display for ArithError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArithError::DivByZero => write!(f, "integer division by zero"),
+            ArithError::TypeError => write!(f, "bitwise operation on a float"),
+        }
+    }
+}
+
+impl std::error::Error for ArithError {}
+
+/// The binary arithmetic operators (generic or specialized — the semantics
+/// are identical; specialization only changes dispatch cost).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Remainder.
+    Rem,
+}
+
+/// The comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater or equal.
+    Ge,
+}
+
+/// The bitwise operators (integers only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BitOp {
+    /// Shift left (count masked to 6 bits).
+    Shl,
+    /// Arithmetic shift right (count masked to 6 bits).
+    Shr,
+    /// And.
+    And,
+    /// Or.
+    Or,
+    /// Xor.
+    Xor,
+}
+
+/// Evaluate a binary arithmetic operator.
+///
+/// # Errors
+///
+/// [`ArithError::DivByZero`] for integer `Div`/`Rem` with a zero divisor.
+pub fn binop(op: BinOp, a: Scalar, b: Scalar) -> Result<Scalar, ArithError> {
+    use Scalar::{Float, Int};
+    Ok(match (a, b) {
+        (Int(x), Int(y)) => match op {
+            BinOp::Add => Int(x.wrapping_add(y)),
+            BinOp::Sub => Int(x.wrapping_sub(y)),
+            BinOp::Mul => Int(x.wrapping_mul(y)),
+            BinOp::Div => {
+                if y == 0 {
+                    return Err(ArithError::DivByZero);
+                }
+                Int(x.wrapping_div(y))
+            }
+            BinOp::Rem => {
+                if y == 0 {
+                    return Err(ArithError::DivByZero);
+                }
+                Int(x.wrapping_rem(y))
+            }
+        },
+        _ => {
+            let (x, y) = (a.as_f64(), b.as_f64());
+            Float(match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::Div => x / y,
+                BinOp::Rem => x % y,
+            })
+        }
+    })
+}
+
+/// Evaluate negation.
+pub fn neg(a: Scalar) -> Scalar {
+    match a {
+        Scalar::Int(v) => Scalar::Int(v.wrapping_neg()),
+        Scalar::Float(v) => Scalar::Float(-v),
+    }
+}
+
+/// Evaluate a comparison, producing `Int(1)` or `Int(0)`.
+pub fn cmp(op: CmpOp, a: Scalar, b: Scalar) -> Scalar {
+    use Scalar::Int;
+    let r = match (a, b) {
+        (Int(x), Int(y)) => match op {
+            CmpOp::Eq => x == y,
+            CmpOp::Ne => x != y,
+            CmpOp::Lt => x < y,
+            CmpOp::Le => x <= y,
+            CmpOp::Gt => x > y,
+            CmpOp::Ge => x >= y,
+        },
+        _ => {
+            let (x, y) = (a.as_f64(), b.as_f64());
+            match op {
+                CmpOp::Eq => x == y,
+                CmpOp::Ne => x != y,
+                CmpOp::Lt => x < y,
+                CmpOp::Le => x <= y,
+                CmpOp::Gt => x > y,
+                CmpOp::Ge => x >= y,
+            }
+        }
+    };
+    Int(r as i64)
+}
+
+/// Evaluate a bitwise operator.
+///
+/// # Errors
+///
+/// [`ArithError::TypeError`] if either operand is a float.
+pub fn bitop(op: BitOp, a: Scalar, b: Scalar) -> Result<Scalar, ArithError> {
+    let (Scalar::Int(x), Scalar::Int(y)) = (a, b) else {
+        return Err(ArithError::TypeError);
+    };
+    Ok(Scalar::Int(match op {
+        BitOp::Shl => x.wrapping_shl((y & 63) as u32),
+        BitOp::Shr => x.wrapping_shr((y & 63) as u32),
+        BitOp::And => x & y,
+        BitOp::Or => x | y,
+        BitOp::Xor => x ^ y,
+    }))
+}
+
+/// Convert to float (`ToFloat`).
+pub fn to_float(a: Scalar) -> Scalar {
+    Scalar::Float(a.as_f64())
+}
+
+/// Convert to int (`ToInt`): floats truncate with saturation, NaN maps to 0.
+pub fn to_int(a: Scalar) -> Scalar {
+    match a {
+        Scalar::Int(v) => Scalar::Int(v),
+        Scalar::Float(v) => Scalar::Int(v as i64),
+    }
+}
+
+/// Evaluate a unary math intrinsic.
+///
+/// # Panics
+///
+/// Panics if called with a binary intrinsic ([`MathFn::arity`] == 2).
+pub fn math1(m: MathFn, a: Scalar) -> Scalar {
+    match m {
+        MathFn::Sqrt => Scalar::Float(a.as_f64().sqrt()),
+        MathFn::Sin => Scalar::Float(a.as_f64().sin()),
+        MathFn::Cos => Scalar::Float(a.as_f64().cos()),
+        MathFn::Exp => Scalar::Float(a.as_f64().exp()),
+        MathFn::Log => Scalar::Float(a.as_f64().ln()),
+        MathFn::Abs => match a {
+            Scalar::Int(v) => Scalar::Int(v.wrapping_abs()),
+            Scalar::Float(v) => Scalar::Float(v.abs()),
+        },
+        MathFn::Floor => Scalar::Int(a.as_f64().floor() as i64),
+        MathFn::Pow | MathFn::Min | MathFn::Max => {
+            panic!("{m} is a binary intrinsic; use math2")
+        }
+    }
+}
+
+/// Evaluate a binary math intrinsic.
+///
+/// # Panics
+///
+/// Panics if called with a unary intrinsic.
+pub fn math2(m: MathFn, a: Scalar, b: Scalar) -> Scalar {
+    use Scalar::{Float, Int};
+    match m {
+        MathFn::Pow => Float(a.as_f64().powf(b.as_f64())),
+        MathFn::Min => match (a, b) {
+            (Int(x), Int(y)) => Int(x.min(y)),
+            _ => Float(a.as_f64().min(b.as_f64())),
+        },
+        MathFn::Max => match (a, b) {
+            (Int(x), Int(y)) => Int(x.max(y)),
+            _ => Float(a.as_f64().max(b.as_f64())),
+        },
+        other => panic!("{other} is a unary intrinsic; use math1"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Scalar::{Float, Int};
+
+    #[test]
+    fn int_arithmetic_wraps() {
+        assert_eq!(binop(BinOp::Add, Int(i64::MAX), Int(1)), Ok(Int(i64::MIN)));
+        assert_eq!(binop(BinOp::Mul, Int(1 << 62), Int(4)), Ok(Int(0)));
+        assert_eq!(neg(Int(i64::MIN)), Int(i64::MIN));
+    }
+
+    #[test]
+    fn mixed_operands_promote_to_float() {
+        assert_eq!(binop(BinOp::Add, Int(1), Float(0.5)), Ok(Float(1.5)));
+        assert_eq!(cmp(CmpOp::Lt, Float(0.5), Int(1)), Int(1));
+    }
+
+    #[test]
+    fn integer_division_by_zero_traps() {
+        assert_eq!(binop(BinOp::Div, Int(1), Int(0)), Err(ArithError::DivByZero));
+        assert_eq!(binop(BinOp::Rem, Int(1), Int(0)), Err(ArithError::DivByZero));
+        // Float division by zero is IEEE.
+        assert_eq!(
+            binop(BinOp::Div, Float(1.0), Float(0.0)),
+            Ok(Float(f64::INFINITY))
+        );
+    }
+
+    #[test]
+    fn shifts_mask_their_count() {
+        assert_eq!(bitop(BitOp::Shl, Int(1), Int(64)), Ok(Int(1)));
+        assert_eq!(bitop(BitOp::Shr, Int(-8), Int(1)), Ok(Int(-4)));
+        assert_eq!(bitop(BitOp::And, Int(1), Float(1.0)).unwrap_err(), ArithError::TypeError);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(to_float(Int(3)), Float(3.0));
+        assert_eq!(to_int(Float(3.9)), Int(3));
+        assert_eq!(to_int(Float(f64::NAN)), Int(0));
+        assert_eq!(to_int(Float(1e300)), Int(i64::MAX));
+    }
+
+    #[test]
+    fn math_intrinsics() {
+        assert_eq!(math1(MathFn::Sqrt, Int(9)), Float(3.0));
+        assert_eq!(math1(MathFn::Abs, Int(-5)), Int(5));
+        assert_eq!(math1(MathFn::Floor, Float(2.7)), Int(2));
+        assert_eq!(math2(MathFn::Min, Int(2), Int(5)), Int(2));
+        assert_eq!(math2(MathFn::Max, Float(2.0), Int(5)), Float(5.0));
+        assert_eq!(math2(MathFn::Pow, Int(2), Int(10)), Float(1024.0));
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Int(-1).truthy());
+        assert!(!Int(0).truthy());
+        assert!(Float(0.1).truthy());
+        assert!(!Float(0.0).truthy());
+    }
+}

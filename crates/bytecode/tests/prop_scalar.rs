@@ -1,0 +1,116 @@
+//! Property tests for the scalar arithmetic semantics shared by the
+//! interpreter and the constant folder.
+
+use proptest::prelude::*;
+
+use evovm_bytecode::scalar::{self, BinOp, BitOp, CmpOp, Scalar};
+
+fn arb_scalar() -> impl Strategy<Value = Scalar> {
+    prop_oneof![
+        any::<i64>().prop_map(Scalar::Int),
+        (-1.0e12..1.0e12f64).prop_map(Scalar::Float),
+    ]
+}
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Rem),
+    ]
+}
+
+proptest! {
+    /// Two-int operations stay in the integer domain; anything involving
+    /// a float lands in the float domain.
+    #[test]
+    fn domain_closure(a in arb_scalar(), b in arb_scalar(), op in arb_binop()) {
+        if let Ok(r) = scalar::binop(op, a, b) {
+            match (a, b) {
+                (Scalar::Int(_), Scalar::Int(_)) => prop_assert!(r.is_int()),
+                _ => prop_assert!(!r.is_int()),
+            }
+        }
+    }
+
+    /// Only integer division/remainder by zero traps.
+    #[test]
+    fn div_trap_iff_integer_zero_divisor(a in arb_scalar(), b in arb_scalar()) {
+        for op in [BinOp::Div, BinOp::Rem] {
+            let trapped = scalar::binop(op, a, b).is_err();
+            let expected = matches!((a, b), (Scalar::Int(_), Scalar::Int(0)));
+            prop_assert_eq!(trapped, expected);
+        }
+    }
+
+    /// Addition commutes (integers wrap; floats commute exactly;
+    /// NaN excluded by the generator's finite range).
+    #[test]
+    fn add_and_mul_commute(a in arb_scalar(), b in arb_scalar()) {
+        for op in [BinOp::Add, BinOp::Mul] {
+            prop_assert_eq!(scalar::binop(op, a, b), scalar::binop(op, b, a));
+        }
+    }
+
+    /// Comparisons are consistent: exactly one of `<`, `==`, `>` holds
+    /// for comparable (non-NaN) scalars, and `<=`/`>=`/`!=` derive.
+    #[test]
+    fn comparison_trichotomy(a in arb_scalar(), b in arb_scalar()) {
+        let lt = scalar::cmp(CmpOp::Lt, a, b) == Scalar::Int(1);
+        let eq = scalar::cmp(CmpOp::Eq, a, b) == Scalar::Int(1);
+        let gt = scalar::cmp(CmpOp::Gt, a, b) == Scalar::Int(1);
+        prop_assert_eq!(u8::from(lt) + u8::from(eq) + u8::from(gt), 1);
+        let le = scalar::cmp(CmpOp::Le, a, b) == Scalar::Int(1);
+        let ge = scalar::cmp(CmpOp::Ge, a, b) == Scalar::Int(1);
+        let ne = scalar::cmp(CmpOp::Ne, a, b) == Scalar::Int(1);
+        prop_assert_eq!(le, lt || eq);
+        prop_assert_eq!(ge, gt || eq);
+        prop_assert_eq!(ne, !eq);
+    }
+
+    /// Negation is involutive, except at `i64::MIN` which wraps onto
+    /// itself (two's complement).
+    #[test]
+    fn neg_involutive(a in arb_scalar()) {
+        prop_assert_eq!(scalar::neg(scalar::neg(a)), a);
+    }
+
+    /// `to_int ∘ to_float` is the identity on integers that fit in the
+    /// f64 mantissa.
+    #[test]
+    fn int_float_roundtrip(v in -(1i64 << 52)..(1i64 << 52)) {
+        let a = Scalar::Int(v);
+        prop_assert_eq!(scalar::to_int(scalar::to_float(a)), a);
+    }
+
+    /// Bitwise ops trap exactly when a float is involved; shifts mask.
+    #[test]
+    fn bitops_trap_on_floats(a in arb_scalar(), b in arb_scalar()) {
+        for op in [BitOp::Shl, BitOp::Shr, BitOp::And, BitOp::Or, BitOp::Xor] {
+            let trapped = scalar::bitop(op, a, b).is_err();
+            let expected = !a.is_int() || !b.is_int();
+            prop_assert_eq!(trapped, expected);
+        }
+    }
+
+    /// Shift counts are masked to 6 bits: `x << n == x << (n & 63)`.
+    #[test]
+    fn shift_masking(x in any::<i64>(), n in any::<i64>()) {
+        prop_assert_eq!(
+            scalar::bitop(BitOp::Shl, Scalar::Int(x), Scalar::Int(n)),
+            scalar::bitop(BitOp::Shl, Scalar::Int(x), Scalar::Int(n & 63))
+        );
+    }
+
+    /// min/max of two ints bracket their arguments.
+    #[test]
+    fn min_max_bracket(a in any::<i64>(), b in any::<i64>()) {
+        use evovm_bytecode::MathFn;
+        let lo = scalar::math2(MathFn::Min, Scalar::Int(a), Scalar::Int(b));
+        let hi = scalar::math2(MathFn::Max, Scalar::Int(a), Scalar::Int(b));
+        prop_assert_eq!(lo, Scalar::Int(a.min(b)));
+        prop_assert_eq!(hi, Scalar::Int(a.max(b)));
+    }
+}

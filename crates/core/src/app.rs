@@ -1,0 +1,59 @@
+//! Applications and their inputs, as the campaign runner consumes them.
+
+use std::sync::Arc;
+
+use evovm_bytecode::Program;
+use evovm_xicl::{Translator, Vfs};
+
+/// One concrete input to an application: the command line, the files it
+/// references, and the program compiled for this input.
+///
+/// Programs are compiled *per input* because the toy VM has no argv/file
+/// I/O — workloads bake their input constants into the bytecode (the
+/// MiniJava source is templated). All inputs of an application share the
+/// same source structure, so function ids line up across inputs; the
+/// campaign runner asserts this.
+#[derive(Debug, Clone)]
+pub struct AppInput {
+    /// Command-line arguments (program name excluded).
+    pub args: Vec<String>,
+    /// Files referenced by the command line.
+    pub vfs: Vfs,
+    /// The program specialized to this input.
+    pub program: Arc<Program>,
+}
+
+/// A prepared application: its name, its XICL translator, and its input
+/// set.
+#[derive(Debug)]
+pub struct Bench {
+    /// Application name (e.g. `mtrt`).
+    pub name: String,
+    /// The XICL translator (spec + extractor registry).
+    pub translator: Translator,
+    /// The collected inputs (paper Table I's input sets).
+    pub inputs: Vec<AppInput>,
+}
+
+impl Bench {
+    /// Verify that every input's program has the same function layout
+    /// (names in the same order), which per-method learning requires.
+    pub fn check_consistent(&self) -> bool {
+        let Some(first) = self.inputs.first() else {
+            return true;
+        };
+        let names: Vec<&str> = first
+            .program
+            .functions()
+            .iter()
+            .map(|f| f.name.as_str())
+            .collect();
+        self.inputs.iter().all(|i| {
+            i.program
+                .functions()
+                .iter()
+                .map(|f| f.name.as_str())
+                .eq(names.iter().copied())
+        })
+    }
+}

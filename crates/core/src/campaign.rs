@@ -1,0 +1,319 @@
+//! The campaign runner: sequences of production runs under one of the
+//! paper's three scenarios (§V-B) with randomly arriving inputs.
+//!
+//! - **Default** — the reactive cost-benefit optimizer, no cross-run
+//!   memory. Defines the performance baseline every speedup normalizes to.
+//! - **Rep** — the repository-based optimizer: learns one averaged
+//!   strategy from history, predicts unconditionally from run 1.
+//! - **Evolve** — the evolvable VM: input-specific prediction guarded by
+//!   the decayed confidence.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+use evovm_vm::{CostBenefitPolicy, Outcome, RunResult, Vm, VmConfig, CYCLES_PER_SECOND};
+
+use crate::app::{AppInput, Bench};
+use crate::config::EvolveConfig;
+use crate::error::EvolveError;
+use crate::evolve::EvolvableVm;
+use crate::rep::{RepPolicy, RepRepository};
+
+/// Which optimizer drives the campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Reactive Jikes-style adaptive optimization.
+    Default,
+    /// Repository-based cross-run optimization (Arnold et al.).
+    Rep,
+    /// The evolvable VM.
+    Evolve,
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Scenario::Default => write!(f, "Default"),
+            Scenario::Rep => write!(f, "Rep"),
+            Scenario::Evolve => write!(f, "Evolve"),
+        }
+    }
+}
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// The scenario to run.
+    pub scenario: Scenario,
+    /// Number of production runs.
+    pub runs: usize,
+    /// Seed controlling the random input arrival order.
+    pub seed: u64,
+    /// Evolvable-VM parameters (γ, TH_c, tree params, overhead model).
+    pub evolve: EvolveConfig,
+}
+
+impl CampaignConfig {
+    /// A config with the paper's defaults.
+    pub fn new(scenario: Scenario) -> CampaignConfig {
+        CampaignConfig {
+            scenario,
+            runs: 30,
+            seed: 1,
+            evolve: EvolveConfig::default(),
+        }
+    }
+
+    /// Set the number of runs.
+    pub fn runs(mut self, runs: usize) -> CampaignConfig {
+        self.runs = runs;
+        self
+    }
+
+    /// Set the input-order seed.
+    pub fn seed(mut self, seed: u64) -> CampaignConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the evolvable-VM parameters.
+    pub fn evolve(mut self, evolve: EvolveConfig) -> CampaignConfig {
+        self.evolve = evolve;
+        self
+    }
+}
+
+/// One production run's outcome within a campaign.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Position in the campaign (0-based).
+    pub run_index: usize,
+    /// Which input arrived.
+    pub input_index: usize,
+    /// Total cycles under the campaign's scenario (including any
+    /// evolvable overhead).
+    pub cycles: u64,
+    /// Total cycles of the cached default run on the same input.
+    pub default_cycles: u64,
+    /// `default_cycles / cycles` — the paper's speedup metric.
+    pub speedup: f64,
+    /// Confidence after this run (Evolve only; 0 otherwise).
+    pub confidence: f64,
+    /// Prediction accuracy of this run (Evolve only; 0 otherwise).
+    pub accuracy: f64,
+    /// Whether a predicted strategy drove the run (Evolve only).
+    pub predicted: bool,
+    /// Overhead fraction of total time (Evolve only).
+    pub overhead_fraction: f64,
+}
+
+impl RunRecord {
+    /// This run's simulated duration in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.cycles as f64 / CYCLES_PER_SECOND as f64
+    }
+
+    /// The default run's simulated duration in seconds.
+    pub fn default_seconds(&self) -> f64 {
+        self.default_cycles as f64 / CYCLES_PER_SECOND as f64
+    }
+}
+
+/// A finished campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// The scenario that ran.
+    pub scenario: Scenario,
+    /// Per-run records, in arrival order.
+    pub records: Vec<RunRecord>,
+    /// Raw feature count of the training schema (Evolve only).
+    pub raw_features: usize,
+    /// Features actually used by the models (Evolve only).
+    pub used_features: usize,
+    /// Default-run seconds per distinct input index (for Table I's
+    /// min/max running times).
+    pub default_seconds_per_input: Vec<Option<f64>>,
+}
+
+impl CampaignOutcome {
+    /// The speedups of all runs, in order.
+    pub fn speedups(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.speedup).collect()
+    }
+
+    /// Mean confidence over the campaign.
+    pub fn mean_confidence(&self) -> f64 {
+        crate::metrics::mean(
+            &self
+                .records
+                .iter()
+                .map(|r| r.confidence)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Mean prediction accuracy over the campaign.
+    pub fn mean_accuracy(&self) -> f64 {
+        crate::metrics::mean(&self.records.iter().map(|r| r.accuracy).collect::<Vec<_>>())
+    }
+
+    /// Min/max default running time over the inputs that arrived.
+    pub fn default_time_range(&self) -> Option<(f64, f64)> {
+        let times: Vec<f64> = self
+            .default_seconds_per_input
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
+        if times.is_empty() {
+            return None;
+        }
+        let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = times.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Some((min, max))
+    }
+}
+
+/// Runs one scenario over a [`Bench`]'s input set.
+#[derive(Debug)]
+pub struct Campaign<'a> {
+    bench: &'a Bench,
+    config: CampaignConfig,
+}
+
+impl<'a> Campaign<'a> {
+    /// Create a campaign.
+    ///
+    /// # Errors
+    ///
+    /// [`EvolveError::NoInputs`] for an empty input set and
+    /// [`EvolveError::InconsistentPrograms`] when the bench's inputs
+    /// compile to different program layouts.
+    pub fn new(bench: &'a Bench, config: CampaignConfig) -> Result<Campaign<'a>, EvolveError> {
+        if bench.inputs.is_empty() {
+            return Err(EvolveError::NoInputs);
+        }
+        if !bench.check_consistent() {
+            return Err(EvolveError::InconsistentPrograms);
+        }
+        Ok(Campaign { bench, config })
+    }
+
+    /// Execute the campaign.
+    ///
+    /// # Errors
+    ///
+    /// Propagates VM/XICL/learning errors from individual runs.
+    pub fn run(&self) -> Result<CampaignOutcome, EvolveError> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let inputs = &self.bench.inputs;
+        let mut default_cache: Vec<Option<u64>> = vec![None; inputs.len()];
+        let mut evolvable =
+            EvolvableVm::new(self.bench.translator.clone(), self.config.evolve);
+        let mut repo = RepRepository::new(self.config.evolve.sample_interval_cycles);
+        let mut records = Vec::with_capacity(self.config.runs);
+
+        for run_index in 0..self.config.runs {
+            let input_index = rng.gen_range(0..inputs.len());
+            let input = &inputs[input_index];
+            let default_cycles =
+                self.default_cycles(input_index, input, &mut default_cache)?;
+
+            let record = match self.config.scenario {
+                Scenario::Default => RunRecord {
+                    run_index,
+                    input_index,
+                    cycles: default_cycles,
+                    default_cycles,
+                    speedup: 1.0,
+                    confidence: 0.0,
+                    accuracy: 0.0,
+                    predicted: false,
+                    overhead_fraction: 0.0,
+                },
+                Scenario::Rep => {
+                    let strategy = repo.strategy(&input.program);
+                    let result = self.plain_run(
+                        input,
+                        Box::new(RepPolicy::new(strategy)),
+                    )?;
+                    repo.observe(&input.program, &result.profile);
+                    RunRecord {
+                        run_index,
+                        input_index,
+                        cycles: result.total_cycles,
+                        default_cycles,
+                        speedup: default_cycles as f64 / result.total_cycles as f64,
+                        confidence: 0.0,
+                        accuracy: 0.0,
+                        predicted: repo.runs() > 1,
+                        overhead_fraction: 0.0,
+                    }
+                }
+                Scenario::Evolve => {
+                    let rec = evolvable.run_once(input)?;
+                    RunRecord {
+                        run_index,
+                        input_index,
+                        cycles: rec.result.total_cycles,
+                        default_cycles,
+                        speedup: default_cycles as f64 / rec.result.total_cycles as f64,
+                        confidence: rec.confidence_after,
+                        accuracy: rec.accuracy,
+                        predicted: rec.predicted,
+                        overhead_fraction: rec.overhead_fraction(),
+                    }
+                }
+            };
+            records.push(record);
+        }
+
+        let default_seconds_per_input = default_cache
+            .iter()
+            .map(|c| c.map(|cy| cy as f64 / CYCLES_PER_SECOND as f64))
+            .collect();
+        Ok(CampaignOutcome {
+            scenario: self.config.scenario,
+            records,
+            raw_features: evolvable.raw_feature_count(),
+            used_features: evolvable.used_feature_indices().len(),
+            default_seconds_per_input,
+        })
+    }
+
+    fn default_cycles(
+        &self,
+        input_index: usize,
+        input: &AppInput,
+        cache: &mut [Option<u64>],
+    ) -> Result<u64, EvolveError> {
+        if let Some(c) = cache[input_index] {
+            return Ok(c);
+        }
+        let result = self.plain_run(input, Box::new(CostBenefitPolicy::new()))?;
+        cache[input_index] = Some(result.total_cycles);
+        Ok(result.total_cycles)
+    }
+
+    fn plain_run(
+        &self,
+        input: &AppInput,
+        policy: Box<dyn evovm_vm::AosPolicy>,
+    ) -> Result<RunResult, EvolveError> {
+        let mut vm = Vm::new(
+            Arc::clone(&input.program),
+            policy,
+            VmConfig {
+                sample_interval_cycles: self.config.evolve.sample_interval_cycles,
+                ..VmConfig::default()
+            },
+        )?;
+        loop {
+            match vm.run()? {
+                Outcome::Finished(result) => return Ok(result),
+                Outcome::FeaturesReady => continue, // non-evolve scenarios ignore the pause
+            }
+        }
+    }
+}

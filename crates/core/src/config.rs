@@ -1,0 +1,80 @@
+//! Configuration of the evolvable VM.
+
+use serde::{Deserialize, Serialize};
+
+use evovm_learn::tree::TreeParams;
+
+/// Parameters of the evolvable VM (paper §IV-C plus our overhead model).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvolveConfig {
+    /// Decay factor γ of the confidence update (paper default 0.7).
+    pub gamma: f64,
+    /// Confidence threshold `TH_c` gating prediction (paper default 0.7).
+    pub confidence_threshold: f64,
+    /// Classification-tree construction parameters.
+    pub tree_params: TreeParams,
+    /// Virtual cycles between profiler samples. The default (10k cycles)
+    /// keeps even the shortest workload runs at ~60 samples, mirroring the
+    /// ratio between Jikes RVM's ~10 ms sampling tick and multi-second
+    /// benchmark runs; much coarser sampling makes posterior ideal-level
+    /// labels quantization-noisy.
+    pub sample_interval_cycles: u64,
+    /// Virtual cycles charged per XICL work unit (≈ byte touched) during
+    /// feature extraction.
+    pub cycles_per_work_unit: u64,
+    /// Virtual cycles charged per tree node visited during prediction.
+    pub cycles_per_tree_node: u64,
+    /// Optional cap on feature-extraction cycles: beyond it the VM
+    /// throttles extraction and falls back to the default optimizer
+    /// (paper §V-B.2's proposed guard against expensive programmer
+    /// extractors).
+    pub extraction_cycle_cap: Option<u64>,
+}
+
+impl Default for EvolveConfig {
+    fn default() -> EvolveConfig {
+        EvolveConfig {
+            gamma: 0.7,
+            confidence_threshold: 0.7,
+            tree_params: TreeParams::default(),
+            sample_interval_cycles: 10_000,
+            cycles_per_work_unit: 2,
+            cycles_per_tree_node: 25,
+            extraction_cycle_cap: None,
+        }
+    }
+}
+
+impl EvolveConfig {
+    /// Override the confidence threshold (sensitivity studies).
+    pub fn with_threshold(mut self, threshold: f64) -> EvolveConfig {
+        self.confidence_threshold = threshold;
+        self
+    }
+
+    /// Override γ.
+    pub fn with_gamma(mut self, gamma: f64) -> EvolveConfig {
+        self.gamma = gamma;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = EvolveConfig::default();
+        assert_eq!(c.gamma, 0.7);
+        assert_eq!(c.confidence_threshold, 0.7);
+        assert_eq!(c.sample_interval_cycles, 10_000);
+    }
+
+    #[test]
+    fn builders_override() {
+        let c = EvolveConfig::default().with_threshold(0.9).with_gamma(0.5);
+        assert_eq!(c.confidence_threshold, 0.9);
+        assert_eq!(c.gamma, 0.5);
+    }
+}

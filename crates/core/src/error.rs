@@ -1,0 +1,65 @@
+//! Errors of the evolvable VM layer.
+
+use std::fmt;
+
+use evovm_learn::DatasetError;
+use evovm_vm::VmError;
+use evovm_xicl::XiclError;
+
+/// Anything that can go wrong while running the evolvable VM.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvolveError {
+    /// XICL feature extraction failed.
+    Xicl(XiclError),
+    /// The VM trapped or failed.
+    Vm(VmError),
+    /// Learning-side dataset problem (schema drift between runs).
+    Dataset(DatasetError),
+    /// The application's inputs have inconsistent program layouts.
+    InconsistentPrograms,
+    /// A campaign was configured with an empty input set.
+    NoInputs,
+}
+
+impl fmt::Display for EvolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvolveError::Xicl(e) => write!(f, "input characterization failed: {e}"),
+            EvolveError::Vm(e) => write!(f, "execution failed: {e}"),
+            EvolveError::Dataset(e) => write!(f, "model building failed: {e}"),
+            EvolveError::InconsistentPrograms => {
+                write!(f, "inputs compile to inconsistent program layouts")
+            }
+            EvolveError::NoInputs => write!(f, "the application has no inputs"),
+        }
+    }
+}
+
+impl std::error::Error for EvolveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EvolveError::Xicl(e) => Some(e),
+            EvolveError::Vm(e) => Some(e),
+            EvolveError::Dataset(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<XiclError> for EvolveError {
+    fn from(e: XiclError) -> EvolveError {
+        EvolveError::Xicl(e)
+    }
+}
+
+impl From<VmError> for EvolveError {
+    fn from(e: VmError) -> EvolveError {
+        EvolveError::Vm(e)
+    }
+}
+
+impl From<DatasetError> for EvolveError {
+    fn from(e: DatasetError) -> EvolveError {
+        EvolveError::Dataset(e)
+    }
+}

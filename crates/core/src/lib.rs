@@ -1,0 +1,48 @@
+//! The evolvable virtual machine — cross-input learning and
+//! discriminative prediction (Mao & Shen, CGO 2009).
+//!
+//! This crate is the paper's primary contribution, built on the substrate
+//! crates of the workspace:
+//!
+//! - [`evolve`] — the evolvable controller ([`EvolvableVm`]): XICL feature
+//!   extraction → discriminative per-method level prediction → posterior
+//!   ideal-strategy learning across production runs (Figure 7).
+//! - [`strategy`] — predicted strategies, the posterior ideal-strategy
+//!   computation, the sample-weighted accuracy metric, and the proactive
+//!   [`PredictedPolicy`].
+//! - [`rep`] — the repository-based comparison system (`Rep`, Arnold
+//!   et al.), reimplemented from the paper's description.
+//! - [`campaign`] — the three-scenario experiment runner used by every
+//!   table and figure.
+//! - [`metrics`] — boxplot summaries and means.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use evovm::{Campaign, CampaignConfig, Scenario};
+//! # fn get_bench() -> evovm::Bench { unimplemented!() }
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let bench = get_bench(); // e.g. from the evovm-workloads crate
+//! let outcome = Campaign::new(&bench, CampaignConfig::new(Scenario::Evolve).runs(30))?.run()?;
+//! println!("median speedup: {:?}", evovm::metrics::BoxStats::from_slice(&outcome.speedups()));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod app;
+pub mod campaign;
+pub mod config;
+pub mod error;
+pub mod evolve;
+pub mod metrics;
+pub mod rep;
+pub mod strategy;
+
+pub use app::{AppInput, Bench};
+pub use campaign::{Campaign, CampaignConfig, CampaignOutcome, RunRecord, Scenario};
+pub use config::EvolveConfig;
+pub use error::EvolveError;
+pub use evolve::{EvolvableVm, EvolveRunRecord, EvolveState};
+pub use rep::{RepPolicy, RepRepository, RepStrategy};
+pub use strategy::{ideal_levels, prediction_accuracy, LevelStrategy, PredictedPolicy};

@@ -1,0 +1,115 @@
+//! Summary statistics for the experiment harnesses.
+
+use std::fmt;
+
+/// Five-number summary, as plotted in the paper's Figure 10 boxplots.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxStats {
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q25: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q75: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl BoxStats {
+    /// Compute the summary; `None` for an empty slice.
+    pub fn from_slice(values: &[f64]) -> Option<BoxStats> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut v = values.to_vec();
+        v.sort_by(f64::total_cmp);
+        Some(BoxStats {
+            min: v[0],
+            q25: quantile(&v, 0.25),
+            median: quantile(&v, 0.5),
+            q75: quantile(&v, 0.75),
+            max: v[v.len() - 1],
+        })
+    }
+}
+
+impl fmt::Display for BoxStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "min={:.3} q25={:.3} med={:.3} q75={:.3} max={:.3}",
+            self.min, self.q25, self.median, self.q75, self.max
+        )
+    }
+}
+
+/// Linear-interpolated quantile of sorted data.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Arithmetic mean (0 for empty input).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Geometric mean (0 for empty input; requires positive values).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_number_summary() {
+        let s = BoxStats::from_slice(&[5.0, 1.0, 3.0, 2.0, 4.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.q25, 2.0);
+        assert_eq!(s.q75, 4.0);
+    }
+
+    #[test]
+    fn interpolated_quartiles() {
+        let s = BoxStats::from_slice(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!((s.q25 - 1.75).abs() < 1e-12);
+        assert!((s.median - 2.5).abs() < 1e-12);
+        assert!((s.q75 - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(BoxStats::from_slice(&[]), None);
+        let s = BoxStats::from_slice(&[7.0]).unwrap();
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.max, 7.0);
+        assert_eq!(s.median, 7.0);
+    }
+
+    #[test]
+    fn means() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+}

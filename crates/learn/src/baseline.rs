@@ -1,0 +1,81 @@
+//! Baseline classifiers used as experimental controls and by the
+//! repository-based (`Rep`) optimizer, which learns a single
+//! input-oblivious answer.
+
+use serde::{Deserialize, Serialize};
+
+/// Predicts the majority class of its training labels, ignoring features —
+/// exactly the information an input-oblivious history-based optimizer has.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MajorityClassifier {
+    counts: Vec<(u16, u64)>,
+}
+
+impl MajorityClassifier {
+    /// An empty classifier.
+    pub fn new() -> MajorityClassifier {
+        MajorityClassifier::default()
+    }
+
+    /// Record one observed label.
+    pub fn observe(&mut self, label: u16) {
+        match self.counts.iter_mut().find(|(l, _)| *l == label) {
+            Some((_, c)) => *c += 1,
+            None => self.counts.push((label, 1)),
+        }
+    }
+
+    /// The majority label (ties break toward the smaller label); `None`
+    /// before any observation.
+    pub fn predict(&self) -> Option<u16> {
+        self.counts
+            .iter()
+            .max_by_key(|&&(l, c)| (c, std::cmp::Reverse(l)))
+            .map(|&(l, _)| l)
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|&(_, c)| c).sum()
+    }
+
+    /// The fraction of observations matching the majority label — a
+    /// resubstitution accuracy estimate for this classifier.
+    pub fn purity(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let max = self.counts.iter().map(|&(_, c)| c).max().unwrap_or(0);
+        max as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_predicts_none() {
+        assert_eq!(MajorityClassifier::new().predict(), None);
+    }
+
+    #[test]
+    fn majority_wins() {
+        let mut m = MajorityClassifier::new();
+        for l in [2, 1, 2, 2, 0] {
+            m.observe(l);
+        }
+        assert_eq!(m.predict(), Some(2));
+        assert_eq!(m.total(), 5);
+        assert!((m.purity() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_break_to_smaller_label() {
+        let mut m = MajorityClassifier::new();
+        m.observe(3);
+        m.observe(1);
+        assert_eq!(m.predict(), Some(1));
+    }
+}

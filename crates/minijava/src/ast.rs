@@ -1,0 +1,268 @@
+//! Abstract syntax tree of MiniJava.
+
+/// A complete source file: a list of functions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceFile {
+    /// Declared functions, in source order.
+    pub functions: Vec<FnDecl>,
+}
+
+/// One function declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnDecl {
+    /// Function name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Declaration line (diagnostics).
+    pub line: usize,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `let x = e;`
+    Let {
+        /// Variable name.
+        name: String,
+        /// Initializer.
+        value: Expr,
+        /// Source line.
+        line: usize,
+    },
+    /// `x = e;`
+    Assign {
+        /// Variable name.
+        name: String,
+        /// New value.
+        value: Expr,
+        /// Source line.
+        line: usize,
+    },
+    /// `a[i] = e;`
+    AssignIndex {
+        /// The array expression.
+        array: Expr,
+        /// The index expression.
+        index: Expr,
+        /// The stored value.
+        value: Expr,
+    },
+    /// `if (c) { .. } else { .. }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch.
+        then_body: Vec<Stmt>,
+        /// Else-branch (possibly empty).
+        else_body: Vec<Stmt>,
+    },
+    /// `while (c) { .. }`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `for (init; cond; update) { .. }` — kept first-class so `continue`
+    /// jumps to the update, not past it.
+    For {
+        /// Loop initializer (runs once, scoped to the loop).
+        init: Box<Stmt>,
+        /// Condition checked before each iteration.
+        cond: Expr,
+        /// Update statement run after the body and on `continue`.
+        update: Box<Stmt>,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `return e;` / `return;` (returns null)
+    Return(Option<Expr>),
+    /// `break;`
+    Break {
+        /// Source line.
+        line: usize,
+    },
+    /// `continue;`
+    Continue {
+        /// Source line.
+        line: usize,
+    },
+    /// `print e;`
+    Print(Expr),
+    /// `publish "name", e;`
+    Publish {
+        /// Feature name.
+        name: String,
+        /// Published value.
+        value: Expr,
+    },
+    /// `done;`
+    Done,
+    /// Bare expression statement (value discarded).
+    Expr(Expr),
+    /// A nested `{ .. }` block with its own scope.
+    Block(Vec<Stmt>),
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// `null`
+    Null,
+    /// Variable reference.
+    Var {
+        /// Variable name.
+        name: String,
+        /// Source line.
+        line: usize,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `a && b` (short-circuit, yields 0/1)
+    And(Box<Expr>, Box<Expr>),
+    /// `a || b` (short-circuit, yields 0/1)
+    Or(Box<Expr>, Box<Expr>),
+    /// `-e`
+    Neg(Box<Expr>),
+    /// `!e` (yields 0/1)
+    Not(Box<Expr>),
+    /// Function call.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Source line.
+        line: usize,
+    },
+    /// Built-in call (`sqrt`, `len`, `int`, ...).
+    Builtin {
+        /// Which builtin.
+        builtin: Builtin,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Source line.
+        line: usize,
+    },
+    /// `a[i]`
+    Index {
+        /// The array expression.
+        array: Box<Expr>,
+        /// The index expression.
+        index: Box<Expr>,
+    },
+    /// `new [n]` — array allocation.
+    NewArray(Box<Expr>),
+}
+
+/// Built-in functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Builtin {
+    /// `sqrt(x)`
+    Sqrt,
+    /// `sin(x)`
+    Sin,
+    /// `cos(x)`
+    Cos,
+    /// `exp(x)`
+    Exp,
+    /// `log(x)`
+    Log,
+    /// `abs(x)`
+    Abs,
+    /// `floor(x)`
+    Floor,
+    /// `pow(x, y)`
+    Pow,
+    /// `min(x, y)`
+    Min,
+    /// `max(x, y)`
+    Max,
+    /// `len(a)` — array length
+    Len,
+    /// `int(x)` — truncate to integer
+    Int,
+    /// `float(x)` — convert to float
+    Float,
+}
+
+impl Builtin {
+    /// Look up a builtin by source name.
+    pub fn from_name(name: &str) -> Option<Builtin> {
+        Some(match name {
+            "sqrt" => Builtin::Sqrt,
+            "sin" => Builtin::Sin,
+            "cos" => Builtin::Cos,
+            "exp" => Builtin::Exp,
+            "log" => Builtin::Log,
+            "abs" => Builtin::Abs,
+            "floor" => Builtin::Floor,
+            "pow" => Builtin::Pow,
+            "min" => Builtin::Min,
+            "max" => Builtin::Max,
+            "len" => Builtin::Len,
+            "int" => Builtin::Int,
+            "float" => Builtin::Float,
+            _ => return None,
+        })
+    }
+
+    /// Number of arguments the builtin requires.
+    pub fn arity(self) -> usize {
+        match self {
+            Builtin::Pow | Builtin::Min | Builtin::Max => 2,
+            _ => 1,
+        }
+    }
+}

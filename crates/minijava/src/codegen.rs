@@ -1,0 +1,394 @@
+//! Bytecode generation from the MiniJava AST.
+
+use std::collections::HashMap;
+
+use evovm_bytecode::builder::{FunctionBuilder, Label, ProgramBuilder};
+use evovm_bytecode::{FuncId, Instr, MathFn, Program};
+
+use crate::ast::{BinaryOp, Builtin, Expr, SourceFile, Stmt};
+use crate::error::CompileError;
+
+/// Generate a verified [`Program`] from a parsed source file.
+///
+/// # Errors
+///
+/// Semantic errors (unknown names, arity mismatches, duplicate
+/// definitions, `break` outside a loop, missing `main`) are reported with
+/// source lines.
+pub fn generate(sf: &SourceFile) -> Result<Program, CompileError> {
+    let mut pb = ProgramBuilder::new();
+    let mut ids: HashMap<&str, FuncId> = HashMap::new();
+    for f in &sf.functions {
+        if ids.contains_key(f.name.as_str()) {
+            return Err(CompileError::new(
+                f.line,
+                format!("function `{}` defined twice", f.name),
+            ));
+        }
+        let id = pb.declare(&f.name, f.params.len() as u16);
+        ids.insert(&f.name, id);
+    }
+    let Some(&main) = ids.get("main") else {
+        return Err(CompileError::new(0, "no `main` function"));
+    };
+    if !sf
+        .functions
+        .iter()
+        .any(|f| f.name == "main" && f.params.is_empty())
+    {
+        return Err(CompileError::new(0, "`main` must take no parameters"));
+    }
+
+    for f in &sf.functions {
+        let id = ids[f.name.as_str()];
+        let mut cg = Codegen {
+            fb: pb.function(id, 0),
+            ids: &ids,
+            decls: sf,
+            scopes: vec![HashMap::new()],
+            loops: Vec::new(),
+        };
+        for (slot, p) in f.params.iter().enumerate() {
+            if cg.scopes[0].insert(p.clone(), slot as u16).is_some() {
+                return Err(CompileError::new(
+                    f.line,
+                    format!("duplicate parameter `{p}` in `{}`", f.name),
+                ));
+            }
+        }
+        cg.block(&f.body)?;
+        // Implicit `return null;` for fall-through paths.
+        cg.fb.emit(Instr::Null);
+        cg.fb.emit(Instr::Return);
+        cg.fb
+            .finish()
+            .map_err(|e| CompileError::new(f.line, e.to_string()))?;
+    }
+    let program = pb
+        .build(main)
+        .map_err(|e| CompileError::new(0, e.to_string()))?;
+    evovm_bytecode::verify::verify(&program)
+        .map_err(|e| CompileError::new(0, format!("internal codegen error: {e}")))?;
+    Ok(program)
+}
+
+struct LoopCtx {
+    continue_label: Label,
+    break_label: Label,
+}
+
+struct Codegen<'p, 'a> {
+    fb: FunctionBuilder<'p>,
+    ids: &'a HashMap<&'a str, FuncId>,
+    decls: &'a SourceFile,
+    scopes: Vec<HashMap<String, u16>>,
+    loops: Vec<LoopCtx>,
+}
+
+impl Codegen<'_, '_> {
+    fn lookup(&self, name: &str) -> Option<u16> {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|s| s.get(name))
+            .copied()
+    }
+
+    fn arity_of(&self, id: FuncId) -> usize {
+        self.decls.functions[id.index()].params.len()
+    }
+
+    fn block(&mut self, stmts: &[Stmt]) -> Result<(), CompileError> {
+        self.scopes.push(HashMap::new());
+        for s in stmts {
+            self.stmt(s)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) -> Result<(), CompileError> {
+        match stmt {
+            Stmt::Let { name, value, line } => {
+                self.expr(value)?;
+                let scope = self.scopes.last_mut().expect("scope stack never empty");
+                if scope.contains_key(name) {
+                    return Err(CompileError::new(
+                        *line,
+                        format!("variable `{name}` already defined in this scope"),
+                    ));
+                }
+                let slot = self.fb.new_local();
+                self.scopes
+                    .last_mut()
+                    .expect("scope stack never empty")
+                    .insert(name.clone(), slot);
+                self.fb.emit(Instr::Store(slot));
+            }
+            Stmt::Assign { name, value, line } => {
+                let Some(slot) = self.lookup(name) else {
+                    return Err(CompileError::new(
+                        *line,
+                        format!("assignment to undefined variable `{name}`"),
+                    ));
+                };
+                self.expr(value)?;
+                self.fb.emit(Instr::Store(slot));
+            }
+            Stmt::AssignIndex {
+                array,
+                index,
+                value,
+            } => {
+                self.expr(array)?;
+                self.expr(index)?;
+                self.expr(value)?;
+                self.fb.emit(Instr::AStore);
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let l_else = self.fb.new_label();
+                let l_end = self.fb.new_label();
+                self.expr(cond)?;
+                self.fb.jump_if_not(l_else);
+                self.block(then_body)?;
+                self.fb.jump(l_end);
+                self.fb.bind(l_else);
+                self.block(else_body)?;
+                self.fb.bind(l_end);
+            }
+            Stmt::While { cond, body } => {
+                let l_top = self.fb.new_label();
+                let l_end = self.fb.new_label();
+                self.fb.bind(l_top);
+                self.expr(cond)?;
+                self.fb.jump_if_not(l_end);
+                self.loops.push(LoopCtx {
+                    continue_label: l_top,
+                    break_label: l_end,
+                });
+                self.block(body)?;
+                self.loops.pop();
+                self.fb.jump(l_top);
+                self.fb.bind(l_end);
+            }
+            Stmt::For {
+                init,
+                cond,
+                update,
+                body,
+            } => {
+                // The init variable is scoped to the whole loop.
+                self.scopes.push(HashMap::new());
+                self.stmt(init)?;
+                let l_top = self.fb.new_label();
+                let l_update = self.fb.new_label();
+                let l_end = self.fb.new_label();
+                self.fb.bind(l_top);
+                self.expr(cond)?;
+                self.fb.jump_if_not(l_end);
+                self.loops.push(LoopCtx {
+                    continue_label: l_update,
+                    break_label: l_end,
+                });
+                self.block(body)?;
+                self.loops.pop();
+                self.fb.bind(l_update);
+                self.stmt(update)?;
+                self.fb.jump(l_top);
+                self.fb.bind(l_end);
+                self.scopes.pop();
+            }
+            Stmt::Return(value) => {
+                match value {
+                    Some(e) => self.expr(e)?,
+                    None => {
+                        self.fb.emit(Instr::Null);
+                    }
+                }
+                self.fb.emit(Instr::Return);
+            }
+            Stmt::Break { line } => {
+                let Some(ctx) = self.loops.last() else {
+                    return Err(CompileError::new(*line, "`break` outside a loop"));
+                };
+                let label = ctx.break_label;
+                self.fb.jump(label);
+            }
+            Stmt::Continue { line } => {
+                let Some(ctx) = self.loops.last() else {
+                    return Err(CompileError::new(*line, "`continue` outside a loop"));
+                };
+                let label = ctx.continue_label;
+                self.fb.jump(label);
+            }
+            Stmt::Print(e) => {
+                self.expr(e)?;
+                self.fb.emit(Instr::Print);
+            }
+            Stmt::Publish { name, value } => {
+                self.expr(value)?;
+                let s = self.fb.intern(name);
+                self.fb.emit(Instr::Publish(s));
+            }
+            Stmt::Done => {
+                self.fb.emit(Instr::Done);
+            }
+            Stmt::Expr(e) => {
+                self.expr(e)?;
+                self.fb.emit(Instr::Pop);
+            }
+            Stmt::Block(stmts) => self.block(stmts)?,
+        }
+        Ok(())
+    }
+
+    fn expr(&mut self, expr: &Expr) -> Result<(), CompileError> {
+        match expr {
+            Expr::Int(v) => {
+                self.fb.emit(Instr::Const(*v));
+            }
+            Expr::Float(v) => {
+                self.fb.emit(Instr::FConst(*v));
+            }
+            Expr::Null => {
+                self.fb.emit(Instr::Null);
+            }
+            Expr::Var { name, line } => {
+                let Some(slot) = self.lookup(name) else {
+                    return Err(CompileError::new(
+                        *line,
+                        format!("undefined variable `{name}`"),
+                    ));
+                };
+                self.fb.emit(Instr::Load(slot));
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                self.expr(lhs)?;
+                self.expr(rhs)?;
+                self.fb.emit(binary_instr(*op));
+            }
+            Expr::And(a, b) => {
+                let l_false = self.fb.new_label();
+                let l_end = self.fb.new_label();
+                self.expr(a)?;
+                self.fb.jump_if_not(l_false);
+                self.expr(b)?;
+                self.fb.jump_if_not(l_false);
+                self.fb.emit(Instr::Const(1));
+                self.fb.jump(l_end);
+                self.fb.bind(l_false);
+                self.fb.emit(Instr::Const(0));
+                self.fb.bind(l_end);
+            }
+            Expr::Or(a, b) => {
+                let l_true = self.fb.new_label();
+                let l_end = self.fb.new_label();
+                self.expr(a)?;
+                self.fb.jump_if(l_true);
+                self.expr(b)?;
+                self.fb.jump_if(l_true);
+                self.fb.emit(Instr::Const(0));
+                self.fb.jump(l_end);
+                self.fb.bind(l_true);
+                self.fb.emit(Instr::Const(1));
+                self.fb.bind(l_end);
+            }
+            Expr::Neg(e) => {
+                self.expr(e)?;
+                self.fb.emit(Instr::Neg);
+            }
+            Expr::Not(e) => {
+                let l_truthy = self.fb.new_label();
+                let l_end = self.fb.new_label();
+                self.expr(e)?;
+                self.fb.jump_if(l_truthy);
+                self.fb.emit(Instr::Const(1));
+                self.fb.jump(l_end);
+                self.fb.bind(l_truthy);
+                self.fb.emit(Instr::Const(0));
+                self.fb.bind(l_end);
+            }
+            Expr::Call { name, args, line } => {
+                let Some(&id) = self.ids.get(name.as_str()) else {
+                    return Err(CompileError::new(
+                        *line,
+                        format!("call to undefined function `{name}`"),
+                    ));
+                };
+                let arity = self.arity_of(id);
+                if args.len() != arity {
+                    return Err(CompileError::new(
+                        *line,
+                        format!(
+                            "`{name}` takes {arity} argument(s), got {}",
+                            args.len()
+                        ),
+                    ));
+                }
+                for a in args {
+                    self.expr(a)?;
+                }
+                self.fb.emit(Instr::Call(id));
+            }
+            Expr::Builtin { builtin, args, .. } => {
+                for a in args {
+                    self.expr(a)?;
+                }
+                self.fb.emit(builtin_instr(*builtin));
+            }
+            Expr::Index { array, index } => {
+                self.expr(array)?;
+                self.expr(index)?;
+                self.fb.emit(Instr::ALoad);
+            }
+            Expr::NewArray(len) => {
+                self.expr(len)?;
+                self.fb.emit(Instr::NewArray);
+            }
+        }
+        Ok(())
+    }
+}
+
+fn binary_instr(op: BinaryOp) -> Instr {
+    match op {
+        BinaryOp::Add => Instr::Add,
+        BinaryOp::Sub => Instr::Sub,
+        BinaryOp::Mul => Instr::Mul,
+        BinaryOp::Div => Instr::Div,
+        BinaryOp::Rem => Instr::Rem,
+        BinaryOp::Eq => Instr::CmpEq,
+        BinaryOp::Ne => Instr::CmpNe,
+        BinaryOp::Lt => Instr::CmpLt,
+        BinaryOp::Le => Instr::CmpLe,
+        BinaryOp::Gt => Instr::CmpGt,
+        BinaryOp::Ge => Instr::CmpGe,
+        BinaryOp::BitAnd => Instr::BitAnd,
+        BinaryOp::BitOr => Instr::BitOr,
+        BinaryOp::BitXor => Instr::BitXor,
+        BinaryOp::Shl => Instr::Shl,
+        BinaryOp::Shr => Instr::Shr,
+    }
+}
+
+fn builtin_instr(b: Builtin) -> Instr {
+    match b {
+        Builtin::Sqrt => Instr::Math(MathFn::Sqrt),
+        Builtin::Sin => Instr::Math(MathFn::Sin),
+        Builtin::Cos => Instr::Math(MathFn::Cos),
+        Builtin::Exp => Instr::Math(MathFn::Exp),
+        Builtin::Log => Instr::Math(MathFn::Log),
+        Builtin::Abs => Instr::Math(MathFn::Abs),
+        Builtin::Floor => Instr::Math(MathFn::Floor),
+        Builtin::Pow => Instr::Math(MathFn::Pow),
+        Builtin::Min => Instr::Math(MathFn::Min),
+        Builtin::Max => Instr::Math(MathFn::Max),
+        Builtin::Len => Instr::ALen,
+        Builtin::Int => Instr::ToInt,
+        Builtin::Float => Instr::ToFloat,
+    }
+}

@@ -1,0 +1,34 @@
+//! MiniJava compilation errors.
+
+use std::fmt;
+
+/// A compile error with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// 1-based source line (0 when not attributable).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl CompileError {
+    /// Construct an error at `line`.
+    pub fn new(line: usize, message: impl Into<String>) -> CompileError {
+        CompileError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "{}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}

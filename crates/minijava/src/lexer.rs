@@ -1,0 +1,272 @@
+//! The MiniJava lexer.
+
+use crate::error::CompileError;
+use crate::token::{Spanned, Token};
+
+/// Tokenize `source`.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] on unterminated strings/comments, malformed
+/// numbers, or unexpected characters.
+pub fn lex(source: &str) -> Result<Vec<Spanned>, CompileError> {
+    let mut out = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let err = |line: usize, message: String| CompileError { line, message };
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start_line = line;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(err(start_line, "unterminated block comment".into()));
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '"' => {
+                let start_line = line;
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None | Some(b'\n') => {
+                            return Err(err(start_line, "unterminated string literal".into()))
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Spanned {
+                    token: Token::Str(s),
+                    line: start_line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i + 1 < bytes.len()
+                    && bytes[i] == b'.'
+                    && (bytes[i + 1] as char).is_ascii_digit()
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &source[start..i];
+                let token = if is_float {
+                    Token::Float(
+                        text.parse()
+                            .map_err(|_| err(line, format!("bad float literal `{text}`")))?,
+                    )
+                } else {
+                    Token::Int(
+                        text.parse()
+                            .map_err(|_| err(line, format!("bad integer literal `{text}`")))?,
+                    )
+                };
+                out.push(Spanned { token, line });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                let token =
+                    Token::keyword(text).unwrap_or_else(|| Token::Ident(text.to_owned()));
+                out.push(Spanned { token, line });
+            }
+            _ => {
+                let two = |a: u8| bytes.get(i + 1) == Some(&a);
+                let (token, width) = match c {
+                    '(' => (Token::LParen, 1),
+                    ')' => (Token::RParen, 1),
+                    '{' => (Token::LBrace, 1),
+                    '}' => (Token::RBrace, 1),
+                    '[' => (Token::LBracket, 1),
+                    ']' => (Token::RBracket, 1),
+                    ',' => (Token::Comma, 1),
+                    ';' => (Token::Semi, 1),
+                    '+' => (Token::Plus, 1),
+                    '-' => (Token::Minus, 1),
+                    '*' => (Token::Star, 1),
+                    '/' => (Token::Slash, 1),
+                    '%' => (Token::Percent, 1),
+                    '^' => (Token::Caret, 1),
+                    '=' if two(b'=') => (Token::EqEq, 2),
+                    '=' => (Token::Assign, 1),
+                    '!' if two(b'=') => (Token::NotEq, 2),
+                    '!' => (Token::Bang, 1),
+                    '<' if two(b'=') => (Token::Le, 2),
+                    '<' if two(b'<') => (Token::Shl, 2),
+                    '<' => (Token::Lt, 1),
+                    '>' if two(b'=') => (Token::Ge, 2),
+                    '>' if two(b'>') => (Token::Shr, 2),
+                    '>' => (Token::Gt, 1),
+                    '&' if two(b'&') => (Token::AndAnd, 2),
+                    '&' => (Token::Amp, 1),
+                    '|' if two(b'|') => (Token::OrOr, 2),
+                    '|' => (Token::Pipe, 1),
+                    other => return Err(err(line, format!("unexpected character `{other}`"))),
+                };
+                out.push(Spanned { token, line });
+                i += width;
+            }
+        }
+    }
+    out.push(Spanned {
+        token: Token::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lexes_a_function_header() {
+        assert_eq!(
+            toks("fn main() {}"),
+            vec![
+                Token::Fn,
+                Token::Ident("main".into()),
+                Token::LParen,
+                Token::RParen,
+                Token::LBrace,
+                Token::RBrace,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            toks("1 2.5 1e3 10.25e-2 7"),
+            vec![
+                Token::Int(1),
+                Token::Float(2.5),
+                Token::Float(1000.0),
+                Token::Float(0.1025),
+                Token::Int(7),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn dot_without_digits_is_not_a_float() {
+        // `2.foo` is not valid MiniJava but must not lex as a float.
+        assert!(lex("2.foo").is_err() || toks("2 . foo").is_empty() == false);
+    }
+
+    #[test]
+    fn lexes_two_char_operators() {
+        assert_eq!(
+            toks("== != <= >= && || << >> < >"),
+            vec![
+                Token::EqEq,
+                Token::NotEq,
+                Token::Le,
+                Token::Ge,
+                Token::AndAnd,
+                Token::OrOr,
+                Token::Shl,
+                Token::Shr,
+                Token::Lt,
+                Token::Gt,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("1 // line\n/* block\n spanning */ 2"),
+            vec![Token::Int(1), Token::Int(2), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn strings_and_keywords() {
+        assert_eq!(
+            toks("publish \"nodes\", n;"),
+            vec![
+                Token::Publish,
+                Token::Str("nodes".into()),
+                Token::Comma,
+                Token::Ident("n".into()),
+                Token::Semi,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = lex("let x = 1;\nlet y = @;").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(lex("\"abc").is_err());
+        assert!(lex("/* never closed").is_err());
+    }
+}

@@ -1,0 +1,263 @@
+//! MiniJava: a small, dynamically-typed, Java-flavoured language that
+//! compiles to the evolvable VM's bytecode.
+//!
+//! The benchmark workloads of this reproduction are written in MiniJava;
+//! the language exists so that realistic, input-sensitive programs can be
+//! authored compactly while still exercising the whole compiler stack
+//! (parsing → AST → bytecode → verification → JIT).
+//!
+//! # Language tour
+//!
+//! ```text
+//! fn main() {
+//!     let n = 10;
+//!     let a = new [n];                 // arrays
+//!     for (let i = 0; i < n; i = i + 1) {
+//!         a[i] = i * i;
+//!     }
+//!     let total = 0;
+//!     let i = 0;
+//!     while (i < len(a)) {             // builtins: len, sqrt, pow, ...
+//!         total = total + a[i];
+//!         i = i + 1;
+//!     }
+//!     if (total > 100 && n != 0) {     // short-circuit booleans
+//!         print total;
+//!     }
+//!     publish "n", n;                  // XICL runtime feature channel
+//!     done;                            // pause for prediction
+//! }
+//! ```
+//!
+//! Functions are declared with `fn name(params) { .. }`; `main` (no
+//! parameters) is the entry point. Values are dynamically typed: integers,
+//! floats, arrays and `null`.
+//!
+//! # Example
+//!
+//! ```
+//! use evovm_minijava::compile;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = compile("fn main() { print 6 * 7; }")?;
+//! assert_eq!(program.functions().len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ast;
+pub mod codegen;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod token;
+
+pub use error::CompileError;
+
+use evovm_bytecode::Program;
+
+/// Compile MiniJava source to a verified bytecode [`Program`].
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] with a source line for lexical, syntactic
+/// and semantic errors.
+pub fn compile(source: &str) -> Result<Program, CompileError> {
+    let sf = parser::parse(source)?;
+    codegen::generate(&sf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evovm_vm::{BaselineOnlyPolicy, Outcome, Vm, VmConfig};
+    use std::sync::Arc;
+
+    fn run(source: &str) -> Vec<String> {
+        let program = Arc::new(compile(source).unwrap());
+        let mut vm = Vm::new(program, Box::new(BaselineOnlyPolicy), VmConfig::default()).unwrap();
+        match vm.run().unwrap() {
+            Outcome::Finished(r) => r.output,
+            Outcome::FeaturesReady => panic!("unexpected pause"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        assert_eq!(run("fn main() { print 1 + 2 * 3; }"), vec!["7"]);
+        assert_eq!(run("fn main() { print (1 + 2) * 3; }"), vec!["9"]);
+        assert_eq!(run("fn main() { print 7 % 3; }"), vec!["1"]);
+        assert_eq!(run("fn main() { print -5 + 2; }"), vec!["-3"]);
+        assert_eq!(run("fn main() { print 1.5 * 2.0; }"), vec!["3"]);
+    }
+
+    #[test]
+    fn variables_and_shadowing() {
+        assert_eq!(
+            run("fn main() { let x = 1; { let x = 2; print x; } print x; }"),
+            vec!["2", "1"]
+        );
+    }
+
+    #[test]
+    fn while_loop() {
+        assert_eq!(
+            run("fn main() { let i = 0; while (i < 3) { print i; i = i + 1; } }"),
+            vec!["0", "1", "2"]
+        );
+    }
+
+    #[test]
+    fn for_loop_with_continue_and_break() {
+        assert_eq!(
+            run("fn main() {
+                for (let i = 0; i < 10; i = i + 1) {
+                    if (i % 2 == 0) { continue; }
+                    if (i > 6) { break; }
+                    print i;
+                }
+            }"),
+            vec!["1", "3", "5"]
+        );
+    }
+
+    #[test]
+    fn functions_and_recursion() {
+        assert_eq!(
+            run("fn fib(n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+                 fn main() { print fib(12); }"),
+            vec!["144"]
+        );
+    }
+
+    #[test]
+    fn arrays() {
+        assert_eq!(
+            run("fn main() {
+                let a = new [4];
+                for (let i = 0; i < len(a); i = i + 1) { a[i] = i * 10; }
+                print a[0] + a[1] + a[2] + a[3];
+            }"),
+            vec!["60"]
+        );
+    }
+
+    #[test]
+    fn builtins() {
+        assert_eq!(run("fn main() { print sqrt(16.0); }"), vec!["4"]);
+        assert_eq!(run("fn main() { print pow(2, 10); }"), vec!["1024"]);
+        assert_eq!(run("fn main() { print min(3, 7) + max(3, 7); }"), vec!["10"]);
+        assert_eq!(run("fn main() { print int(3.9); }"), vec!["3"]);
+        assert_eq!(run("fn main() { print float(3) / 2.0; }"), vec!["1.5"]);
+        assert_eq!(run("fn main() { print abs(-9); }"), vec!["9"]);
+        assert_eq!(run("fn main() { print floor(2.7); }"), vec!["2"]);
+    }
+
+    #[test]
+    fn short_circuit_evaluation() {
+        // The second operand would trap (division by zero) if evaluated.
+        assert_eq!(run("fn main() { print false && 1 / 0; }"), vec!["0"]);
+        assert_eq!(run("fn main() { print true || 1 / 0; }"), vec!["1"]);
+        assert_eq!(run("fn main() { print !0; print !3; }"), vec!["1", "0"]);
+    }
+
+    #[test]
+    fn comparison_chain() {
+        assert_eq!(
+            run("fn main() { print 1 < 2; print 2 <= 2; print 3 > 4; print 1 == 1.0; }"),
+            vec!["1", "1", "0", "1"]
+        );
+    }
+
+    #[test]
+    fn bitwise_operators() {
+        assert_eq!(run("fn main() { print 6 & 3; }"), vec!["2"]);
+        assert_eq!(run("fn main() { print 6 | 3; }"), vec!["7"]);
+        assert_eq!(run("fn main() { print 6 ^ 3; }"), vec!["5"]);
+        assert_eq!(run("fn main() { print 1 << 4; }"), vec!["16"]);
+        assert_eq!(run("fn main() { print 32 >> 2; }"), vec!["8"]);
+    }
+
+    #[test]
+    fn nested_functions_and_args() {
+        assert_eq!(
+            run("fn add3(a, b, c) { return a + b + c; }
+                 fn twice(x) { return x * 2; }
+                 fn main() { print add3(1, twice(2), 3); }"),
+            vec!["8"]
+        );
+    }
+
+    #[test]
+    fn publish_and_done_compile() {
+        let p = compile("fn main() { publish \"n\", 5; done; print 1; }").unwrap();
+        let code = &p.function(p.entry()).code;
+        assert!(code
+            .iter()
+            .any(|i| matches!(i, evovm_bytecode::Instr::Publish(_))));
+        assert!(code.iter().any(|i| matches!(i, evovm_bytecode::Instr::Done)));
+    }
+
+    #[test]
+    fn error_unknown_variable() {
+        let e = compile("fn main() { print x; }").unwrap_err();
+        assert!(e.message.contains("undefined variable"), "{e}");
+    }
+
+    #[test]
+    fn error_unknown_function() {
+        let e = compile("fn main() { print f(1); }").unwrap_err();
+        assert!(e.message.contains("undefined function"), "{e}");
+    }
+
+    #[test]
+    fn error_wrong_arity() {
+        let e = compile("fn f(a) { return a; } fn main() { print f(1, 2); }").unwrap_err();
+        assert!(e.message.contains("argument"), "{e}");
+    }
+
+    #[test]
+    fn error_duplicate_function() {
+        let e = compile("fn f() {} fn f() {} fn main() {}").unwrap_err();
+        assert!(e.message.contains("defined twice"), "{e}");
+    }
+
+    #[test]
+    fn error_break_outside_loop() {
+        let e = compile("fn main() { break; }").unwrap_err();
+        assert!(e.message.contains("break"), "{e}");
+    }
+
+    #[test]
+    fn error_missing_main() {
+        let e = compile("fn helper() {}").unwrap_err();
+        assert!(e.message.contains("main"), "{e}");
+    }
+
+    #[test]
+    fn error_duplicate_let_in_same_scope() {
+        let e = compile("fn main() { let x = 1; let x = 2; }").unwrap_err();
+        assert!(e.message.contains("already defined"), "{e}");
+    }
+
+    #[test]
+    fn implicit_return_is_null() {
+        assert_eq!(
+            run("fn f() { } fn main() { print f() == null; }"),
+            vec!["1"]
+        );
+    }
+
+    #[test]
+    fn else_if_chain_runs_correct_branch() {
+        assert_eq!(
+            run("fn classify(x) {
+                     if (x < 0) { return -1; }
+                     else if (x == 0) { return 0; }
+                     else { return 1; }
+                 }
+                 fn main() { print classify(-5); print classify(0); print classify(9); }"),
+            vec!["-1", "0", "1"]
+        );
+    }
+}

@@ -1,0 +1,644 @@
+//! Recursive-descent parser for MiniJava.
+
+use crate::ast::{BinaryOp, Builtin, Expr, FnDecl, SourceFile, Stmt};
+use crate::error::CompileError;
+use crate::lexer::lex;
+use crate::token::{Spanned, Token};
+
+/// Parse a MiniJava source file.
+///
+/// # Errors
+///
+/// Returns the first syntax error with its line number.
+pub fn parse(source: &str) -> Result<SourceFile, CompileError> {
+    let tokens = lex(source)?;
+    Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    }
+    .source_file()
+}
+
+/// Maximum expression/statement nesting depth. Recursive descent uses the
+/// host stack; unbounded nesting would overflow it, so anything deeper is
+/// a diagnostic instead of a crash.
+pub const MAX_NESTING: usize = 100;
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn peek2(&self) -> &Token {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].token
+    }
+
+    fn line(&self) -> usize {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].token.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<(), CompileError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{t}`, found `{}`", self.peek())))
+        }
+    }
+
+    fn err(&self, message: String) -> CompileError {
+        CompileError::new(self.line(), message)
+    }
+
+    fn ident(&mut self) -> Result<String, CompileError> {
+        match self.peek().clone() {
+            Token::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found `{other}`"))),
+        }
+    }
+
+    fn source_file(&mut self) -> Result<SourceFile, CompileError> {
+        let mut functions = Vec::new();
+        while !matches!(self.peek(), Token::Eof) {
+            functions.push(self.fn_decl()?);
+        }
+        Ok(SourceFile { functions })
+    }
+
+    fn fn_decl(&mut self) -> Result<FnDecl, CompileError> {
+        let line = self.line();
+        self.expect(&Token::Fn)?;
+        let name = self.ident()?;
+        self.expect(&Token::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&Token::RParen) {
+            loop {
+                params.push(self.ident()?);
+                if self.eat(&Token::RParen) {
+                    break;
+                }
+                self.expect(&Token::Comma)?;
+            }
+        }
+        let body = self.block()?;
+        Ok(FnDecl {
+            name,
+            params,
+            body,
+            line,
+        })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect(&Token::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&Token::RBrace) {
+            if matches!(self.peek(), Token::Eof) {
+                return Err(self.err("unclosed block".into()));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        self.enter()?;
+        let result = self.stmt_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn stmt_inner(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        match self.peek().clone() {
+            Token::Let => {
+                self.bump();
+                let name = self.ident()?;
+                self.expect(&Token::Assign)?;
+                let value = self.expr()?;
+                self.expect(&Token::Semi)?;
+                Ok(Stmt::Let { name, value, line })
+            }
+            Token::If => self.if_stmt(),
+            Token::While => {
+                self.bump();
+                self.expect(&Token::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&Token::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            Token::For => self.for_stmt(),
+            Token::Return => {
+                self.bump();
+                if self.eat(&Token::Semi) {
+                    Ok(Stmt::Return(None))
+                } else {
+                    let e = self.expr()?;
+                    self.expect(&Token::Semi)?;
+                    Ok(Stmt::Return(Some(e)))
+                }
+            }
+            Token::Break => {
+                self.bump();
+                self.expect(&Token::Semi)?;
+                Ok(Stmt::Break { line })
+            }
+            Token::Continue => {
+                self.bump();
+                self.expect(&Token::Semi)?;
+                Ok(Stmt::Continue { line })
+            }
+            Token::Print => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&Token::Semi)?;
+                Ok(Stmt::Print(e))
+            }
+            Token::Publish => {
+                self.bump();
+                let name = match self.bump() {
+                    Token::Str(s) => s,
+                    other => {
+                        return Err(CompileError::new(
+                            line,
+                            format!("publish needs a string literal, found `{other}`"),
+                        ))
+                    }
+                };
+                self.expect(&Token::Comma)?;
+                let value = self.expr()?;
+                self.expect(&Token::Semi)?;
+                Ok(Stmt::Publish { name, value })
+            }
+            Token::Done => {
+                self.bump();
+                self.expect(&Token::Semi)?;
+                Ok(Stmt::Done)
+            }
+            Token::LBrace => Ok(Stmt::Block(self.block()?)),
+            Token::Ident(name) if matches!(self.peek2(), Token::Assign) => {
+                self.bump();
+                self.bump();
+                let value = self.expr()?;
+                self.expect(&Token::Semi)?;
+                Ok(Stmt::Assign { name, value, line })
+            }
+            _ => {
+                // Could be `a[i] = e;`, or a bare expression statement.
+                let e = self.expr()?;
+                if self.eat(&Token::Assign) {
+                    let Expr::Index { array, index } = e else {
+                        return Err(CompileError::new(
+                            line,
+                            "only variables and array elements can be assigned",
+                        ));
+                    };
+                    let value = self.expr()?;
+                    self.expect(&Token::Semi)?;
+                    Ok(Stmt::AssignIndex {
+                        array: *array,
+                        index: *index,
+                        value,
+                    })
+                } else {
+                    self.expect(&Token::Semi)?;
+                    Ok(Stmt::Expr(e))
+                }
+            }
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, CompileError> {
+        self.expect(&Token::If)?;
+        self.expect(&Token::LParen)?;
+        let cond = self.expr()?;
+        self.expect(&Token::RParen)?;
+        let then_body = self.block()?;
+        let else_body = if self.eat(&Token::Else) {
+            if matches!(self.peek(), Token::If) {
+                vec![self.if_stmt()?]
+            } else {
+                self.block()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        })
+    }
+
+    /// `for (init; cond; update) { body }` desugars to
+    /// `{ init; while (cond) { body; update; } }` — represented directly
+    /// since `continue` in MiniJava's `for` re-runs the update (the
+    /// codegen handles that by treating the update as part of the loop).
+    fn for_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        self.expect(&Token::For)?;
+        self.expect(&Token::LParen)?;
+        let init = self.stmt()?; // consumes its `;`
+        let cond = self.expr()?;
+        self.expect(&Token::Semi)?;
+        // The update is an assignment or expression *without* trailing `;`.
+        let update = {
+            let uline = self.line();
+            match self.peek().clone() {
+                Token::Ident(name) if matches!(self.peek2(), Token::Assign) => {
+                    self.bump();
+                    self.bump();
+                    let value = self.expr()?;
+                    Stmt::Assign {
+                        name,
+                        value,
+                        line: uline,
+                    }
+                }
+                _ => {
+                    let e = self.expr()?;
+                    if self.eat(&Token::Assign) {
+                        let Expr::Index { array, index } = e else {
+                            return Err(CompileError::new(
+                                uline,
+                                "only variables and array elements can be assigned",
+                            ));
+                        };
+                        let value = self.expr()?;
+                        Stmt::AssignIndex {
+                            array: *array,
+                            index: *index,
+                            value,
+                        }
+                    } else {
+                        Stmt::Expr(e)
+                    }
+                }
+            }
+        };
+        self.expect(&Token::RParen)?;
+        let body = self.block()?;
+        let _ = line;
+        Ok(Stmt::For {
+            init: Box::new(init),
+            cond,
+            update: Box::new(update),
+            body,
+        })
+    }
+
+    // --- expressions, precedence climbing ---
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.enter()?;
+        let result = self.or_expr();
+        self.depth -= 1;
+        result
+    }
+
+    fn enter(&mut self) -> Result<(), CompileError> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING {
+            return Err(self.err(format!(
+                "expression or statement nesting exceeds the limit of {MAX_NESTING}"
+            )));
+        }
+        Ok(())
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&Token::OrOr) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat(&Token::AndAnd) {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, CompileError> {
+        let lhs = self.bitor_expr()?;
+        let op = match self.peek() {
+            Token::EqEq => BinaryOp::Eq,
+            Token::NotEq => BinaryOp::Ne,
+            Token::Lt => BinaryOp::Lt,
+            Token::Le => BinaryOp::Le,
+            Token::Gt => BinaryOp::Gt,
+            Token::Ge => BinaryOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.bitor_expr()?;
+        Ok(Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        })
+    }
+
+    fn bitor_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.bitxor_expr()?;
+        while self.eat(&Token::Pipe) {
+            let rhs = self.bitxor_expr()?;
+            lhs = Expr::Binary {
+                op: BinaryOp::BitOr,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn bitxor_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.bitand_expr()?;
+        while self.eat(&Token::Caret) {
+            let rhs = self.bitand_expr()?;
+            lhs = Expr::Binary {
+                op: BinaryOp::BitXor,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn bitand_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.shift_expr()?;
+        while self.eat(&Token::Amp) {
+            let rhs = self.shift_expr()?;
+            lhs = Expr::Binary {
+                op: BinaryOp::BitAnd,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn shift_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.add_expr()?;
+        loop {
+            let op = match self.peek() {
+                Token::Shl => BinaryOp::Shl,
+                Token::Shr => BinaryOp::Shr,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.add_expr()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Token::Plus => BinaryOp::Add,
+                Token::Minus => BinaryOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Token::Star => BinaryOp::Mul,
+                Token::Slash => BinaryOp::Div,
+                Token::Percent => BinaryOp::Rem,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, CompileError> {
+        self.enter()?;
+        let result = if self.eat(&Token::Minus) {
+            self.unary_expr().map(|e| Expr::Neg(Box::new(e)))
+        } else if self.eat(&Token::Bang) {
+            self.unary_expr().map(|e| Expr::Not(Box::new(e)))
+        } else {
+            self.postfix_expr()
+        };
+        self.depth -= 1;
+        result
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.primary_expr()?;
+        while self.eat(&Token::LBracket) {
+            let index = self.expr()?;
+            self.expect(&Token::RBracket)?;
+            e = Expr::Index {
+                array: Box::new(e),
+                index: Box::new(index),
+            };
+        }
+        Ok(e)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        match self.bump() {
+            Token::Int(v) => Ok(Expr::Int(v)),
+            Token::Float(v) => Ok(Expr::Float(v)),
+            Token::Null => Ok(Expr::Null),
+            Token::True => Ok(Expr::Int(1)),
+            Token::False => Ok(Expr::Int(0)),
+            Token::LParen => {
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Token::New => {
+                self.expect(&Token::LBracket)?;
+                let n = self.expr()?;
+                self.expect(&Token::RBracket)?;
+                Ok(Expr::NewArray(Box::new(n)))
+            }
+            Token::Ident(name) => {
+                if self.eat(&Token::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&Token::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat(&Token::RParen) {
+                                break;
+                            }
+                            self.expect(&Token::Comma)?;
+                        }
+                    }
+                    if let Some(builtin) = Builtin::from_name(&name) {
+                        if args.len() != builtin.arity() {
+                            return Err(CompileError::new(
+                                line,
+                                format!(
+                                    "builtin `{name}` takes {} argument(s), got {}",
+                                    builtin.arity(),
+                                    args.len()
+                                ),
+                            ));
+                        }
+                        Ok(Expr::Builtin {
+                            builtin,
+                            args,
+                            line,
+                        })
+                    } else {
+                        Ok(Expr::Call { name, args, line })
+                    }
+                } else {
+                    Ok(Expr::Var { name, line })
+                }
+            }
+            other => Err(CompileError::new(
+                line,
+                format!("expected expression, found `{other}`"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_functions_and_params() {
+        let sf = parse("fn main() { }\nfn add(a, b) { return a + b; }").unwrap();
+        assert_eq!(sf.functions.len(), 2);
+        assert_eq!(sf.functions[1].params, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let sf = parse("fn main() { let x = 1 + 2 * 3; }").unwrap();
+        let Stmt::Let { value, .. } = &sf.functions[0].body[0] else {
+            panic!()
+        };
+        let Expr::Binary { op, rhs, .. } = value else { panic!() };
+        assert_eq!(*op, BinaryOp::Add);
+        assert!(matches!(
+            **rhs,
+            Expr::Binary {
+                op: BinaryOp::Mul,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let src = "fn main() {
+            let i = 0;
+            while (i < 10) {
+                if (i % 2 == 0) { print i; } else { print 0 - i; }
+                i = i + 1;
+            }
+            for (let j = 0; j < 3; j = j + 1) { print j; }
+        }";
+        parse(src).unwrap();
+    }
+
+    #[test]
+    fn parses_arrays_and_builtins() {
+        let src = "fn main() {
+            let a = new [10];
+            a[0] = 5;
+            a[1] = a[0] * 2;
+            print len(a);
+            print sqrt(float(a[1]));
+            print pow(2, 10);
+        }";
+        parse(src).unwrap();
+    }
+
+    #[test]
+    fn parses_publish_and_done() {
+        parse("fn main() { publish \"n\", 5; done; }").unwrap();
+    }
+
+    #[test]
+    fn short_circuit_operators_nest() {
+        let sf = parse("fn main() { let x = 1 && 2 || 3; }").unwrap();
+        let Stmt::Let { value, .. } = &sf.functions[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(value, Expr::Or(..)));
+    }
+
+    #[test]
+    fn builtin_arity_is_checked() {
+        let e = parse("fn main() { print sqrt(1, 2); }").unwrap_err();
+        assert!(e.message.contains("sqrt"));
+    }
+
+    #[test]
+    fn rejects_assignment_to_expression() {
+        assert!(parse("fn main() { 1 + 2 = 3; }").is_err());
+    }
+
+    #[test]
+    fn rejects_unclosed_block() {
+        assert!(parse("fn main() { let x = 1;").is_err());
+    }
+
+    #[test]
+    fn else_if_chains() {
+        parse("fn main() { if (1) { } else if (2) { } else { } }").unwrap();
+    }
+}

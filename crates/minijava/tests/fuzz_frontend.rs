@@ -1,0 +1,65 @@
+//! Frontend robustness: `compile` must never panic — any input yields
+//! either a program or a diagnostic with a line number.
+
+use proptest::prelude::*;
+
+use evovm_minijava::compile;
+
+proptest! {
+    /// Arbitrary byte soup (printable-ish) never panics the front end.
+    #[test]
+    fn compile_is_total_on_garbage(src in "[ -~\\n]{0,200}") {
+        match compile(&src) {
+            Ok(program) => {
+                // Anything that compiles must verify (compile() verifies
+                // internally, so reaching here is already the guarantee).
+                prop_assert!(program.functions().len() >= 1);
+            }
+            Err(e) => prop_assert!(!e.message.is_empty()),
+        }
+    }
+
+    /// Structured-but-mangled programs: valid tokens in random orders.
+    #[test]
+    fn compile_is_total_on_token_soup(tokens in proptest::collection::vec(
+        prop_oneof![
+            Just("fn"), Just("main"), Just("("), Just(")"), Just("{"), Just("}"),
+            Just("let"), Just("x"), Just("="), Just("1"), Just(";"), Just("+"),
+            Just("if"), Just("while"), Just("return"), Just("print"), Just("["),
+            Just("]"), Just("new"), Just("&&"), Just("=="), Just("1.5"), Just(","),
+        ],
+        0..60,
+    )) {
+        let src = tokens.join(" ");
+        let _ = compile(&src); // must not panic
+    }
+
+    /// Nesting within the documented limit parses; beyond it the parser
+    /// reports a diagnostic instead of overflowing the host stack (a bug
+    /// this very test found during development).
+    #[test]
+    fn nested_parentheses_are_handled(depth in 0usize..300) {
+        let src = format!(
+            "fn main() {{ print {}1{}; }}",
+            "(".repeat(depth),
+            ")".repeat(depth)
+        );
+        let result = compile(&src);
+        if depth < 40 {
+            prop_assert!(result.is_ok(), "shallow nesting should parse: {:?}", result.err());
+        } else if depth > evovm_minijava::parser::MAX_NESTING {
+            let e = result.expect_err("over-deep nesting must be rejected");
+            prop_assert!(e.message.contains("nesting"), "{e}");
+        }
+    }
+
+    /// Line numbers in diagnostics point inside the source.
+    #[test]
+    fn error_lines_are_in_range(prefix in "[a-z \\n]{0,60}") {
+        let src = format!("{prefix}\n@@@");
+        if let Err(e) = compile(&src) {
+            let lines = src.lines().count();
+            prop_assert!(e.line <= lines + 1, "line {} of {}", e.line, lines);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Dead-code elimination: removes instructions in unreachable basic blocks
+//! (typically exposed by constant branch folding).
+
+use evovm_bytecode::cfg::Cfg;
+use evovm_bytecode::program::Function;
+use evovm_bytecode::Instr;
+
+use crate::util::compact;
+
+/// Remove unreachable instructions from `code`.
+///
+/// `arity`/`locals` are only needed to build a temporary [`Function`] for
+/// CFG construction.
+pub fn run(code: &[Instr], arity: u16, locals: u16) -> Vec<Instr> {
+    if code.is_empty() {
+        return Vec::new();
+    }
+    let f = Function {
+        name: String::new(),
+        arity,
+        locals,
+        code: code.to_vec(),
+    };
+    let cfg = Cfg::build(&f);
+    let reachable_blocks = cfg.reachable();
+    let mut keep = vec![false; code.len()];
+    for (b, block) in cfg.blocks().iter().enumerate() {
+        if reachable_blocks[b] {
+            for pc in block.range() {
+                keep[pc] = true;
+            }
+        }
+    }
+    compact(code, &keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removes_code_after_return() {
+        let code = vec![
+            Instr::Null,
+            Instr::Return,
+            Instr::Const(1),
+            Instr::Print,
+            Instr::Null,
+            Instr::Return,
+        ];
+        assert_eq!(run(&code, 0, 0), vec![Instr::Null, Instr::Return]);
+    }
+
+    #[test]
+    fn keeps_reachable_branch_targets() {
+        let code = vec![
+            Instr::Load(0),
+            Instr::JumpIf(4),
+            Instr::Null,
+            Instr::Return,
+            Instr::Const(1),
+            Instr::Print,
+            Instr::Null,
+            Instr::Return,
+        ];
+        assert_eq!(run(&code, 1, 1), code);
+    }
+
+    #[test]
+    fn removes_block_orphaned_by_branch_folding() {
+        // After fold turned `jumpif` into `jump 4`, pcs 1..=3 are dead.
+        let code = vec![
+            Instr::Jump(4),
+            Instr::Const(7),
+            Instr::Print,
+            Instr::Jump(4),
+            Instr::Null,
+            Instr::Return,
+        ];
+        let out = run(&code, 0, 0);
+        assert_eq!(out, vec![Instr::Jump(1), Instr::Null, Instr::Return]);
+    }
+}

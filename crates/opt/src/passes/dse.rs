@@ -1,0 +1,177 @@
+//! Dead-store elimination, backed by backward liveness analysis of local
+//! slots.
+//!
+//! A `Store(n)` whose slot is never loaded again before being overwritten
+//! (or before the function returns) is replaced by `Pop`; the peephole
+//! pass then erases the producer/`Pop` pair when the stored value was
+//! side-effect-free. Together with inlining this cleans up the argument
+//! shuffling of inlined call sites whose parameters fold away.
+
+use evovm_bytecode::Instr;
+
+/// Locals bitset; functions with more than 128 slots skip the pass
+/// (none of our code generators produce that many).
+type LiveSet = u128;
+
+/// Run dead-store elimination over `code` with `locals` slots.
+pub fn run(code: &[Instr], locals: u16) -> Vec<Instr> {
+    if locals == 0 || locals > 128 || code.is_empty() {
+        return code.to_vec();
+    }
+    let live_out = liveness(code);
+    code.iter()
+        .enumerate()
+        .map(|(pc, instr)| match instr {
+            Instr::Store(n) if live_out[pc] & (1u128 << n) == 0 => Instr::Pop,
+            other => *other,
+        })
+        .collect()
+}
+
+/// Backward dataflow: for every instruction, the set of locals live
+/// *after* it executes.
+fn liveness(code: &[Instr]) -> Vec<LiveSet> {
+    let len = code.len();
+    // Predecessors of every instruction.
+    let mut preds: Vec<Vec<u32>> = vec![Vec::new(); len];
+    for (pc, instr) in code.iter().enumerate() {
+        if let Some(t) = instr.branch_target() {
+            preds[t as usize].push(pc as u32);
+        }
+        if !instr.is_terminator() && pc + 1 < len {
+            preds[pc + 1].push(pc as u32);
+        }
+    }
+    let mut live_in: Vec<LiveSet> = vec![0; len];
+    let mut live_out: Vec<LiveSet> = vec![0; len];
+    // Seed the worklist with everything; iterate to fixpoint.
+    let mut work: Vec<u32> = (0..len as u32).rev().collect();
+    while let Some(pc) = work.pop() {
+        let i = pc as usize;
+        let instr = &code[i];
+        let mut out: LiveSet = 0;
+        if let Some(t) = instr.branch_target() {
+            out |= live_in[t as usize];
+        }
+        if !instr.is_terminator() && i + 1 < len {
+            out |= live_in[i + 1];
+        }
+        let inn = match instr {
+            Instr::Load(n) => out | (1u128 << n),
+            Instr::Store(n) => out & !(1u128 << n),
+            _ => out,
+        };
+        if out != live_out[i] || inn != live_in[i] {
+            live_out[i] = out;
+            live_in[i] = inn;
+            work.extend(preds[i].iter().copied());
+        }
+    }
+    live_out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removes_a_store_never_read() {
+        let code = vec![
+            Instr::Const(5),
+            Instr::Store(0), // dead: slot 0 never loaded
+            Instr::Const(7),
+            Instr::Print,
+            Instr::Null,
+            Instr::Return,
+        ];
+        let out = run(&code, 1);
+        assert_eq!(out[1], Instr::Pop);
+    }
+
+    #[test]
+    fn keeps_a_store_that_is_read() {
+        let code = vec![
+            Instr::Const(5),
+            Instr::Store(0),
+            Instr::Load(0),
+            Instr::Print,
+            Instr::Null,
+            Instr::Return,
+        ];
+        assert_eq!(run(&code, 1), code);
+    }
+
+    #[test]
+    fn overwritten_store_is_dead() {
+        let code = vec![
+            Instr::Const(1),
+            Instr::Store(0), // dead: overwritten before any load
+            Instr::Const(2),
+            Instr::Store(0),
+            Instr::Load(0),
+            Instr::Print,
+            Instr::Null,
+            Instr::Return,
+        ];
+        let out = run(&code, 1);
+        assert_eq!(out[1], Instr::Pop);
+        assert_eq!(out[3], Instr::Store(0));
+    }
+
+    #[test]
+    fn loop_carried_locals_stay_live() {
+        // i is stored before the loop and read inside it via a back edge.
+        let code = vec![
+            Instr::Const(0),
+            Instr::Store(0), // live around the loop
+            Instr::Load(0),  // 2: loop head
+            Instr::Const(10),
+            Instr::ICmpGe,
+            Instr::JumpIf(11),
+            Instr::Load(0),
+            Instr::Const(1),
+            Instr::IAdd,
+            Instr::Store(0), // live: read by the back edge
+            Instr::Jump(2),
+            Instr::Null, // 11
+            Instr::Return,
+        ];
+        assert_eq!(run(&code, 1), code);
+    }
+
+    #[test]
+    fn store_live_on_one_branch_only_is_kept() {
+        let code = vec![
+            Instr::Const(9),
+            Instr::Store(0),
+            Instr::Const(1),
+            Instr::JumpIf(6),
+            Instr::Load(0), // only this path reads slot 0
+            Instr::Print,
+            Instr::Null, // 6
+            Instr::Return,
+        ];
+        assert_eq!(run(&code, 1), code);
+    }
+
+    #[test]
+    fn stores_dead_on_all_paths_are_removed() {
+        let code = vec![
+            Instr::Const(9),
+            Instr::Store(0), // dead on both paths
+            Instr::Const(1),
+            Instr::JumpIf(5),
+            Instr::Nop,
+            Instr::Null, // 5
+            Instr::Return,
+        ];
+        let out = run(&code, 1);
+        assert_eq!(out[1], Instr::Pop);
+    }
+
+    #[test]
+    fn too_many_locals_skips_safely() {
+        let code = vec![Instr::Const(1), Instr::Store(0), Instr::Null, Instr::Return];
+        assert_eq!(run(&code, 200), code);
+    }
+}

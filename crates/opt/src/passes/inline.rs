@@ -1,0 +1,325 @@
+//! Method inlining (the O2 flagship pass).
+//!
+//! A call site `... args, Call(g) ...` is expanded into
+//!
+//! ```text
+//!   store argN-1 .. store arg0        ; into fresh local slots
+//!   <g's body, locals remapped, Return -> Jump(after)>
+//! after:
+//! ```
+//!
+//! Every `Return` in the callee leaves exactly the return value on the
+//! stack (the verifier guarantees it), so rewriting it to a jump past the
+//! inlined body preserves the call's stack effect exactly.
+
+use evovm_bytecode::program::{Function, Program};
+use evovm_bytecode::{FuncId, Instr};
+
+/// Inlining thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct InlineBudget {
+    /// Maximum callee size (instructions) considered for inlining.
+    pub max_callee_len: usize,
+    /// Maximum total instructions added to one caller.
+    pub max_growth: usize,
+}
+
+impl Default for InlineBudget {
+    fn default() -> InlineBudget {
+        InlineBudget {
+            max_callee_len: 32,
+            max_growth: 256,
+        }
+    }
+}
+
+/// Inline eligible call sites of `f` (which has id `self_id` in
+/// `program`). Returns the new code and the new local-slot count.
+pub fn run(
+    program: &Program,
+    self_id: FuncId,
+    f: &Function,
+    budget: InlineBudget,
+) -> (Vec<Instr>, u16) {
+    // Select sites.
+    let mut growth = 0usize;
+    let mut expanded: Vec<Option<FuncId>> = Vec::with_capacity(f.code.len());
+    for instr in &f.code {
+        let mut site = None;
+        if let Instr::Call(callee_id) = instr {
+            if *callee_id != self_id {
+                let callee = program.function(*callee_id);
+                let cost = callee.arity as usize + callee.code.len();
+                if callee.code.len() <= budget.max_callee_len
+                    && growth + cost <= budget.max_growth
+                    && u32::from(f.locals) + u32::from(callee.locals) <= u16::MAX as u32
+                {
+                    site = Some(*callee_id);
+                    growth += cost; // replaces 1 Call with `cost` instrs
+                }
+            }
+        }
+        expanded.push(site);
+    }
+    if expanded.iter().all(Option::is_none) {
+        return (f.code.clone(), f.locals);
+    }
+
+    // Compute the new position of every old pc.
+    let mut new_at = vec![0u32; f.code.len() + 1];
+    let mut pos = 0u32;
+    for (pc, site) in expanded.iter().enumerate() {
+        new_at[pc] = pos;
+        pos += match site {
+            Some(callee_id) => {
+                let callee = program.function(*callee_id);
+                (callee.arity as usize + callee.code.len()) as u32
+            }
+            None => 1,
+        };
+    }
+    new_at[f.code.len()] = pos;
+
+    // Emit.
+    let mut out: Vec<Instr> = Vec::with_capacity(pos as usize);
+    let mut locals = f.locals;
+    for (pc, instr) in f.code.iter().enumerate() {
+        match expanded[pc] {
+            None => {
+                let rewritten = match instr.branch_target() {
+                    Some(t) => instr.with_branch_target(new_at[t as usize]),
+                    None => *instr,
+                };
+                out.push(rewritten);
+            }
+            Some(callee_id) => {
+                let callee = program.function(callee_id);
+                let base = locals;
+                locals += callee.locals;
+                // Arguments are on the stack with the last on top.
+                for i in (0..callee.arity).rev() {
+                    out.push(Instr::Store(base + i));
+                }
+                let body_start = new_at[pc] + callee.arity as u32;
+                let after = new_at[pc + 1];
+                for body_instr in &callee.code {
+                    let remapped = match body_instr {
+                        Instr::Load(n) => Instr::Load(base + n),
+                        Instr::Store(n) => Instr::Store(base + n),
+                        Instr::Return => Instr::Jump(after),
+                        other => match other.branch_target() {
+                            Some(t) => other.with_branch_target(body_start + t),
+                            None => *other,
+                        },
+                    };
+                    out.push(remapped);
+                }
+            }
+        }
+    }
+    debug_assert_eq!(out.len(), pos as usize);
+    (out, locals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evovm_bytecode::asm::parse;
+    use evovm_bytecode::program::Function;
+    use evovm_bytecode::verify::verify_function;
+
+    fn inline_main(src: &str) -> (Vec<Instr>, u16, evovm_bytecode::Program) {
+        let p = parse(src).unwrap();
+        evovm_bytecode::verify::verify(&p).unwrap();
+        let id = p.entry();
+        let f = p.function(id);
+        let (code, locals) = run(&p, id, f, InlineBudget::default());
+        // The inlined code must itself verify.
+        let nf = Function {
+            name: "main_inlined".into(),
+            arity: f.arity,
+            locals,
+            code: code.clone(),
+        };
+        verify_function(&p, id, &nf).unwrap();
+        (code, locals, p)
+    }
+
+    #[test]
+    fn inlines_a_leaf_call() {
+        let (code, locals, _) = inline_main(
+            "entry func main/0 {
+  const 5
+  call double
+  print
+  null
+  return
+}
+func double/1 {
+  load 0
+  const 2
+  imul
+  return
+}",
+        );
+        // Call replaced by store + 4-instruction body (Return -> Jump).
+        assert!(!code.iter().any(|i| matches!(i, Instr::Call(_))));
+        assert_eq!(locals, 1); // main had 0 locals; callee adds 1
+        assert_eq!(
+            code,
+            vec![
+                Instr::Const(5),
+                Instr::Store(0),
+                Instr::Load(0),
+                Instr::Const(2),
+                Instr::IMul,
+                Instr::Jump(6),
+                Instr::Print,
+                Instr::Null,
+                Instr::Return,
+            ]
+        );
+    }
+
+    #[test]
+    fn remaps_caller_branches_around_expansion() {
+        let (code, _, _) = inline_main(
+            "entry func main/0 {
+  const 1
+  jumpif skip
+  const 5
+  call double
+  print
+skip:
+  null
+  return
+}
+func double/1 {
+  load 0
+  const 2
+  imul
+  return
+}",
+        );
+        // The jumpif must now target the Null after the expanded body.
+        let target = code
+            .iter()
+            .find_map(|i| match i {
+                Instr::JumpIf(t) => Some(*t),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(code[target as usize], Instr::Null);
+    }
+
+    #[test]
+    fn multiple_returns_become_jumps() {
+        let (code, _, _) = inline_main(
+            "entry func main/0 {
+  const 5
+  call sign
+  print
+  null
+  return
+}
+func sign/1 {
+  load 0
+  const 0
+  icmplt
+  jumpif negcase
+  const 1
+  return
+negcase:
+  const -1
+  return
+}",
+        );
+        let jumps: Vec<u32> = code
+            .iter()
+            .filter_map(|i| match i {
+                Instr::Jump(t) => Some(*t),
+                _ => None,
+            })
+            .collect();
+        // Both returns jump to the same after-site position.
+        assert_eq!(jumps.len(), 2);
+        assert_eq!(jumps[0], jumps[1]);
+        assert_eq!(code[jumps[0] as usize], Instr::Print);
+    }
+
+    #[test]
+    fn does_not_inline_recursion() {
+        let src = "entry func main/0 {
+  const 5
+  call fact
+  print
+  null
+  return
+}
+func fact/1 {
+  load 0
+  const 1
+  icmple
+  jumpifnot recurse
+  const 1
+  return
+recurse:
+  load 0
+  load 0
+  const 1
+  isub
+  call fact
+  imul
+  return
+}";
+        let p = parse(src).unwrap();
+        let fact_id = p.find("fact").unwrap();
+        let fact = p.function(fact_id);
+        let (code, _) = run(&p, fact_id, fact, InlineBudget::default());
+        // The self-call stays.
+        assert!(code.iter().any(|i| matches!(i, Instr::Call(id) if *id == fact_id)));
+    }
+
+    #[test]
+    fn respects_callee_size_budget() {
+        let mut body = String::new();
+        for _ in 0..40 {
+            body.push_str("  const 1\n  pop\n");
+        }
+        let src = format!(
+            "entry func main/0 {{\n  const 1\n  call big\n  print\n  null\n  return\n}}\nfunc big/1 {{\n{body}  load 0\n  return\n}}"
+        );
+        let p = parse(&src).unwrap();
+        let id = p.entry();
+        let (code, _) = run(&p, id, p.function(id), InlineBudget::default());
+        assert!(code.iter().any(|i| matches!(i, Instr::Call(_))));
+    }
+
+    #[test]
+    fn nested_locals_do_not_collide() {
+        let (code, locals, _) = inline_main(
+            "entry func main/0 locals=1 {
+  const 7
+  store 0
+  const 5
+  call addone
+  print
+  load 0
+  print
+  null
+  return
+}
+func addone/1 locals=2 {
+  load 0
+  const 1
+  iadd
+  store 1
+  load 1
+  return
+}",
+        );
+        assert_eq!(locals, 3);
+        // Caller's local 0 is untouched by the inlined body.
+        assert!(code.contains(&Instr::Store(1)) || code.contains(&Instr::Store(2)));
+    }
+}

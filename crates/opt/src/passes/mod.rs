@@ -1,0 +1,34 @@
+//! The optimization passes.
+//!
+//! Each pass is a pure function from a function's code (plus program
+//! context) to new code; the [`crate::pipeline`] module sequences them per
+//! level. All passes preserve the observable semantics of the verified
+//! input — the workspace's differential tests execute every workload at
+//! every level and compare outputs instruction-for-instruction.
+
+pub mod dce;
+pub mod dse;
+pub mod fold;
+pub mod inline;
+pub mod peephole;
+pub mod quicken;
+
+use evovm_bytecode::Instr;
+
+/// Positions that are branch targets (or the entry); patterns that fuse an
+/// instruction with its successor must not fuse across these.
+pub(crate) fn leaders(code: &[Instr]) -> Vec<bool> {
+    let mut is_leader = vec![false; code.len()];
+    if !code.is_empty() {
+        is_leader[0] = true;
+    }
+    for (pc, instr) in code.iter().enumerate() {
+        if let Some(t) = instr.branch_target() {
+            is_leader[t as usize] = true;
+        }
+        if (instr.is_branch() || matches!(instr, Instr::Return)) && pc + 1 < code.len() {
+            is_leader[pc + 1] = true;
+        }
+    }
+    is_leader
+}

@@ -1,0 +1,161 @@
+//! Peephole simplification and jump threading.
+//!
+//! Window rewrites over adjacent instructions (never across basic-block
+//! boundaries) plus branch retargeting through chains of unconditional
+//! jumps.
+
+use evovm_bytecode::Instr;
+
+use crate::passes::leaders;
+use crate::util::compact;
+
+/// Run peephole rewrites, returning the new code.
+pub fn run(code: &[Instr]) -> Vec<Instr> {
+    let threaded = thread_jumps(code);
+    let is_leader = leaders(&threaded);
+    let mut keep = vec![true; threaded.len()];
+
+    for pc in 0..threaded.len() {
+        if !keep[pc] {
+            continue;
+        }
+        // Fusions with the next instruction require the successor to not be
+        // a join point.
+        let next = pc + 1;
+        let fusable = next < threaded.len() && !is_leader[next] && keep[next];
+        match (threaded[pc], fusable.then(|| threaded[next])) {
+            // pure push immediately discarded
+            (
+                Instr::Const(_)
+                | Instr::FConst(_)
+                | Instr::Null
+                | Instr::Load(_)
+                | Instr::Dup,
+                Some(Instr::Pop),
+            ) => {
+                keep[pc] = false;
+                keep[next] = false;
+            }
+            // double negation
+            (Instr::Neg, Some(Instr::Neg))
+            | (Instr::INeg, Some(Instr::INeg))
+            | (Instr::FNeg, Some(Instr::FNeg))
+            | (Instr::Swap, Some(Instr::Swap)) => {
+                keep[pc] = false;
+                keep[next] = false;
+            }
+            // jump to the immediately following instruction
+            (Instr::Jump(t), _) if t as usize == pc + 1 => {
+                keep[pc] = false;
+            }
+            // no-ops are always removable
+            (Instr::Nop, _) => {
+                keep[pc] = false;
+            }
+            _ => {}
+        }
+    }
+    compact(&threaded, &keep)
+}
+
+/// Retarget branches that land on unconditional jumps, bounded to avoid
+/// cycling through jump loops.
+pub fn thread_jumps(code: &[Instr]) -> Vec<Instr> {
+    let resolve = |mut t: u32| -> u32 {
+        for _ in 0..8 {
+            match code[t as usize] {
+                Instr::Jump(u) if u != t => t = u,
+                _ => break,
+            }
+        }
+        t
+    };
+    code.iter()
+        .map(|instr| match instr.branch_target() {
+            Some(t) => instr.with_branch_target(resolve(t)),
+            None => *instr,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removes_push_pop_pairs() {
+        let code = vec![
+            Instr::Const(1),
+            Instr::Pop,
+            Instr::Load(0),
+            Instr::Pop,
+            Instr::Null,
+            Instr::Return,
+        ];
+        assert_eq!(run(&code), vec![Instr::Null, Instr::Return]);
+    }
+
+    #[test]
+    fn keeps_push_pop_across_block_boundary() {
+        // The Pop is a branch target, so another path reaches it with its
+        // own value on the stack: the pair must not be fused.
+        let code = vec![
+            Instr::Const(1),   // 0
+            Instr::JumpIf(3),  // 1 -> makes 3 a leader... target is Pop? no:
+            Instr::Const(9),   // 2
+            Instr::Pop,        // 3 (leader)
+            Instr::Null,       // 4
+            Instr::Return,     // 5
+        ];
+        let out = run(&code);
+        assert!(out.contains(&Instr::Pop));
+        assert!(out.contains(&Instr::Const(9)));
+    }
+
+    #[test]
+    fn threads_jump_chains() {
+        let code = vec![
+            Instr::JumpIf(2), // 0 -> will thread to 4
+            Instr::Nop,       // 1
+            Instr::Jump(4),   // 2
+            Instr::Nop,       // 3
+            Instr::Null,      // 4
+            Instr::Return,    // 5
+        ];
+        let out = thread_jumps(&code);
+        assert_eq!(out[0], Instr::JumpIf(4));
+    }
+
+    #[test]
+    fn removes_jump_to_next() {
+        let code = vec![
+            Instr::Jump(1),
+            Instr::Null,
+            Instr::Return,
+        ];
+        assert_eq!(run(&code), vec![Instr::Null, Instr::Return]);
+    }
+
+    #[test]
+    fn removes_double_negation() {
+        let code = vec![
+            Instr::Load(0),
+            Instr::INeg,
+            Instr::INeg,
+            Instr::Return,
+        ];
+        assert_eq!(run(&code), vec![Instr::Load(0), Instr::Return]);
+    }
+
+    #[test]
+    fn drops_nops() {
+        let code = vec![Instr::Nop, Instr::Null, Instr::Nop, Instr::Return];
+        assert_eq!(run(&code), vec![Instr::Null, Instr::Return]);
+    }
+
+    #[test]
+    fn jump_loop_does_not_hang() {
+        let code = vec![Instr::Jump(1), Instr::Jump(0), Instr::Null, Instr::Return];
+        let _ = run(&code);
+    }
+}

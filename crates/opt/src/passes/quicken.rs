@@ -1,0 +1,140 @@
+//! Quickening: specialize generic (polymorphic) arithmetic and comparison
+//! opcodes into typed variants when intra-procedural type inference proves
+//! the operand types.
+//!
+//! This is the bytecode-level analog of what real JITs gain from replacing
+//! dynamically-dispatched operations with direct machine instructions; in
+//! our cost model the typed variants execute at a fraction of the generic
+//! opcodes' cycle cost ([`Instr::base_cost`]).
+
+use evovm_bytecode::program::{Function, Program};
+use evovm_bytecode::Instr;
+
+use crate::analysis::{infer, Ty, TypeInfo};
+
+/// Quicken `f`'s code using type inference over `program`.
+pub fn run(program: &Program, f: &Function) -> Vec<Instr> {
+    let info = infer(program, f);
+    f.code
+        .iter()
+        .enumerate()
+        .map(|(pc, instr)| rewrite(*instr, pc, &info))
+        .collect()
+}
+
+fn rewrite(instr: Instr, pc: usize, info: &TypeInfo) -> Instr {
+    let bin = info.bin_operands.get(pc).copied().flatten();
+    let un = info.un_operands.get(pc).copied().flatten();
+    let both_int = matches!(bin, Some((Ty::Int, Ty::Int)));
+    let both_float = matches!(bin, Some((Ty::Float, Ty::Float)));
+    match instr {
+        Instr::Add if both_int => Instr::IAdd,
+        Instr::Sub if both_int => Instr::ISub,
+        Instr::Mul if both_int => Instr::IMul,
+        Instr::Div if both_int => Instr::IDiv,
+        Instr::Rem if both_int => Instr::IRem,
+        Instr::Add if both_float => Instr::FAdd,
+        Instr::Sub if both_float => Instr::FSub,
+        Instr::Mul if both_float => Instr::FMul,
+        Instr::Div if both_float => Instr::FDiv,
+
+        Instr::CmpEq if both_int => Instr::ICmpEq,
+        Instr::CmpNe if both_int => Instr::ICmpNe,
+        Instr::CmpLt if both_int => Instr::ICmpLt,
+        Instr::CmpLe if both_int => Instr::ICmpLe,
+        Instr::CmpGt if both_int => Instr::ICmpGt,
+        Instr::CmpGe if both_int => Instr::ICmpGe,
+        Instr::CmpEq if both_float => Instr::FCmpEq,
+        Instr::CmpNe if both_float => Instr::FCmpNe,
+        Instr::CmpLt if both_float => Instr::FCmpLt,
+        Instr::CmpLe if both_float => Instr::FCmpLe,
+        Instr::CmpGt if both_float => Instr::FCmpGt,
+        Instr::CmpGe if both_float => Instr::FCmpGe,
+
+        Instr::Neg if un == Some(Ty::Int) => Instr::INeg,
+        Instr::Neg if un == Some(Ty::Float) => Instr::FNeg,
+
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evovm_bytecode::asm::parse;
+
+    fn quicken_entry(src: &str) -> Vec<Instr> {
+        let p = parse(src).unwrap();
+        evovm_bytecode::verify::verify(&p).unwrap();
+        run(&p, p.function(p.entry()))
+    }
+
+    #[test]
+    fn specializes_int_loop_arithmetic() {
+        let out = quicken_entry(
+            "entry func main/0 locals=1 {
+  const 0
+  store 0
+top:
+  load 0
+  const 100
+  cmpge
+  jumpif end
+  load 0
+  const 1
+  add
+  store 0
+  jump top
+end:
+  null
+  return
+}",
+        );
+        assert_eq!(out[4], Instr::ICmpGe);
+        assert_eq!(out[8], Instr::IAdd);
+    }
+
+    #[test]
+    fn specializes_float_chains() {
+        let out = quicken_entry(
+            "entry func main/0 locals=1 {
+  fconst 0.5
+  store 0
+  load 0
+  load 0
+  mul
+  neg
+  print
+  null
+  return
+}",
+        );
+        assert_eq!(out[4], Instr::FMul);
+        assert_eq!(out[5], Instr::FNeg);
+    }
+
+    #[test]
+    fn leaves_unknown_types_generic() {
+        let src = "entry func main/0 {\n  null\n  return\n}\nfunc f/2 {\n  load 0\n  load 1\n  add\n  return\n}";
+        let p = parse(src).unwrap();
+        let f = p.function(p.find("f").unwrap());
+        let out = run(&p, f);
+        assert_eq!(out[2], Instr::Add);
+    }
+
+    #[test]
+    fn leaves_mixed_types_generic() {
+        let out = quicken_entry(
+            "entry func main/0 {\n  const 1\n  fconst 2.0\n  add\n  print\n  null\n  return\n}",
+        );
+        assert_eq!(out[2], Instr::Add);
+    }
+
+    #[test]
+    fn code_length_is_preserved() {
+        let src = "entry func main/0 {\n  const 1\n  const 2\n  add\n  print\n  null\n  return\n}";
+        let p = parse(src).unwrap();
+        let f = p.function(p.entry());
+        assert_eq!(run(&p, f).len(), f.code.len());
+    }
+}

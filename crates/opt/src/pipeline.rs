@@ -1,0 +1,201 @@
+//! The per-level compilation pipelines and the compiled-code artifact.
+
+use std::sync::Arc;
+
+use evovm_bytecode::program::{Function, Program};
+use evovm_bytecode::verify::verify_function;
+use evovm_bytecode::{FuncId, Instr};
+
+use crate::levels::OptLevel;
+use crate::passes::{dce, dse, fold, inline, peephole, quicken};
+
+/// The result of compiling one function at one level: executable code plus
+/// the cost accounting the VM charges for producing it.
+#[derive(Debug, Clone)]
+pub struct CompiledCode {
+    /// The level this code was compiled at.
+    pub level: OptLevel,
+    /// The (possibly transformed) instruction stream.
+    pub code: Arc<Vec<Instr>>,
+    /// Local slots required (inlining may add slots).
+    pub locals: u16,
+    /// Virtual cycles charged for the compilation itself.
+    pub compile_cycles: u64,
+    /// Per-executed-instruction cycle multiplier (models native code
+    /// quality; see [`OptLevel::quality_for`]).
+    pub quality: f64,
+}
+
+/// The optimizing compiler: applies the pass pipeline for a level.
+#[derive(Debug, Clone, Default)]
+pub struct Optimizer {
+    inline_budget: inline::InlineBudget,
+}
+
+impl Optimizer {
+    /// Create an optimizer with default budgets.
+    pub fn new() -> Optimizer {
+        Optimizer::default()
+    }
+
+    /// Compile `id` at `level`, transforming the original bytecode.
+    ///
+    /// The output is re-verified in debug builds; all passes preserve the
+    /// verified invariants.
+    pub fn compile(&self, program: &Program, id: FuncId, level: OptLevel) -> CompiledCode {
+        let f = program.function(id);
+        let compile_cycles = level.compile_cost_per_instr() * f.code.len() as u64;
+        let quality = level.quality_for(&f.name);
+        let (code, locals) = match level {
+            OptLevel::Baseline | OptLevel::O0 => (f.code.clone(), f.locals),
+            OptLevel::O1 => (
+                self.o1_pipeline(program, f, f.code.clone(), f.locals),
+                f.locals,
+            ),
+            OptLevel::O2 => {
+                let (code, locals) = inline::run(program, id, f, self.inline_budget);
+                (self.o1_pipeline(program, f, code, locals), locals)
+            }
+        };
+        if cfg!(debug_assertions) {
+            let check = Function {
+                name: f.name.clone(),
+                arity: f.arity,
+                locals,
+                code: code.clone(),
+            };
+            verify_function(program, id, &check)
+                .expect("optimizer produced unverifiable code");
+        }
+        CompiledCode {
+            level,
+            code: Arc::new(code),
+            locals,
+            compile_cycles,
+            quality,
+        }
+    }
+
+    /// The O1 pass sequence over `code` (which may already be inlined and
+    /// thus use more locals than `f` declares).
+    fn o1_pipeline(
+        &self,
+        program: &Program,
+        f: &Function,
+        code: Vec<Instr>,
+        locals: u16,
+    ) -> Vec<Instr> {
+        let mut code = code;
+        // Two rounds reach a fixpoint for virtually all code we generate;
+        // quickening and dead-store elimination sit between them so the
+        // second round folds specialized forms and erases the producers of
+        // stores the first round proved dead.
+        for round in 0..2 {
+            code = fold::run(&code);
+            code = peephole::run(&code);
+            code = dce::run(&code, f.arity, locals);
+            if round == 0 {
+                let tmp = Function {
+                    name: f.name.clone(),
+                    arity: f.arity,
+                    locals,
+                    code,
+                };
+                code = quicken::run(program, &tmp);
+                code = dse::run(&code, locals);
+            }
+        }
+        code
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evovm_bytecode::asm::parse;
+
+    const PROGRAM: &str = "entry func main/0 locals=1 {
+  const 0
+  store 0
+top:
+  load 0
+  const 2
+  const 3
+  mul
+  const 94
+  add
+  cmpge
+  jumpif end
+  load 0
+  call double
+  print
+  load 0
+  const 1
+  add
+  store 0
+  jump top
+end:
+  null
+  return
+}
+func double/1 {
+  load 0
+  const 2
+  mul
+  return
+}";
+
+    #[test]
+    fn baseline_and_o0_keep_code_verbatim() {
+        let p = parse(PROGRAM).unwrap();
+        let opt = Optimizer::new();
+        for level in [OptLevel::Baseline, OptLevel::O0] {
+            let cc = opt.compile(&p, p.entry(), level);
+            assert_eq!(*cc.code, p.function(p.entry()).code);
+        }
+    }
+
+    #[test]
+    fn o1_folds_and_quickens() {
+        let p = parse(PROGRAM).unwrap();
+        let opt = Optimizer::new();
+        let cc = opt.compile(&p, p.entry(), OptLevel::O1);
+        // 2*3+94 folded to 100.
+        assert!(cc.code.contains(&Instr::Const(100)), "{:?}", cc.code);
+        // Loop arithmetic quickened.
+        assert!(cc.code.contains(&Instr::ICmpGe));
+        assert!(cc.code.contains(&Instr::IAdd));
+        assert!(cc.code.len() < p.function(p.entry()).code.len());
+    }
+
+    #[test]
+    fn o2_inlines_the_callee() {
+        let p = parse(PROGRAM).unwrap();
+        let opt = Optimizer::new();
+        let cc = opt.compile(&p, p.entry(), OptLevel::O2);
+        assert!(!cc.code.iter().any(|i| matches!(i, Instr::Call(_))));
+        assert!(cc.locals > p.function(p.entry()).locals);
+    }
+
+    #[test]
+    fn compile_cost_scales_with_level() {
+        let p = parse(PROGRAM).unwrap();
+        let opt = Optimizer::new();
+        let costs: Vec<u64> = OptLevel::ALL
+            .iter()
+            .map(|&l| opt.compile(&p, p.entry(), l).compile_cycles)
+            .collect();
+        assert!(costs.windows(2).all(|w| w[0] < w[1]), "{costs:?}");
+    }
+
+    #[test]
+    fn quality_improves_with_level_for_most_methods() {
+        let p = parse(PROGRAM).unwrap();
+        let opt = Optimizer::new();
+        let q: Vec<f64> = [OptLevel::Baseline, OptLevel::O0, OptLevel::O1]
+            .iter()
+            .map(|&l| opt.compile(&p, p.entry(), l).quality)
+            .collect();
+        assert!(q.windows(2).all(|w| w[0] > w[1]), "{q:?}");
+    }
+}

@@ -1,0 +1,81 @@
+//! Shared rewriting utilities: deleting instructions while keeping branch
+//! targets consistent.
+
+use evovm_bytecode::Instr;
+
+/// Remove the instructions whose `keep` flag is false, remapping every
+/// branch target to the first surviving instruction at or after the old
+/// target.
+///
+/// Deleting a `Jump`/`Return`'s *target* is safe; deleting the final
+/// instruction a branch points *past* is the caller's responsibility to
+/// avoid (passes here only delete provably-dead or fused instructions and
+/// always keep terminators).
+///
+/// # Panics
+///
+/// Panics if `keep.len() != code.len()` or if a surviving branch targets a
+/// position with no surviving instruction at or after it.
+pub fn compact(code: &[Instr], keep: &[bool]) -> Vec<Instr> {
+    assert_eq!(code.len(), keep.len());
+    // new_at[i] = index the instruction at old position i will have; for
+    // deleted positions, the index of the next surviving instruction.
+    let mut new_at = vec![0u32; code.len() + 1];
+    let mut n = 0u32;
+    for i in 0..code.len() {
+        new_at[i] = n;
+        if keep[i] {
+            n += 1;
+        }
+    }
+    new_at[code.len()] = n;
+    let mut out = Vec::with_capacity(n as usize);
+    for (i, instr) in code.iter().enumerate() {
+        if !keep[i] {
+            continue;
+        }
+        let rewritten = match instr.branch_target() {
+            Some(t) => {
+                let nt = new_at[t as usize];
+                assert!(nt < n, "branch target beyond surviving code");
+                instr.with_branch_target(nt)
+            }
+            None => *instr,
+        };
+        out.push(rewritten);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remaps_targets_past_deletions() {
+        // 0: const 1 (deleted)
+        // 1: jump 3
+        // 2: nop (deleted)
+        // 3: return
+        let code = vec![Instr::Const(1), Instr::Jump(3), Instr::Nop, Instr::Return];
+        let keep = vec![false, true, false, true];
+        let out = compact(&code, &keep);
+        assert_eq!(out, vec![Instr::Jump(1), Instr::Return]);
+    }
+
+    #[test]
+    fn target_on_deleted_instruction_slides_forward() {
+        // jump 1 where 1 is deleted -> should land on old 2 (new 1).
+        let code = vec![Instr::Jump(1), Instr::Nop, Instr::Return];
+        let keep = vec![true, false, true];
+        let out = compact(&code, &keep);
+        assert_eq!(out, vec![Instr::Jump(1), Instr::Return]);
+    }
+
+    #[test]
+    fn identity_when_everything_kept() {
+        let code = vec![Instr::Const(1), Instr::Pop, Instr::Null, Instr::Return];
+        let keep = vec![true; 4];
+        assert_eq!(compact(&code, &keep), code);
+    }
+}

@@ -1,0 +1,130 @@
+//! VM error types.
+
+use std::fmt;
+
+use evovm_bytecode::scalar::ArithError;
+use evovm_bytecode::VerifyError;
+
+/// A runtime trap: a condition the executed program caused.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Trap {
+    /// Integer division or remainder by zero.
+    DivByZero,
+    /// An operation received a value of the wrong kind (e.g. arithmetic on
+    /// null, bitwise on a float, indexing a non-array).
+    TypeError,
+    /// Dereferencing the null reference.
+    NullDeref,
+    /// Array access outside bounds.
+    IndexOutOfBounds {
+        /// The requested index.
+        index: i64,
+        /// The array length.
+        len: usize,
+    },
+    /// Array allocation with a negative or oversized length.
+    BadAllocation {
+        /// The requested length.
+        len: i64,
+    },
+    /// The call stack exceeded the configured depth.
+    StackOverflow,
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::DivByZero => write!(f, "integer division by zero"),
+            Trap::TypeError => write!(f, "operation on a value of the wrong type"),
+            Trap::NullDeref => write!(f, "null dereference"),
+            Trap::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for array of length {len}")
+            }
+            Trap::BadAllocation { len } => write!(f, "bad array allocation length {len}"),
+            Trap::StackOverflow => write!(f, "call stack overflow"),
+        }
+    }
+}
+
+/// Errors surfaced by the VM.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VmError {
+    /// The program failed the bytecode verifier before execution.
+    Verify(VerifyError),
+    /// The program trapped at runtime.
+    Trap(Trap),
+    /// The run exceeded the configured cycle budget.
+    CycleBudgetExceeded {
+        /// The configured budget.
+        budget: u64,
+    },
+    /// `resume` was called on a machine that already finished.
+    AlreadyFinished,
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::Verify(e) => write!(f, "{e}"),
+            VmError::Trap(t) => write!(f, "runtime trap: {t}"),
+            VmError::CycleBudgetExceeded { budget } => {
+                write!(f, "run exceeded the cycle budget of {budget}")
+            }
+            VmError::AlreadyFinished => write!(f, "the machine has already finished"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VmError::Verify(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<VerifyError> for VmError {
+    fn from(e: VerifyError) -> VmError {
+        VmError::Verify(e)
+    }
+}
+
+impl From<ArithError> for VmError {
+    fn from(e: ArithError) -> VmError {
+        match e {
+            ArithError::DivByZero => VmError::Trap(Trap::DivByZero),
+            ArithError::TypeError => VmError::Trap(Trap::TypeError),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arith_errors_map_to_traps() {
+        assert_eq!(
+            VmError::from(ArithError::DivByZero),
+            VmError::Trap(Trap::DivByZero)
+        );
+        assert_eq!(
+            VmError::from(ArithError::TypeError),
+            VmError::Trap(Trap::TypeError)
+        );
+    }
+
+    #[test]
+    fn displays_are_lowercase_and_nonempty() {
+        let msgs = [
+            Trap::DivByZero.to_string(),
+            Trap::NullDeref.to_string(),
+            VmError::AlreadyFinished.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+    }
+}

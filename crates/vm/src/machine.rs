@@ -1,0 +1,544 @@
+//! The execution engine: a resumable interpreter with a virtual cycle
+//! clock, timer-based sampling profiler and policy-driven recompilation.
+//!
+//! # Execution model
+//!
+//! - Every method is compiled by the **baseline** compiler on its first
+//!   invocation (Jikes level −1); the active [`AosPolicy`] may immediately
+//!   request a recompilation (the evolvable VM's proactive path) or do so
+//!   later on a timer sample (the reactive path).
+//! - Each executed instruction charges `base_cost × quality(level)` virtual
+//!   cycles; compilations charge their own cost at the moment they happen.
+//!   The clock is deterministic, so speedups and overheads are exactly
+//!   reproducible.
+//! - Every [`VmConfig::sample_interval_cycles`] cycles, one sample is
+//!   attributed to the currently-executing method and the policy is
+//!   consulted — mirroring Jikes RVM's timer-based sample organizer.
+//! - Frames hold an `Arc` of their compiled code: a method recompiled
+//!   mid-run keeps executing old code in active frames and picks up the
+//!   new code on the next call, exactly like a real JIT.
+//! - The `Done` instruction (XICL's `done()` call) pauses the machine and
+//!   yields [`Outcome::FeaturesReady`] so the host can run prediction and
+//!   swap the policy before resuming.
+
+use std::sync::Arc;
+
+use evovm_bytecode::program::Program;
+use evovm_bytecode::scalar::{self, BinOp, BitOp, CmpOp, Scalar};
+use evovm_bytecode::{FuncId, Instr};
+use evovm_opt::{CompiledCode, OptLevel, Optimizer};
+
+use crate::error::{Trap, VmError};
+use crate::policy::{AosContext, AosPolicy};
+use crate::profile::{RecompileEvent, RunProfile};
+use crate::value::{Heap, Value};
+
+/// Virtual cycles per simulated second; converts clock readings into the
+/// "running time" figures the experiments report.
+pub const CYCLES_PER_SECOND: u64 = 100_000_000;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct VmConfig {
+    /// Virtual cycles between profiler samples (Jikes-style timer ticks).
+    pub sample_interval_cycles: u64,
+    /// Maximum call depth before a [`Trap::StackOverflow`].
+    pub max_call_depth: usize,
+    /// Optional hard cycle budget (guards against runaway programs).
+    pub cycle_budget: Option<u64>,
+}
+
+impl Default for VmConfig {
+    fn default() -> VmConfig {
+        VmConfig {
+            sample_interval_cycles: 100_000,
+            max_call_depth: 2048,
+            cycle_budget: None,
+        }
+    }
+}
+
+/// Why the machine returned control.
+#[derive(Debug)]
+pub enum Outcome {
+    /// The program ran to completion.
+    Finished(RunResult),
+    /// The program executed `Done` (XICL `done()`): published features are
+    /// complete and the host may predict + swap the policy, then call
+    /// [`Vm::resume`].
+    FeaturesReady,
+}
+
+/// Everything observable about one finished run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Values printed by the program, in order.
+    pub output: Vec<String>,
+    /// Features published via `Publish`, in order.
+    pub published: Vec<(String, Scalar)>,
+    /// Total virtual cycles (execution + compilation).
+    pub total_cycles: u64,
+    /// Cycles spent executing program instructions.
+    pub exec_cycles: u64,
+    /// Cycles spent compiling.
+    pub compile_cycles: u64,
+    /// What the profiler saw.
+    pub profile: RunProfile,
+}
+
+impl RunResult {
+    /// The run's simulated wall-clock duration in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.total_cycles as f64 / CYCLES_PER_SECOND as f64
+    }
+}
+
+#[derive(Debug)]
+struct Frame {
+    method: FuncId,
+    code: Arc<Vec<Instr>>,
+    quality_milli: u64,
+    ip: usize,
+    locals: Vec<Value>,
+    stack: Vec<Value>,
+}
+
+/// The virtual machine.
+#[derive(Debug)]
+pub struct Vm {
+    program: Arc<Program>,
+    config: VmConfig,
+    policy: Box<dyn AosPolicy>,
+    optimizer: Optimizer,
+    cache: Vec<Option<CompiledCode>>,
+    levels: Vec<OptLevel>,
+    heap: Heap,
+    frames: Vec<Frame>,
+    clock_milli: u64,
+    exec_milli: u64,
+    compile_milli: u64,
+    next_sample_milli: u64,
+    profile: RunProfile,
+    output: Vec<String>,
+    published: Vec<(String, Scalar)>,
+    started: bool,
+    finished: bool,
+}
+
+impl Vm {
+    /// Create a machine for `program` under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::Verify`] if the program fails verification.
+    pub fn new(
+        program: Arc<Program>,
+        policy: Box<dyn AosPolicy>,
+        config: VmConfig,
+    ) -> Result<Vm, VmError> {
+        evovm_bytecode::verify::verify(&program)?;
+        let n = program.functions().len();
+        Ok(Vm {
+            program,
+            next_sample_milli: config.sample_interval_cycles * 1000,
+            config,
+            policy,
+            optimizer: Optimizer::new(),
+            cache: (0..n).map(|_| None).collect(),
+            levels: vec![OptLevel::Baseline; n],
+            heap: Heap::new(),
+            frames: Vec::new(),
+            clock_milli: 0,
+            exec_milli: 0,
+            compile_milli: 0,
+            profile: RunProfile::new(n),
+            output: Vec::new(),
+            published: Vec::new(),
+            started: false,
+            finished: false,
+        })
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    /// Features published so far (available at the `FeaturesReady` pause).
+    pub fn published(&self) -> &[(String, Scalar)] {
+        &self.published
+    }
+
+    /// Swap the recompilation policy, returning the old one. Intended for
+    /// the `FeaturesReady` pause, where the host installs a predicted
+    /// strategy before resuming.
+    pub fn replace_policy(&mut self, policy: Box<dyn AosPolicy>) -> Box<dyn AosPolicy> {
+        std::mem::replace(&mut self.policy, policy)
+    }
+
+    /// Current virtual clock in cycles.
+    pub fn cycles(&self) -> u64 {
+        self.clock_milli / 1000
+    }
+
+    /// Apply a per-method level strategy to methods that are *already*
+    /// compiled, recompiling upward where the target exceeds the current
+    /// level. Methods not yet compiled are unaffected (the active policy's
+    /// `on_first_compile` covers them). Used by the evolvable VM when a
+    /// prediction arrives at a `FeaturesReady` pause.
+    pub fn apply_strategy(&mut self, levels: &[Option<OptLevel>]) {
+        for (i, target) in levels.iter().enumerate() {
+            let (Some(level), true) = (target, self.cache[i].is_some()) else {
+                continue;
+            };
+            self.recompile(FuncId(i as u32), *level);
+        }
+    }
+
+    /// Charge extra virtual cycles to the clock (the evolvable VM charges
+    /// its feature-extraction and prediction overheads this way, so they
+    /// appear in the run's total time exactly as in the paper).
+    pub fn charge_overhead(&mut self, cycles: u64) {
+        self.clock_milli += cycles * 1000;
+    }
+
+    /// Run (or resume) the program until it finishes or pauses.
+    ///
+    /// # Errors
+    ///
+    /// Runtime traps, budget exhaustion, or [`VmError::AlreadyFinished`]
+    /// if called again after completion.
+    pub fn run(&mut self) -> Result<Outcome, VmError> {
+        if self.finished {
+            return Err(VmError::AlreadyFinished);
+        }
+        if !self.started {
+            self.started = true;
+            let entry = self.program.entry();
+            self.invoke(entry, Vec::new())?;
+        }
+        self.execute()
+    }
+
+    /// Alias of [`Vm::run`] for readability at `FeaturesReady` pauses.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Vm::run`].
+    pub fn resume(&mut self) -> Result<Outcome, VmError> {
+        self.run()
+    }
+
+    // --- compilation management ---
+
+    fn compile_to(&mut self, method: FuncId, level: OptLevel) {
+        let compiled = self.optimizer.compile(&self.program, method, level);
+        self.clock_milli += compiled.compile_cycles * 1000;
+        self.compile_milli += compiled.compile_cycles * 1000;
+        self.levels[method.index()] = level;
+        self.cache[method.index()] = Some(compiled);
+    }
+
+    fn recompile(&mut self, method: FuncId, to: OptLevel) {
+        let from = self.levels[method.index()];
+        if to <= from {
+            return;
+        }
+        self.compile_to(method, to);
+        self.profile.recompilations.push(RecompileEvent {
+            at_cycles: self.clock_milli / 1000,
+            method,
+            from,
+            to,
+        });
+    }
+
+    fn ensure_compiled(&mut self, method: FuncId) {
+        if self.cache[method.index()].is_some() {
+            return;
+        }
+        // First invocation: baseline-compile, then give the policy its
+        // proactive chance.
+        self.compile_to(method, OptLevel::Baseline);
+        let target = self.policy.on_first_compile(
+            method,
+            AosContext {
+                program: &self.program,
+                samples: &self.profile.samples,
+                levels: &self.levels,
+                sample_interval_cycles: self.config.sample_interval_cycles,
+            },
+        );
+        if let Some(level) = target {
+            self.recompile(method, level);
+        }
+    }
+
+    fn invoke(&mut self, method: FuncId, args: Vec<Value>) -> Result<(), VmError> {
+        if self.frames.len() >= self.config.max_call_depth {
+            return Err(VmError::Trap(Trap::StackOverflow));
+        }
+        self.ensure_compiled(method);
+        self.profile.invocations[method.index()] += 1;
+        let compiled = self.cache[method.index()].as_ref().expect("just compiled");
+        let mut locals = vec![Value::Null; compiled.locals as usize];
+        locals[..args.len()].copy_from_slice(&args);
+        self.frames.push(Frame {
+            method,
+            code: Arc::clone(&compiled.code),
+            quality_milli: (compiled.quality * 1000.0).round() as u64,
+            ip: 0,
+            locals,
+            stack: Vec::with_capacity(8),
+        });
+        Ok(())
+    }
+
+    fn take_sample(&mut self) {
+        let method = self.frames.last().expect("sampling requires a frame").method;
+        self.profile.samples[method.index()] += 1;
+        let target = self.policy.on_sample(
+            method,
+            AosContext {
+                program: &self.program,
+                samples: &self.profile.samples,
+                levels: &self.levels,
+                sample_interval_cycles: self.config.sample_interval_cycles,
+            },
+        );
+        if let Some(level) = target {
+            self.recompile(method, level);
+        }
+    }
+
+    fn finish(&mut self) -> RunResult {
+        self.finished = true;
+        self.profile.final_levels = self.levels.clone();
+        RunResult {
+            output: std::mem::take(&mut self.output),
+            published: self.published.clone(),
+            total_cycles: self.clock_milli / 1000,
+            exec_cycles: self.exec_milli / 1000,
+            compile_cycles: self.compile_milli / 1000,
+            profile: std::mem::take(&mut self.profile),
+        }
+    }
+
+    // --- the interpreter ---
+
+    #[allow(clippy::too_many_lines)]
+    fn execute(&mut self) -> Result<Outcome, VmError> {
+        macro_rules! trap {
+            ($t:expr) => {
+                return Err(VmError::Trap($t))
+            };
+        }
+        loop {
+            if let Some(budget) = self.config.cycle_budget {
+                if self.clock_milli / 1000 > budget {
+                    return Err(VmError::CycleBudgetExceeded { budget });
+                }
+            }
+            let frame = self.frames.last_mut().expect("running without a frame");
+            let instr = frame.code[frame.ip];
+            frame.ip += 1;
+            let cost = instr.base_cost() * frame.quality_milli;
+            self.clock_milli += cost;
+            self.exec_milli += cost;
+
+            // A pending Call/Return mutates `frames`, so decode first.
+            match instr {
+                Instr::Const(v) => frame.stack.push(Value::Int(v)),
+                Instr::FConst(v) => frame.stack.push(Value::Float(v)),
+                Instr::Null => frame.stack.push(Value::Null),
+                Instr::Load(n) => {
+                    let v = frame.locals[n as usize];
+                    frame.stack.push(v);
+                }
+                Instr::Store(n) => {
+                    let v = frame.stack.pop().expect("verified");
+                    frame.locals[n as usize] = v;
+                }
+                Instr::Dup => {
+                    let v = *frame.stack.last().expect("verified");
+                    frame.stack.push(v);
+                }
+                Instr::Pop => {
+                    frame.stack.pop();
+                }
+                Instr::Swap => {
+                    let n = frame.stack.len();
+                    frame.stack.swap(n - 1, n - 2);
+                }
+
+                Instr::Add | Instr::IAdd | Instr::FAdd => binary(frame, BinOp::Add)?,
+                Instr::Sub | Instr::ISub | Instr::FSub => binary(frame, BinOp::Sub)?,
+                Instr::Mul | Instr::IMul | Instr::FMul => binary(frame, BinOp::Mul)?,
+                Instr::Div | Instr::IDiv | Instr::FDiv => binary(frame, BinOp::Div)?,
+                Instr::Rem | Instr::IRem => binary(frame, BinOp::Rem)?,
+                Instr::Neg | Instr::INeg | Instr::FNeg => {
+                    let a = frame.stack.pop().expect("verified").as_scalar()?;
+                    frame.stack.push(scalar::neg(a).into());
+                }
+
+                Instr::Shl => bitwise(frame, BitOp::Shl)?,
+                Instr::Shr => bitwise(frame, BitOp::Shr)?,
+                Instr::BitAnd => bitwise(frame, BitOp::And)?,
+                Instr::BitOr => bitwise(frame, BitOp::Or)?,
+                Instr::BitXor => bitwise(frame, BitOp::Xor)?,
+
+                Instr::CmpEq | Instr::ICmpEq | Instr::FCmpEq => compare(frame, CmpOp::Eq)?,
+                Instr::CmpNe | Instr::ICmpNe | Instr::FCmpNe => compare(frame, CmpOp::Ne)?,
+                Instr::CmpLt | Instr::ICmpLt | Instr::FCmpLt => compare(frame, CmpOp::Lt)?,
+                Instr::CmpLe | Instr::ICmpLe | Instr::FCmpLe => compare(frame, CmpOp::Le)?,
+                Instr::CmpGt | Instr::ICmpGt | Instr::FCmpGt => compare(frame, CmpOp::Gt)?,
+                Instr::CmpGe | Instr::ICmpGe | Instr::FCmpGe => compare(frame, CmpOp::Ge)?,
+
+                Instr::ToFloat => {
+                    let a = frame.stack.pop().expect("verified").as_scalar()?;
+                    frame.stack.push(scalar::to_float(a).into());
+                }
+                Instr::ToInt => {
+                    let a = frame.stack.pop().expect("verified").as_scalar()?;
+                    frame.stack.push(scalar::to_int(a).into());
+                }
+
+                Instr::Jump(t) => frame.ip = t as usize,
+                Instr::JumpIf(t) => {
+                    if frame.stack.pop().expect("verified").truthy() {
+                        frame.ip = t as usize;
+                    }
+                }
+                Instr::JumpIfNot(t) => {
+                    if !frame.stack.pop().expect("verified").truthy() {
+                        frame.ip = t as usize;
+                    }
+                }
+
+                Instr::Call(callee) => {
+                    let arity = self.program.function(callee).arity as usize;
+                    let split = frame.stack.len() - arity;
+                    let args = frame.stack.split_off(split);
+                    self.invoke(callee, args)?;
+                }
+                Instr::Return => {
+                    let value = frame.stack.pop().expect("verified");
+                    self.frames.pop();
+                    match self.frames.last_mut() {
+                        Some(caller) => caller.stack.push(value),
+                        None => return Ok(Outcome::Finished(self.finish())),
+                    }
+                }
+
+                Instr::NewArray => {
+                    let len = frame.stack.pop().expect("verified").as_int()?;
+                    let r = self.heap.alloc(len)?;
+                    // Frame borrow ended at `self.heap`; re-borrow.
+                    self.frames.last_mut().expect("frame").stack.push(r);
+                }
+                Instr::ALoad => {
+                    let index = frame.stack.pop().expect("verified").as_int()?;
+                    let array = frame.stack.pop().expect("verified");
+                    let v = self.heap.load(array, index)?;
+                    self.frames.last_mut().expect("frame").stack.push(v);
+                }
+                Instr::AStore => {
+                    let value = frame.stack.pop().expect("verified");
+                    let index = frame.stack.pop().expect("verified").as_int()?;
+                    let array = frame.stack.pop().expect("verified");
+                    self.heap.store(array, index, value)?;
+                }
+                Instr::ALen => {
+                    let array = frame.stack.pop().expect("verified");
+                    let len = self.heap.len(array)?;
+                    self.frames
+                        .last_mut()
+                        .expect("frame")
+                        .stack
+                        .push(Value::Int(len));
+                }
+
+                Instr::Math(m) => {
+                    if m.arity() == 1 {
+                        let a = frame.stack.pop().expect("verified").as_scalar()?;
+                        frame.stack.push(scalar::math1(m, a).into());
+                    } else {
+                        let b = frame.stack.pop().expect("verified").as_scalar()?;
+                        let a = frame.stack.pop().expect("verified").as_scalar()?;
+                        frame.stack.push(scalar::math2(m, a, b).into());
+                    }
+                }
+
+                Instr::Print => {
+                    let v = frame.stack.pop().expect("verified");
+                    self.output.push(v.to_string());
+                }
+                Instr::Publish(s) => {
+                    let v = frame.stack.pop().expect("verified");
+                    let name = self.program.string(s).to_owned();
+                    match v.as_scalar() {
+                        Ok(scalar) => self.published.push((name, scalar)),
+                        Err(_) => trap!(Trap::TypeError),
+                    }
+                }
+                Instr::Done => {
+                    // Pause *after* advancing ip, then give the host control.
+                    self.maybe_sample();
+                    return Ok(Outcome::FeaturesReady);
+                }
+                Instr::Nop => {}
+            }
+
+            self.maybe_sample();
+        }
+    }
+
+    fn maybe_sample(&mut self) {
+        while self.clock_milli >= self.next_sample_milli {
+            self.next_sample_milli += self.config.sample_interval_cycles * 1000;
+            if !self.frames.is_empty() {
+                self.take_sample();
+            }
+        }
+    }
+}
+
+fn binary(frame: &mut Frame, op: BinOp) -> Result<(), VmError> {
+    let b = frame.stack.pop().expect("verified").as_scalar()?;
+    let a = frame.stack.pop().expect("verified").as_scalar()?;
+    frame.stack.push(scalar::binop(op, a, b)?.into());
+    Ok(())
+}
+
+fn bitwise(frame: &mut Frame, op: BitOp) -> Result<(), VmError> {
+    let b = frame.stack.pop().expect("verified").as_scalar()?;
+    let a = frame.stack.pop().expect("verified").as_scalar()?;
+    frame.stack.push(scalar::bitop(op, a, b)?.into());
+    Ok(())
+}
+
+fn compare(frame: &mut Frame, op: CmpOp) -> Result<(), VmError> {
+    let b = frame.stack.pop().expect("verified");
+    let a = frame.stack.pop().expect("verified");
+    let result = match (a, b) {
+        // Reference/null equality is identity; ordering is a type error.
+        (Value::Null, Value::Null) => match op {
+            CmpOp::Eq => Value::Int(1),
+            CmpOp::Ne => Value::Int(0),
+            _ => return Err(VmError::Trap(Trap::TypeError)),
+        },
+        (Value::Ref(x), Value::Ref(y)) => match op {
+            CmpOp::Eq => Value::Int((x == y) as i64),
+            CmpOp::Ne => Value::Int((x != y) as i64),
+            _ => return Err(VmError::Trap(Trap::TypeError)),
+        },
+        (Value::Null, Value::Ref(_)) | (Value::Ref(_), Value::Null) => match op {
+            CmpOp::Eq => Value::Int(0),
+            CmpOp::Ne => Value::Int(1),
+            _ => return Err(VmError::Trap(Trap::TypeError)),
+        },
+        _ => scalar::cmp(op, a.as_scalar()?, b.as_scalar()?).into(),
+    };
+    frame.stack.push(result);
+    Ok(())
+}

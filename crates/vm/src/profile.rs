@@ -1,0 +1,73 @@
+//! Run profiles: what the sampling profiler observed during one execution.
+
+use serde::{Deserialize, Serialize};
+
+use evovm_bytecode::FuncId;
+use evovm_opt::OptLevel;
+
+/// One recompilation performed during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecompileEvent {
+    /// Virtual cycle timestamp.
+    pub at_cycles: u64,
+    /// The recompiled method.
+    pub method: FuncId,
+    /// Level before.
+    pub from: OptLevel,
+    /// Level after.
+    pub to: OptLevel,
+}
+
+/// The profile of one finished run.
+///
+/// Indexing is by [`FuncId::index`]; every vector has one entry per
+/// function of the program.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunProfile {
+    /// Timer samples attributed to each method.
+    pub samples: Vec<u64>,
+    /// Invocation counts.
+    pub invocations: Vec<u64>,
+    /// The level each method's code had when the run ended (methods never
+    /// invoked stay at `Baseline`).
+    pub final_levels: Vec<OptLevel>,
+    /// All recompilations, in order.
+    pub recompilations: Vec<RecompileEvent>,
+}
+
+impl RunProfile {
+    /// Create a profile for a program with `n` functions.
+    pub fn new(n: usize) -> RunProfile {
+        RunProfile {
+            samples: vec![0; n],
+            invocations: vec![0; n],
+            final_levels: vec![OptLevel::Baseline; n],
+            recompilations: Vec::new(),
+        }
+    }
+
+    /// Total samples taken.
+    pub fn total_samples(&self) -> u64 {
+        self.samples.iter().sum()
+    }
+
+    /// Methods ordered by hotness (most samples first), ties by id.
+    pub fn hottest(&self) -> Vec<FuncId> {
+        let mut ids: Vec<usize> = (0..self.samples.len()).collect();
+        ids.sort_by_key(|&i| (std::cmp::Reverse(self.samples[i]), i));
+        ids.into_iter().map(|i| FuncId(i as u32)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hottest_orders_by_samples_then_id() {
+        let mut p = RunProfile::new(3);
+        p.samples = vec![5, 9, 5];
+        assert_eq!(p.hottest(), vec![FuncId(1), FuncId(0), FuncId(2)]);
+        assert_eq!(p.total_samples(), 19);
+    }
+}

@@ -1,0 +1,453 @@
+//! Engine-level tests: semantics, clock accounting, sampling, policies,
+//! recompilation and the pause/resume protocol.
+
+use std::sync::Arc;
+
+use evovm_bytecode::asm::parse;
+use evovm_bytecode::scalar::Scalar;
+use evovm_opt::OptLevel;
+
+use crate::{
+    BaselineOnlyPolicy, CostBenefitPolicy, Outcome, Trap, Vm, VmConfig, VmError,
+};
+
+fn run_src(src: &str) -> crate::RunResult {
+    run_src_with(src, VmConfig::default())
+}
+
+fn run_src_with(src: &str, config: VmConfig) -> crate::RunResult {
+    let program = Arc::new(parse(src).unwrap());
+    let mut vm = Vm::new(program, Box::new(CostBenefitPolicy::new()), config).unwrap();
+    match vm.run().unwrap() {
+        Outcome::Finished(r) => r,
+        Outcome::FeaturesReady => panic!("unexpected pause"),
+    }
+}
+
+#[test]
+fn arithmetic_and_print() {
+    let r = run_src("entry func main/0 {\n  const 6\n  const 7\n  mul\n  print\n  null\n  return\n}");
+    assert_eq!(r.output, vec!["42"]);
+    assert!(r.total_cycles > 0);
+    assert_eq!(r.total_cycles, r.exec_cycles + r.compile_cycles);
+}
+
+#[test]
+fn loops_and_calls() {
+    let r = run_src(
+        "entry func main/0 locals=1 {
+  const 0
+  store 0
+top:
+  load 0
+  const 5
+  icmpge
+  jumpif end
+  load 0
+  call square
+  print
+  load 0
+  const 1
+  iadd
+  store 0
+  jump top
+end:
+  null
+  return
+}
+func square/1 {
+  load 0
+  load 0
+  imul
+  return
+}",
+    );
+    assert_eq!(r.output, vec!["0", "1", "4", "9", "16"]);
+    let p = parse("entry func main/0 {\n null\n return\n}").unwrap();
+    drop(p);
+    assert_eq!(r.profile.invocations[1], 5);
+}
+
+#[test]
+fn recursion_works() {
+    let r = run_src(
+        "entry func main/0 {
+  const 10
+  call fib
+  print
+  null
+  return
+}
+func fib/1 {
+  load 0
+  const 2
+  icmplt
+  jumpifnot rec
+  load 0
+  return
+rec:
+  load 0
+  const 1
+  isub
+  call fib
+  load 0
+  const 2
+  isub
+  call fib
+  iadd
+  return
+}",
+    );
+    assert_eq!(r.output, vec!["55"]);
+}
+
+#[test]
+fn arrays_roundtrip() {
+    let r = run_src(
+        "entry func main/0 locals=2 {
+  const 3
+  newarray
+  store 0
+  load 0
+  const 0
+  const 11
+  astore
+  load 0
+  const 2
+  const 33
+  astore
+  load 0
+  const 0
+  aload
+  load 0
+  const 2
+  aload
+  iadd
+  print
+  load 0
+  alen
+  print
+  null
+  return
+}",
+    );
+    assert_eq!(r.output, vec!["44", "3"]);
+}
+
+#[test]
+fn float_formatting_is_stable() {
+    let r = run_src(
+        "entry func main/0 {\n  fconst 2.5\n  fconst 0.5\n  fadd\n  print\n  const 9\n  math sqrt\n  print\n  null\n  return\n}",
+    );
+    assert_eq!(r.output, vec!["3", "3"]);
+}
+
+#[test]
+fn div_by_zero_traps() {
+    let program = Arc::new(
+        parse("entry func main/0 {\n  const 1\n  const 0\n  idiv\n  print\n  null\n  return\n}")
+            .unwrap(),
+    );
+    let mut vm = Vm::new(program, Box::new(BaselineOnlyPolicy), VmConfig::default()).unwrap();
+    assert_eq!(vm.run().unwrap_err(), VmError::Trap(Trap::DivByZero));
+}
+
+#[test]
+fn deep_recursion_overflows() {
+    let program = Arc::new(
+        parse(
+            "entry func main/0 {\n  const 0\n  call forever\n  print\n  null\n  return\n}\nfunc forever/1 {\n  load 0\n  call forever\n  return\n}",
+        )
+        .unwrap(),
+    );
+    let mut vm = Vm::new(program, Box::new(BaselineOnlyPolicy), VmConfig::default()).unwrap();
+    assert_eq!(vm.run().unwrap_err(), VmError::Trap(Trap::StackOverflow));
+}
+
+#[test]
+fn cycle_budget_is_enforced() {
+    let src = "entry func main/0 {
+top:
+  const 1
+  jumpif top
+  null
+  return
+}";
+    let program = Arc::new(parse(src).unwrap());
+    let mut vm = Vm::new(
+        program,
+        Box::new(BaselineOnlyPolicy),
+        VmConfig {
+            cycle_budget: Some(100_000),
+            ..VmConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(matches!(
+        vm.run().unwrap_err(),
+        VmError::CycleBudgetExceeded { .. }
+    ));
+}
+
+/// A program that spins in a hot helper long enough for the sampler and
+/// cost-benefit policy to engage.
+fn hot_program(iters: u64) -> String {
+    format!(
+        "entry func main/0 locals=1 {{
+  const 0
+  store 0
+top:
+  load 0
+  const {iters}
+  icmpge
+  jumpif end
+  load 0
+  call work
+  pop
+  load 0
+  const 1
+  iadd
+  store 0
+  jump top
+end:
+  null
+  return
+}}
+func work/1 locals=2 {{
+  const 0
+  store 1
+inner:
+  load 1
+  const 200
+  cmpge
+  jumpif out
+  load 1
+  const 3
+  mul
+  const 7
+  add
+  pop
+  load 1
+  const 1
+  add
+  store 1
+  jump inner
+out:
+  load 1
+  return
+}}"
+    )
+}
+
+#[test]
+fn sampler_attributes_samples_to_the_hot_method() {
+    let r = run_src(&hot_program(2_000));
+    let p = parse(&hot_program(2_000)).unwrap();
+    let work = p.find("work").unwrap();
+    assert!(r.profile.total_samples() > 10);
+    assert!(
+        r.profile.samples[work.index()] > r.profile.samples[p.entry().index()],
+        "work should dominate the samples: {:?}",
+        r.profile.samples
+    );
+}
+
+#[test]
+fn cost_benefit_policy_recompiles_hot_methods() {
+    let r = run_src(&hot_program(2_000));
+    let p = parse(&hot_program(2_000)).unwrap();
+    let work = p.find("work").unwrap();
+    assert!(
+        !r.profile.recompilations.is_empty(),
+        "expected at least one recompilation"
+    );
+    assert!(r.profile.final_levels[work.index()] > OptLevel::Baseline);
+    assert!(r.compile_cycles > 0);
+}
+
+#[test]
+fn adaptive_run_beats_baseline_only_run() {
+    let src = hot_program(2_000);
+    let adaptive = run_src(&src);
+    let program = Arc::new(parse(&src).unwrap());
+    let mut vm = Vm::new(program, Box::new(BaselineOnlyPolicy), VmConfig::default()).unwrap();
+    let baseline = match vm.run().unwrap() {
+        Outcome::Finished(r) => r,
+        Outcome::FeaturesReady => unreachable!(),
+    };
+    assert_eq!(adaptive.output, baseline.output, "semantics must not change");
+    assert!(
+        adaptive.total_cycles < baseline.total_cycles,
+        "adaptive {} should beat baseline {}",
+        adaptive.total_cycles,
+        baseline.total_cycles
+    );
+}
+
+#[test]
+fn publish_and_done_pause_the_machine() {
+    let src = "entry func main/0 {
+  const 128
+  publish \"size\"
+  fconst 0.5
+  publish \"ratio\"
+  done
+  const 1
+  print
+  null
+  return
+}";
+    let program = Arc::new(parse(src).unwrap());
+    let mut vm = Vm::new(program, Box::new(BaselineOnlyPolicy), VmConfig::default()).unwrap();
+    match vm.run().unwrap() {
+        Outcome::FeaturesReady => {}
+        Outcome::Finished(_) => panic!("expected a pause at done"),
+    }
+    assert_eq!(
+        vm.published(),
+        &[
+            ("size".to_owned(), Scalar::Int(128)),
+            ("ratio".to_owned(), Scalar::Float(0.5)),
+        ]
+    );
+    // Swap in a different policy mid-pause (the evolvable VM's move).
+    let _old = vm.replace_policy(Box::new(CostBenefitPolicy::new()));
+    match vm.resume().unwrap() {
+        Outcome::Finished(r) => assert_eq!(r.output, vec!["1"]),
+        Outcome::FeaturesReady => panic!("expected completion"),
+    }
+    assert!(matches!(vm.run(), Err(VmError::AlreadyFinished)));
+}
+
+#[test]
+fn determinism_same_program_same_cycles() {
+    let a = run_src(&hot_program(1_000));
+    let b = run_src(&hot_program(1_000));
+    assert_eq!(a.total_cycles, b.total_cycles);
+    assert_eq!(a.profile.samples, b.profile.samples);
+    assert_eq!(a.output, b.output);
+}
+
+#[test]
+fn optimized_code_is_semantically_identical() {
+    // Force every method to each level via a policy that pins levels.
+    #[derive(Debug)]
+    struct PinPolicy(OptLevel);
+    impl crate::AosPolicy for PinPolicy {
+        fn on_first_compile(
+            &mut self,
+            _m: evovm_bytecode::FuncId,
+            _ctx: crate::AosContext<'_>,
+        ) -> Option<OptLevel> {
+            Some(self.0)
+        }
+    }
+    let src = hot_program(500);
+    let mut outputs = Vec::new();
+    for level in OptLevel::ALL {
+        let program = Arc::new(parse(&src).unwrap());
+        let mut vm = Vm::new(program, Box::new(PinPolicy(level)), VmConfig::default()).unwrap();
+        match vm.run().unwrap() {
+            Outcome::Finished(r) => outputs.push(r.output),
+            Outcome::FeaturesReady => unreachable!(),
+        }
+    }
+    for w in outputs.windows(2) {
+        assert_eq!(w[0], w[1]);
+    }
+}
+
+#[test]
+fn pinned_higher_levels_run_fewer_exec_cycles() {
+    #[derive(Debug)]
+    struct PinPolicy(OptLevel);
+    impl crate::AosPolicy for PinPolicy {
+        fn on_first_compile(
+            &mut self,
+            _m: evovm_bytecode::FuncId,
+            _ctx: crate::AosContext<'_>,
+        ) -> Option<OptLevel> {
+            Some(self.0)
+        }
+    }
+    let src = hot_program(500);
+    let mut exec = Vec::new();
+    for level in [OptLevel::Baseline, OptLevel::O0, OptLevel::O1] {
+        let program = Arc::new(parse(&src).unwrap());
+        let mut vm = Vm::new(program, Box::new(PinPolicy(level)), VmConfig::default()).unwrap();
+        match vm.run().unwrap() {
+            Outcome::Finished(r) => exec.push(r.exec_cycles),
+            Outcome::FeaturesReady => unreachable!(),
+        }
+    }
+    assert!(exec[0] > exec[1], "O0 beats baseline: {exec:?}");
+    assert!(exec[1] > exec[2], "O1 beats O0: {exec:?}");
+}
+
+#[test]
+fn apply_strategy_recompiles_compiled_methods_upward() {
+    let src = "entry func main/0 {
+  const 1
+  publish \"x\"
+  done
+  const 5
+  call work
+  print
+  null
+  return
+}
+func work/1 {
+  load 0
+  const 2
+  imul
+  return
+}";
+    let program = Arc::new(parse(src).unwrap());
+    let work = program.find("work").unwrap();
+    let mut vm = Vm::new(
+        Arc::clone(&program),
+        Box::new(BaselineOnlyPolicy),
+        VmConfig::default(),
+    )
+    .unwrap();
+    let Outcome::FeaturesReady = vm.run().unwrap() else {
+        panic!("expected pause");
+    };
+    let cycles_before = vm.cycles();
+    // main is compiled (it is running); work is not yet. Apply a strategy
+    // covering both: only main recompiles now.
+    let mut levels = vec![None; 2];
+    levels[0] = Some(OptLevel::O2);
+    levels[work.index()] = Some(OptLevel::O2);
+    vm.apply_strategy(&levels);
+    assert!(vm.cycles() > cycles_before, "recompilation charged");
+    let Outcome::Finished(r) = vm.resume().unwrap() else {
+        panic!("expected completion");
+    };
+    assert_eq!(r.output, vec!["10"]);
+    // main was upgraded by apply_strategy; work stayed baseline because
+    // apply_strategy only touches already-compiled methods.
+    assert_eq!(r.profile.final_levels[0], OptLevel::O2);
+    assert_eq!(r.profile.final_levels[work.index()], OptLevel::Baseline);
+    assert_eq!(r.profile.recompilations.len(), 1);
+}
+
+#[test]
+fn charge_overhead_moves_the_clock() {
+    let program = Arc::new(parse("entry func main/0 {\n  null\n  return\n}").unwrap());
+    let mut vm = Vm::new(program, Box::new(BaselineOnlyPolicy), VmConfig::default()).unwrap();
+    vm.charge_overhead(1234);
+    assert_eq!(vm.cycles(), 1234);
+    let Outcome::Finished(r) = vm.run().unwrap() else {
+        panic!("expected completion");
+    };
+    assert!(r.total_cycles >= 1234);
+    assert_eq!(r.total_cycles - r.exec_cycles - r.compile_cycles, 1234);
+}
+
+#[test]
+fn seconds_conversion() {
+    let r = run_src("entry func main/0 {\n  null\n  return\n}");
+    assert!(r.seconds() > 0.0);
+    assert!(r.seconds() < 1.0);
+}

@@ -1,0 +1,250 @@
+//! Runtime values and the array heap.
+
+use std::fmt;
+
+use evovm_bytecode::scalar::Scalar;
+
+use crate::error::{Trap, VmError};
+
+/// A runtime value: the scalar domain plus null and array references.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Value {
+    /// The null reference (initial value of non-argument locals).
+    #[default]
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Reference into the VM's array heap.
+    Ref(u32),
+}
+
+impl Value {
+    /// Truthiness: nonzero scalars and non-null references are true.
+    pub fn truthy(self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Int(v) => v != 0,
+            Value::Float(v) => v != 0.0,
+            Value::Ref(_) => true,
+        }
+    }
+
+    /// View as a scalar for arithmetic.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::TypeError`] for `Null` and `Ref` values.
+    pub fn as_scalar(self) -> Result<Scalar, VmError> {
+        match self {
+            Value::Int(v) => Ok(Scalar::Int(v)),
+            Value::Float(v) => Ok(Scalar::Float(v)),
+            _ => Err(VmError::Trap(Trap::TypeError)),
+        }
+    }
+
+    /// View as an integer.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::TypeError`] unless the value is an `Int`.
+    pub fn as_int(self) -> Result<i64, VmError> {
+        match self {
+            Value::Int(v) => Ok(v),
+            _ => Err(VmError::Trap(Trap::TypeError)),
+        }
+    }
+}
+
+impl From<Scalar> for Value {
+    fn from(s: Scalar) -> Value {
+        match s {
+            Scalar::Int(v) => Value::Int(v),
+            Scalar::Float(v) => Value::Float(v),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Float(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Ref(r) => write!(f, "ref@{r}"),
+        }
+    }
+}
+
+/// The array heap. Arrays are the only heap objects; garbage is never
+/// collected within a run (runs are short and the paper's GC work is out
+/// of scope — see `DESIGN.md`).
+#[derive(Debug, Default)]
+pub struct Heap {
+    arrays: Vec<Vec<Value>>,
+}
+
+/// Largest allocatable array.
+pub const MAX_ARRAY_LEN: i64 = 1 << 22;
+
+impl Heap {
+    /// Create an empty heap.
+    pub fn new() -> Heap {
+        Heap::default()
+    }
+
+    /// Allocate a zero-filled array of `len` elements.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::BadAllocation`] if `len` is negative or exceeds
+    /// [`MAX_ARRAY_LEN`].
+    pub fn alloc(&mut self, len: i64) -> Result<Value, VmError> {
+        if !(0..=MAX_ARRAY_LEN).contains(&len) {
+            return Err(VmError::Trap(Trap::BadAllocation { len }));
+        }
+        let id = self.arrays.len() as u32;
+        self.arrays.push(vec![Value::Null; len as usize]);
+        Ok(Value::Ref(id))
+    }
+
+    /// Read `array[index]`.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::NullDeref`] on null, [`Trap::TypeError`] on a non-reference,
+    /// [`Trap::IndexOutOfBounds`] outside the array.
+    pub fn load(&self, array: Value, index: i64) -> Result<Value, VmError> {
+        let a = self.resolve(array)?;
+        a.get(checked_index(index, a.len())?)
+            .copied()
+            .ok_or(VmError::Trap(Trap::IndexOutOfBounds {
+                index,
+                len: a.len(),
+            }))
+    }
+
+    /// Write `array[index] = value`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Heap::load`].
+    pub fn store(&mut self, array: Value, index: i64, value: Value) -> Result<(), VmError> {
+        let id = self.resolve_id(array)?;
+        let a = &mut self.arrays[id];
+        let i = checked_index(index, a.len())?;
+        a[i] = value;
+        Ok(())
+    }
+
+    /// Length of the array behind `array`.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::NullDeref`] / [`Trap::TypeError`] as in [`Heap::load`].
+    pub fn len(&self, array: Value) -> Result<i64, VmError> {
+        Ok(self.resolve(array)?.len() as i64)
+    }
+
+    /// True if no arrays have been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.arrays.is_empty()
+    }
+
+    /// Number of live arrays.
+    pub fn array_count(&self) -> usize {
+        self.arrays.len()
+    }
+
+    fn resolve(&self, array: Value) -> Result<&Vec<Value>, VmError> {
+        Ok(&self.arrays[self.resolve_id(array)?])
+    }
+
+    fn resolve_id(&self, array: Value) -> Result<usize, VmError> {
+        match array {
+            Value::Ref(id) if (id as usize) < self.arrays.len() => Ok(id as usize),
+            Value::Null => Err(VmError::Trap(Trap::NullDeref)),
+            _ => Err(VmError::Trap(Trap::TypeError)),
+        }
+    }
+}
+
+fn checked_index(index: i64, len: usize) -> Result<usize, VmError> {
+    if index < 0 || index as usize >= len {
+        Err(VmError::Trap(Trap::IndexOutOfBounds { index, len }))
+    } else {
+        Ok(index as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_load_store_roundtrip() {
+        let mut h = Heap::new();
+        let a = h.alloc(3).unwrap();
+        h.store(a, 1, Value::Int(42)).unwrap();
+        assert_eq!(h.load(a, 1).unwrap(), Value::Int(42));
+        assert_eq!(h.load(a, 0).unwrap(), Value::Null);
+        assert_eq!(h.len(a).unwrap(), 3);
+    }
+
+    #[test]
+    fn bounds_are_checked() {
+        let mut h = Heap::new();
+        let a = h.alloc(2).unwrap();
+        assert!(matches!(
+            h.load(a, 2),
+            Err(VmError::Trap(Trap::IndexOutOfBounds { .. }))
+        ));
+        assert!(matches!(
+            h.store(a, -1, Value::Int(0)),
+            Err(VmError::Trap(Trap::IndexOutOfBounds { .. }))
+        ));
+    }
+
+    #[test]
+    fn null_and_type_traps() {
+        let h = Heap::new();
+        assert!(matches!(
+            h.load(Value::Null, 0),
+            Err(VmError::Trap(Trap::NullDeref))
+        ));
+        assert!(matches!(
+            h.load(Value::Int(3), 0),
+            Err(VmError::Trap(Trap::TypeError))
+        ));
+    }
+
+    #[test]
+    fn negative_and_huge_allocations_trap() {
+        let mut h = Heap::new();
+        assert!(h.alloc(-1).is_err());
+        assert!(h.alloc(MAX_ARRAY_LEN + 1).is_err());
+        assert!(h.alloc(0).is_ok());
+    }
+
+    #[test]
+    fn truthiness_and_conversions() {
+        assert!(Value::Ref(0).truthy());
+        assert!(!Value::Null.truthy());
+        assert!(Value::Int(5).as_scalar().is_ok());
+        assert!(Value::Null.as_scalar().is_err());
+        assert_eq!(Value::from(Scalar::Int(3)), Value::Int(3));
+    }
+}

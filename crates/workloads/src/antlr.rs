@@ -1,0 +1,211 @@
+//! `antlr` — the DaCapo parser-generator analog.
+//!
+//! Reads a grammar of `mRules` rules and computes FIRST/FOLLOW-style
+//! closures (quadratic in the rule count) before emitting code for the
+//! target language. The output format and language options are
+//! *categorical* features — the paper's motivation for separating
+//! categorical from quantitative features — and the language choice flips
+//! which emitter method becomes hot. Publishes the rule count through the
+//! runtime channel (`updateV`/`done`).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use evovm_xicl::extract::Registry;
+
+use crate::common::{log_uniform_int, text_file, HeaderNum, LCG};
+use crate::{Def, GeneratedInput, Suite};
+
+const SPEC: &str = "
+# antlr: output format and target language (categorical), grammar file
+option {name=-o; type=str; attr=VAL; default=text; has_arg=y}
+option {name=-lang; type=str; attr=VAL; default=java; has_arg=y}
+operand {position=1; type=file; attr=mRules}
+";
+
+fn registry() -> Registry {
+    let mut r = Registry::with_predefined();
+    r.register("mRules", HeaderNum { index: 0 });
+    r
+}
+
+/// `lang_id`: 0 = java (emitter heavy), 1 = cpp (twice the emit work).
+fn source(rules: u64, lang_id: u64, fmt_id: u64, seed: u64) -> String {
+    format!(
+        "{LCG}
+fn parse_grammar(rules, seed) {{
+    let table = new [rules];
+    let s = seed;
+    for (let i = 0; i < rules; i = i + 1) {{
+        s = lcg(s);
+        table[i] = s % 64 + 1;
+    }}
+    return table;
+}}
+
+fn first_of(table, rules, i) {{
+    let acc = 0;
+    for (let j = 0; j < rules; j = j + 1) {{
+        acc = (acc + table[j] * (i + 1)) & 65535;
+    }}
+    return acc;
+}}
+
+fn first_sets(table, rules) {{
+    let first = new [rules];
+    for (let i = 0; i < rules; i = i + 1) {{
+        first[i] = first_of(table, rules, i);
+    }}
+    return first;
+}}
+
+fn follow_of(table, rules, f) {{
+    let acc = 0;
+    for (let j = 0; j < rules; j = j + 1) {{
+        acc = (acc + f ^ table[j]) & 1048575;
+    }}
+    return acc;
+}}
+
+fn follow_sets(table, first, rules) {{
+    let acc = 0;
+    for (let i = 0; i < rules; i = i + 1) {{
+        acc = (acc + follow_of(table, rules, first[i])) & 1048575;
+    }}
+    return acc;
+}}
+
+fn emit_rule(len, i, fmt, mult) {{
+    let out = 0;
+    let work = len * mult;
+    for (let k = 0; k < work; k = k + 1) {{
+        out = (out * 33 + i + k * fmt) & 1073741823;
+    }}
+    return out;
+}}
+
+fn emit_java(table, rules, fmt) {{
+    let out = 0;
+    for (let i = 0; i < rules; i = i + 1) {{
+        out = (out + emit_rule(table[i], i, fmt, 6)) & 1073741823;
+    }}
+    return out;
+}}
+
+fn emit_cpp(table, rules, fmt) {{
+    let out = 0;
+    for (let i = 0; i < rules; i = i + 1) {{
+        out = (out + emit_rule(table[i], i * 2, fmt, 12)) & 1073741823;
+    }}
+    return out;
+}}
+
+fn main() {{
+    let rules = {rules};
+    let lang = {lang_id};
+    let fmt = {fmt_id} + 1;
+    publish \"rules\", rules;
+    done;
+    let table = parse_grammar(rules, {seed});
+    let first = first_sets(table, rules);
+    print follow_sets(table, first, rules);
+    if (lang == 0) {{
+        print emit_java(table, rules, fmt);
+    }} else {{
+        print emit_cpp(table, rules, fmt);
+    }}
+}}
+"
+    )
+}
+
+fn generate(rng: &mut StdRng) -> Vec<GeneratedInput> {
+    const LANGS: [&str; 2] = ["java", "cpp"];
+    const FMTS: [&str; 3] = ["text", "html", "diagnostic"];
+    let mut inputs = Vec::with_capacity(40);
+    for i in 0..40u64 {
+        let rules = log_uniform_int(rng, 24, 420);
+        let lang_id = rng.gen_range(0..LANGS.len());
+        let fmt_id = rng.gen_range(0..FMTS.len());
+        let seed = rng.gen_range(1..1_000_000u64);
+        let name = format!("grammar_{i}.g");
+        let mut vfs = evovm_xicl::Vfs::new();
+        vfs.write(
+            name.clone(),
+            text_file(&format!("{rules} rules"), 64 + rules as usize * 12, seed),
+        );
+        inputs.push(GeneratedInput {
+            args: vec![
+                "-o".into(),
+                FMTS[fmt_id].into(),
+                "-lang".into(),
+                LANGS[lang_id].into(),
+                name,
+            ],
+            vfs,
+            source: source(rules, lang_id as u64, fmt_id as u64, seed),
+        });
+    }
+    inputs
+}
+
+pub(crate) fn def() -> Def {
+    Def {
+        name: "antlr",
+        suite: Suite::Dacapo,
+        campaign_runs: 30,
+        spec: SPEC,
+        registry,
+        generate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn run(src: &str) -> (Vec<String>, u64) {
+        let program = Arc::new(evovm_minijava::compile(src).unwrap());
+        let mut vm = evovm_vm::Vm::new(
+            program,
+            Box::new(evovm_vm::BaselineOnlyPolicy),
+            evovm_vm::VmConfig::default(),
+        )
+        .unwrap();
+        loop {
+            match vm.run().unwrap() {
+                evovm_vm::Outcome::Finished(r) => return (r.output, r.total_cycles),
+                evovm_vm::Outcome::FeaturesReady => continue,
+            }
+        }
+    }
+
+    #[test]
+    fn template_compiles_and_runs() {
+        let (out, _) = run(&source(20, 0, 1, 3));
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn language_flips_the_hot_emitter() {
+        // cpp emit is roughly twice the java emit work for equal rules.
+        let (_, java) = run(&source(60, 0, 0, 3));
+        let (_, cpp) = run(&source(60, 1, 0, 3));
+        assert!(cpp > java);
+    }
+
+    #[test]
+    fn categorical_features_extract() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let inputs = generate(&mut rng);
+        assert_eq!(inputs.len(), 40);
+        let spec = evovm_xicl::spec::parse(SPEC).unwrap();
+        let t = evovm_xicl::Translator::new(spec, registry());
+        let (fv, _) = t.translate(&inputs[0].args, &inputs[0].vfs).unwrap();
+        assert!(fv.get("-lang.VAL").unwrap().as_cat().is_some());
+        assert!(fv.get("-o.VAL").unwrap().as_cat().is_some());
+        assert!(fv.get("operand0.mRules").unwrap().as_num().unwrap() >= 24.0);
+    }
+}

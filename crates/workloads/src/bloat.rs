@@ -1,0 +1,195 @@
+//! `bloat` — the DaCapo bytecode-optimizer analog.
+//!
+//! "Optimizes" a synthetic class file of `mLoc` lines: builds a CFG, then
+//! runs the passes selected by the `-op` option (`dce`, `inline` or
+//! `all`). The operation type is a categorical feature that decides which
+//! pass methods get hot; the LoC count (the paper's user-defined feature
+//! for Bloat) decides how hot.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use evovm_xicl::extract::Registry;
+
+use crate::common::{log_uniform_int, text_file, HeaderNum, LCG};
+use crate::{Def, GeneratedInput, Suite};
+
+const SPEC: &str = "
+# bloat: operation type (categorical), class file with LoC header
+option {name=-op; type=str; attr=VAL; default=all; has_arg=y}
+operand {position=1; type=file; attr=mLoc:SIZE}
+";
+
+fn registry() -> Registry {
+    let mut r = Registry::with_predefined();
+    r.register("mLoc", HeaderNum { index: 0 });
+    r
+}
+
+/// `op_id`: 0 = dce, 1 = inline, 2 = all.
+fn source(loc: u64, op_id: u64, seed: u64) -> String {
+    format!(
+        "{LCG}
+fn build_cfg(loc, seed) {{
+    let blocks = new [loc];
+    let s = seed;
+    for (let i = 0; i < loc; i = i + 1) {{
+        s = lcg(s);
+        blocks[i] = s % 100;
+    }}
+    return blocks;
+}}
+
+fn dce_block(v) {{
+    let live = v & 1;
+    let out = v;
+    if (live == 0 && v > 50) {{
+        out = v / 2;
+    }}
+    let mark = (v * 37 + 11) & 255;
+    if (mark > 128) {{
+        out = out + 1;
+    }}
+    return out;
+}}
+
+fn dce_pass(blocks, loc) {{
+    let removed = 0;
+    for (let r = 0; r < 3; r = r + 1) {{
+        for (let i = 0; i < loc; i = i + 1) {{
+            let nv = dce_block(blocks[i]);
+            if (nv != blocks[i]) {{
+                blocks[i] = nv;
+                removed = removed + 1;
+            }}
+        }}
+    }}
+    return removed;
+}}
+
+fn inline_site(callee) {{
+    let budget = callee * 4;
+    let cost = 0;
+    for (let k = 0; k < budget; k = k + 1) {{
+        cost = (cost * 3 + k) & 4095;
+    }}
+    return cost;
+}}
+
+fn inline_pass(blocks, loc) {{
+    let inlined = 0;
+    for (let i = 0; i < loc; i = i + 1) {{
+        let cost = inline_site(blocks[i] % 17);
+        if (cost % 3 == 0) {{
+            inlined = inlined + 1;
+        }}
+    }}
+    return inlined;
+}}
+
+fn emit(blocks, loc) {{
+    let sum = 0;
+    for (let i = 0; i < loc; i = i + 1) {{
+        sum = (sum * 31 + blocks[i]) & 1073741823;
+    }}
+    return sum;
+}}
+
+fn main() {{
+    let loc = {loc};
+    let op = {op_id};
+    let blocks = build_cfg(loc, {seed});
+    if (op == 0 || op == 2) {{
+        print dce_pass(blocks, loc);
+    }}
+    if (op == 1 || op == 2) {{
+        print inline_pass(blocks, loc);
+    }}
+    print emit(blocks, loc);
+}}
+"
+    )
+}
+
+fn generate(rng: &mut StdRng) -> Vec<GeneratedInput> {
+    const OPS: [&str; 3] = ["dce", "inline", "all"];
+    let mut inputs = Vec::with_capacity(40);
+    for i in 0..40u64 {
+        let loc = log_uniform_int(rng, 400, 40_000);
+        let op_id = rng.gen_range(0..OPS.len());
+        let seed = rng.gen_range(1..1_000_000u64);
+        let name = format!("Class_{i}.class");
+        let mut vfs = evovm_xicl::Vfs::new();
+        vfs.write(
+            name.clone(),
+            text_file(&format!("{loc} loc"), 200 + loc as usize / 4, seed),
+        );
+        inputs.push(GeneratedInput {
+            args: vec!["-op".into(), OPS[op_id].into(), name],
+            vfs,
+            source: source(loc, op_id as u64, seed),
+        });
+    }
+    inputs
+}
+
+pub(crate) fn def() -> Def {
+    Def {
+        name: "bloat",
+        suite: Suite::Dacapo,
+        campaign_runs: 30,
+        spec: SPEC,
+        registry,
+        generate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn run(src: &str) -> (Vec<String>, u64) {
+        let program = Arc::new(evovm_minijava::compile(src).unwrap());
+        let mut vm = evovm_vm::Vm::new(
+            program,
+            Box::new(evovm_vm::BaselineOnlyPolicy),
+            evovm_vm::VmConfig::default(),
+        )
+        .unwrap();
+        match vm.run().unwrap() {
+            evovm_vm::Outcome::Finished(r) => (r.output, r.total_cycles),
+            evovm_vm::Outcome::FeaturesReady => panic!("bloat does not publish"),
+        }
+    }
+
+    #[test]
+    fn op_selects_the_passes() {
+        let (dce, _) = run(&source(100, 0, 3));
+        let (inline, _) = run(&source(100, 1, 3));
+        let (all, _) = run(&source(100, 2, 3));
+        assert_eq!(dce.len(), 2);
+        assert_eq!(inline.len(), 2);
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn inline_dominates_dce_cost() {
+        let (_, dce_cycles) = run(&source(400, 0, 3));
+        let (_, inline_cycles) = run(&source(400, 1, 3));
+        assert!(inline_cycles > dce_cycles);
+    }
+
+    #[test]
+    fn loc_feature_extracts() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let inputs = generate(&mut rng);
+        assert_eq!(inputs.len(), 40);
+        let spec = evovm_xicl::spec::parse(SPEC).unwrap();
+        let t = evovm_xicl::Translator::new(spec, registry());
+        let (fv, _) = t.translate(&inputs[0].args, &inputs[0].vfs).unwrap();
+        assert!(fv.get("operand0.mLoc").unwrap().as_num().unwrap() >= 400.0);
+        assert!(fv.get("-op.VAL").unwrap().as_cat().is_some());
+    }
+}

@@ -1,0 +1,111 @@
+//! Shared helpers for workload generation.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Log-uniform sample in `[lo, hi]` — running times should spread over
+/// orders of magnitude, as the paper's input sets do.
+pub(crate) fn log_uniform(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+    debug_assert!(lo > 0.0 && hi >= lo);
+    let u: f64 = rng.gen();
+    (lo.ln() + u * (hi.ln() - lo.ln())).exp()
+}
+
+/// Log-uniform integer in `[lo, hi]`.
+pub(crate) fn log_uniform_int(rng: &mut StdRng, lo: u64, hi: u64) -> u64 {
+    (log_uniform(rng, lo as f64, hi as f64).round() as u64).clamp(lo, hi)
+}
+
+/// The MiniJava LCG shared by all workloads: deterministic, non-negative
+/// 31-bit stream.
+pub(crate) const LCG: &str = "
+fn lcg(s) {
+    return (s * 1103515245 + 12345) & 2147483647;
+}
+";
+
+/// A synthetic text file body of roughly `bytes` bytes with `header` as
+/// its first line — inputs for FILE-typed XICL components.
+pub(crate) fn text_file(header: &str, bytes: usize, seed: u64) -> String {
+    let mut out = String::with_capacity(bytes + header.len() + 1);
+    out.push_str(header);
+    out.push('\n');
+    let mut s = seed.wrapping_mul(2654435761).wrapping_add(17);
+    while out.len() < bytes {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let word_len = 3 + (s % 9) as usize;
+        for k in 0..word_len {
+            let c = b'a' + (((s >> (k * 5)) & 0x0f) % 26) as u8;
+            out.push(c as char);
+        }
+        out.push(if s % 7 == 0 { '\n' } else { ' ' });
+    }
+    out.push('\n');
+    out
+}
+
+/// Programmer-defined extractor shared by several workloads: the `index`th
+/// whitespace-separated number on the first line of a file (workload input
+/// files carry their structural summary in a header line).
+#[derive(Debug)]
+pub(crate) struct HeaderNum {
+    /// Which token of the header line to parse.
+    pub index: usize,
+}
+
+impl evovm_xicl::extract::FeatureExtractor for HeaderNum {
+    fn extract(
+        &self,
+        raw: &str,
+        ctx: &evovm_xicl::extract::ExtractCtx<'_>,
+    ) -> Result<evovm_xicl::FeatureValue, evovm_xicl::XiclError> {
+        let contents = ctx
+            .vfs
+            .read(raw)
+            .ok_or_else(|| evovm_xicl::XiclError::FileNotFound(raw.to_owned()))?;
+        let v = contents
+            .lines()
+            .next()
+            .and_then(|l| l.split_whitespace().nth(self.index))
+            .and_then(|w| w.parse::<f64>().ok())
+            .unwrap_or(0.0);
+        Ok(evovm_xicl::FeatureValue::Num(v))
+    }
+
+    fn cost(&self, raw: &str, _ctx: &evovm_xicl::extract::ExtractCtx<'_>) -> u64 {
+        // Header-only read: cheap regardless of file size.
+        raw.len() as u64 + 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn log_uniform_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..200 {
+            let v = log_uniform_int(&mut rng, 10, 1000);
+            assert!((10..=1000).contains(&v));
+        }
+    }
+
+    #[test]
+    fn log_uniform_covers_low_decades() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let samples: Vec<u64> = (0..200).map(|_| log_uniform_int(&mut rng, 10, 10_000)).collect();
+        assert!(samples.iter().any(|&v| v < 100));
+        assert!(samples.iter().any(|&v| v > 1_000));
+    }
+
+    #[test]
+    fn text_files_have_headers_and_size() {
+        let f = text_file("42 rules", 500, 7);
+        assert!(f.starts_with("42 rules\n"));
+        assert!(f.len() >= 500);
+        assert_eq!(f, text_file("42 rules", 500, 7), "deterministic");
+        assert_ne!(f, text_file("42 rules", 500, 8), "seed-sensitive");
+    }
+}

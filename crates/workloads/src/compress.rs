@@ -1,0 +1,184 @@
+//! `compress` — the SPECjvm98 LZW-style compressor analog.
+//!
+//! Runs `level` passes of a rolling-hash / back-reference scan over a data
+//! buffer whose size comes from the input file's size. Running time is
+//! nearly linear in `SIZE × level`, giving the very wide spread the paper
+//! uses to expose the rise-then-diminish speedup correlation (Figure 9b).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use evovm_xicl::extract::Registry;
+
+use crate::common::{log_uniform_int, text_file, LCG};
+use crate::{Def, GeneratedInput, Suite};
+
+const SPEC: &str = "
+# compress: compression level option, data file operand
+option {name=-l; type=num; attr=VAL; default=3; has_arg=y}
+operand {position=1; type=file; attr=SIZE:LINES}
+";
+
+fn registry() -> Registry {
+    Registry::with_predefined()
+}
+
+fn source(n: u64, level: u64, seed: u64) -> String {
+    format!(
+        "{LCG}
+fn fill_chunk(data, from, to, seed) {{
+    let s = seed;
+    for (let i = from; i < to; i = i + 1) {{
+        s = lcg(s);
+        data[i] = s % 251;
+    }}
+    return s;
+}}
+
+fn fill(data, n, seed) {{
+    let s = seed;
+    for (let c = 0; c < n; c = c + 256) {{
+        s = fill_chunk(data, c, min(c + 256, n), s);
+    }}
+    return s;
+}}
+
+fn hash3(a, b, c) {{
+    return ((a * 131 + b) * 131 + c) & 4095;
+}}
+
+fn compress_step(data, table, i) {{
+    let h = hash3(data[i], data[i + 1], data[i + 2]);
+    let prev = table[h];
+    let hit = 0;
+    if (prev > 0 && data[prev - 1] == data[i]) {{
+        hit = 1;
+    }}
+    table[h] = i + 1;
+    return hit;
+}}
+
+fn compress_pass(data, n, table) {{
+    let matches = 0;
+    for (let i = 0; i + 2 < n; i = i + 1) {{
+        matches = matches + compress_step(data, table, i);
+    }}
+    return matches;
+}}
+
+fn checksum_chunk(data, from, to) {{
+    let sum = 0;
+    for (let i = from; i < to; i = i + 1) {{
+        sum = (sum * 31 + data[i]) & 1073741823;
+    }}
+    return sum;
+}}
+
+fn checksum(data, n) {{
+    let sum = 0;
+    for (let c = 0; c < n; c = c + 256) {{
+        let hi = min(c + 256, n);
+        sum = (sum ^ checksum_chunk(data, c, hi)) & 1073741823;
+    }}
+    return sum;
+}}
+
+fn main() {{
+    let n = {n};
+    let level = {level};
+    let data = new [n];
+    fill(data, n, {seed});
+    let table = new [4096];
+    for (let t = 0; t < 4096; t = t + 1) {{
+        table[t] = 0;
+    }}
+    let total = 0;
+    for (let pass = 0; pass < level; pass = pass + 1) {{
+        total = total + compress_pass(data, n, table);
+    }}
+    print total;
+    print checksum(data, n);
+}}
+"
+    )
+}
+
+fn generate(rng: &mut StdRng) -> Vec<GeneratedInput> {
+    let mut inputs = Vec::with_capacity(100);
+    for i in 0..100u64 {
+        // File sizes over two orders of magnitude; the data buffer scales
+        // with the file size (4 bytes per element).
+        let bytes = log_uniform_int(rng, 2_000, 250_000);
+        let n = bytes / 4;
+        let level = rng.gen_range(1..=4u64);
+        let seed = rng.gen_range(1..1_000_000u64);
+        let name = format!("data_{i}.bin");
+        let mut vfs = evovm_xicl::Vfs::new();
+        vfs.write(name.clone(), text_file("compress corpus", bytes as usize, seed));
+        inputs.push(GeneratedInput {
+            args: vec!["-l".into(), level.to_string(), name],
+            vfs,
+            source: source(n, level, seed),
+        });
+    }
+    inputs
+}
+
+pub(crate) fn def() -> Def {
+    Def {
+        name: "compress",
+        suite: Suite::Jvm98,
+        campaign_runs: 70,
+        spec: SPEC,
+        registry,
+        generate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn run(src: &str) -> (Vec<String>, u64) {
+        let program = Arc::new(evovm_minijava::compile(src).unwrap());
+        let mut vm = evovm_vm::Vm::new(
+            program,
+            Box::new(evovm_vm::BaselineOnlyPolicy),
+            evovm_vm::VmConfig::default(),
+        )
+        .unwrap();
+        match vm.run().unwrap() {
+            evovm_vm::Outcome::Finished(r) => (r.output, r.total_cycles),
+            evovm_vm::Outcome::FeaturesReady => panic!("compress does not publish"),
+        }
+    }
+
+    #[test]
+    fn template_compiles_and_runs() {
+        let (out, _) = run(&source(200, 2, 5));
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn time_scales_with_size_and_level() {
+        // The 4096-entry hash-table init is a fixed cost, so compare
+        // sizes well above it.
+        let (_, small) = run(&source(2_000, 1, 5));
+        let (_, big) = run(&source(20_000, 1, 5));
+        let (_, leveled) = run(&source(2_000, 4, 5));
+        assert!(big > 5 * small, "big={big} small={small}");
+        assert!(leveled > 2 * small, "leveled={leveled} small={small}");
+    }
+
+    #[test]
+    fn size_feature_tracks_the_buffer() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let inputs = generate(&mut rng);
+        let spec = evovm_xicl::spec::parse(SPEC).unwrap();
+        let t = evovm_xicl::Translator::new(spec, registry());
+        let (fv, _) = t.translate(&inputs[0].args, &inputs[0].vfs).unwrap();
+        assert!(fv.get("operand0.SIZE").unwrap().as_num().unwrap() >= 2_000.0);
+    }
+}

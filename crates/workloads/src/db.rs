@@ -1,0 +1,199 @@
+//! `db` — the SPECjvm98 in-memory database analog.
+//!
+//! Builds a key table of `mDbSize` records, shell-sorts it, then serves
+//! `mQueries` binary-search lookups plus `-u` updates. The paper's two
+//! user-defined features for Db — the sizes of the database and of the
+//! query batch — are extracted from the input files' header lines.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use evovm_xicl::extract::Registry;
+
+use crate::common::{log_uniform_int, text_file, HeaderNum, LCG};
+use crate::{Def, GeneratedInput, Suite};
+
+const SPEC: &str = "
+# db: update count option, database file, query file
+option {name=-u; type=num; attr=VAL; default=0; has_arg=y}
+operand {position=1; type=file; attr=mDbSize}
+operand {position=2; type=file; attr=mQueries}
+";
+
+fn registry() -> Registry {
+    let mut r = Registry::with_predefined();
+    r.register("mDbSize", HeaderNum { index: 0 });
+    r.register("mQueries", HeaderNum { index: 0 });
+    r
+}
+
+fn source(n: u64, q: u64, u: u64, seed: u64) -> String {
+    format!(
+        "{LCG}
+fn build_chunk(keys, from, to, seed) {{
+    let s = seed;
+    for (let i = from; i < to; i = i + 1) {{
+        s = lcg(s);
+        keys[i] = s % 1000000;
+    }}
+    return s;
+}}
+
+fn build(keys, n, seed) {{
+    let s = seed;
+    for (let c = 0; c < n; c = c + 256) {{
+        s = build_chunk(keys, c, min(c + 256, n), s);
+    }}
+    return s;
+}}
+
+fn insert_sorted(keys, gap, i) {{
+    let v = keys[i];
+    let j = i;
+    while (j >= gap && keys[j - gap] > v) {{
+        keys[j] = keys[j - gap];
+        j = j - gap;
+    }}
+    keys[j] = v;
+    return j;
+}}
+
+fn shellsort(keys, n) {{
+    let gap = n / 2;
+    while (gap > 0) {{
+        for (let i = gap; i < n; i = i + 1) {{
+            insert_sorted(keys, gap, i);
+        }}
+        gap = gap / 2;
+    }}
+    return n;
+}}
+
+fn bsearch(keys, n, key) {{
+    let lo = 0;
+    let hi = n;
+    while (lo < hi) {{
+        let mid = (lo + hi) / 2;
+        if (keys[mid] < key) {{
+            lo = mid + 1;
+        }} else {{
+            hi = mid;
+        }}
+    }}
+    return lo;
+}}
+
+fn run_queries(keys, n, q, seed) {{
+    let s = seed;
+    let hits = 0;
+    for (let i = 0; i < q; i = i + 1) {{
+        s = lcg(s);
+        let pos = bsearch(keys, n, s % 1000000);
+        if (pos < n && keys[pos] == s % 1000000) {{
+            hits = hits + 1;
+        }}
+    }}
+    return hits;
+}}
+
+fn run_updates(keys, n, u, seed) {{
+    let s = seed;
+    for (let i = 0; i < u; i = i + 1) {{
+        s = lcg(s);
+        keys[s % n] = s % 1000000;
+    }}
+    return s;
+}}
+
+fn main() {{
+    let n = {n};
+    let q = {q};
+    let u = {u};
+    let keys = new [n];
+    build(keys, n, {seed});
+    shellsort(keys, n);
+    print run_queries(keys, n, q, {seed} + 99);
+    run_updates(keys, n, u, {seed} + 7);
+    print keys[n / 2];
+}}
+"
+    )
+}
+
+fn generate(rng: &mut StdRng) -> Vec<GeneratedInput> {
+    let mut inputs = Vec::with_capacity(90);
+    for i in 0..90u64 {
+        let n = log_uniform_int(rng, 400, 30_000);
+        let q = log_uniform_int(rng, 100, 40_000);
+        let u = log_uniform_int(rng, 1, 2_000);
+        let seed = rng.gen_range(1..1_000_000u64);
+        let db_name = format!("db_{i}.tbl");
+        let q_name = format!("queries_{i}.sql");
+        let mut vfs = evovm_xicl::Vfs::new();
+        vfs.write(db_name.clone(), text_file(&format!("{n} records"), 256, seed));
+        vfs.write(q_name.clone(), text_file(&format!("{q} queries"), 128, seed + 1));
+        inputs.push(GeneratedInput {
+            args: vec!["-u".into(), u.to_string(), db_name, q_name],
+            vfs,
+            source: source(n, q, u, seed),
+        });
+    }
+    inputs
+}
+
+pub(crate) fn def() -> Def {
+    Def {
+        name: "db",
+        suite: Suite::Jvm98,
+        campaign_runs: 70,
+        spec: SPEC,
+        registry,
+        generate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn run(src: &str) -> (Vec<String>, u64) {
+        let program = Arc::new(evovm_minijava::compile(src).unwrap());
+        let mut vm = evovm_vm::Vm::new(
+            program,
+            Box::new(evovm_vm::BaselineOnlyPolicy),
+            evovm_vm::VmConfig::default(),
+        )
+        .unwrap();
+        match vm.run().unwrap() {
+            evovm_vm::Outcome::Finished(r) => (r.output, r.total_cycles),
+            evovm_vm::Outcome::FeaturesReady => panic!("db does not publish"),
+        }
+    }
+
+    #[test]
+    fn template_compiles_and_runs() {
+        let (out, _) = run(&source(100, 50, 5, 3));
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn sorted_output_is_deterministic() {
+        let (a, _) = run(&source(100, 50, 5, 3));
+        let (b, _) = run(&source(100, 50, 5, 3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn both_header_features_extract() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let inputs = generate(&mut rng);
+        assert_eq!(inputs.len(), 90);
+        let spec = evovm_xicl::spec::parse(SPEC).unwrap();
+        let t = evovm_xicl::Translator::new(spec, registry());
+        let (fv, _) = t.translate(&inputs[0].args, &inputs[0].vfs).unwrap();
+        assert!(fv.get("operand0.mDbSize").unwrap().as_num().unwrap() >= 400.0);
+        assert!(fv.get("operand1.mQueries").unwrap().as_num().unwrap() >= 100.0);
+    }
+}

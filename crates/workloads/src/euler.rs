@@ -1,0 +1,146 @@
+//! `euler` — the Java Grande CFD analog.
+//!
+//! Time-steps a 2-D Euler flow on an `n×n` grid for `-t` steps: flux
+//! computation, cell update and boundary conditions. Floating-point heavy
+//! (the quickening pass matters here), running time ~ `n² × t`.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use evovm_xicl::extract::Registry;
+
+use crate::common::{log_uniform_int, LCG};
+use crate::{Def, GeneratedInput, Suite};
+
+const SPEC: &str = "
+# euler: grid size and time steps (the Grande 'input value')
+option {name=-n; type=num; attr=VAL; default=16; has_arg=y}
+option {name=-t; type=num; attr=VAL; default=10; has_arg=y}
+";
+
+fn registry() -> Registry {
+    Registry::with_predefined()
+}
+
+fn source(n: u64, steps: u64, seed: u64) -> String {
+    format!(
+        "{LCG}
+fn init(grid, cells, seed) {{
+    let s = seed;
+    for (let i = 0; i < cells; i = i + 1) {{
+        s = lcg(s);
+        grid[i] = float(s % 1000) / 1000.0 + 0.5;
+    }}
+    return s;
+}}
+
+fn flux(grid, next, n) {{
+    let cells = n * n;
+    for (let i = n; i < cells - n; i = i + 1) {{
+        let up = grid[i - n];
+        let down = grid[i + n];
+        let here = grid[i];
+        let f = (up - here) * 0.24 + (down - here) * 0.24;
+        next[i] = here + f;
+    }}
+    return next[n];
+}}
+
+fn boundary(grid, n) {{
+    let cells = n * n;
+    for (let i = 0; i < n; i = i + 1) {{
+        grid[i] = 1.0;
+        grid[cells - 1 - i] = 0.5;
+    }}
+    return grid[0];
+}}
+
+fn energy(grid, cells) {{
+    let e = 0.0;
+    for (let i = 0; i < cells; i = i + 1) {{
+        e = e + grid[i] * grid[i];
+    }}
+    return e;
+}}
+
+fn main() {{
+    let n = {n};
+    let steps = {steps};
+    let cells = n * n;
+    let grid = new [cells];
+    let next = new [cells];
+    init(grid, cells, {seed});
+    init(next, cells, {seed} + 1);
+    for (let t = 0; t < steps; t = t + 1) {{
+        flux(grid, next, n);
+        let tmp = grid;
+        grid = next;
+        next = tmp;
+        boundary(grid, n);
+    }}
+    print int(energy(grid, cells) * 1000.0);
+}}
+"
+    )
+}
+
+fn generate(rng: &mut StdRng) -> Vec<GeneratedInput> {
+    let mut inputs = Vec::with_capacity(30);
+    for _ in 0..30u64 {
+        let n = log_uniform_int(rng, 10, 56);
+        let steps = log_uniform_int(rng, 4, 80);
+        let seed = rng.gen_range(1..1_000_000u64);
+        inputs.push(GeneratedInput {
+            args: vec!["-n".into(), n.to_string(), "-t".into(), steps.to_string()],
+            vfs: evovm_xicl::Vfs::new(),
+            source: source(n, steps, seed),
+        });
+    }
+    inputs
+}
+
+pub(crate) fn def() -> Def {
+    Def {
+        name: "euler",
+        suite: Suite::Grande,
+        campaign_runs: 30,
+        spec: SPEC,
+        registry,
+        generate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn run(src: &str) -> (Vec<String>, u64) {
+        let program = Arc::new(evovm_minijava::compile(src).unwrap());
+        let mut vm = evovm_vm::Vm::new(
+            program,
+            Box::new(evovm_vm::BaselineOnlyPolicy),
+            evovm_vm::VmConfig::default(),
+        )
+        .unwrap();
+        match vm.run().unwrap() {
+            evovm_vm::Outcome::Finished(r) => (r.output, r.total_cycles),
+            evovm_vm::Outcome::FeaturesReady => panic!("euler does not publish"),
+        }
+    }
+
+    #[test]
+    fn template_compiles_and_runs() {
+        let (out, _) = run(&source(8, 4, 3));
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn cost_scales_with_grid_and_steps() {
+        let (_, small) = run(&source(8, 4, 3));
+        let (_, big_grid) = run(&source(24, 4, 3));
+        let (_, more_steps) = run(&source(8, 32, 3));
+        assert!(big_grid > 3 * small);
+        assert!(more_steps > 3 * small);
+    }
+}

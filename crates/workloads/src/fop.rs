@@ -1,0 +1,186 @@
+//! `fop` — the DaCapo XSL-FO formatter analog.
+//!
+//! Parses an FO document of `LINES` lines, lays it out, and renders to the
+//! format selected by `-fmt` (`pdf`, `ps` or `txt`). Each renderer is a
+//! distinct method with a distinct per-line cost, so the categorical
+//! format option decides which method the optimizer should focus on.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use evovm_xicl::extract::Registry;
+
+use crate::common::{log_uniform_int, LCG};
+use crate::{Def, GeneratedInput, Suite};
+
+const SPEC: &str = "
+# fop: output format option (categorical), FO document operand
+option {name=-fmt; type=str; attr=VAL; default=pdf; has_arg=y}
+operand {position=1; type=file; attr=LINES:SIZE}
+";
+
+fn registry() -> Registry {
+    Registry::with_predefined()
+}
+
+/// `fmt_id`: 0 = pdf (8 units/line), 1 = ps (4), 2 = txt (1).
+fn source(lines: u64, fmt_id: u64, seed: u64) -> String {
+    format!(
+        "{LCG}
+fn parse_fo(lines, seed) {{
+    let doc = new [lines];
+    let s = seed;
+    for (let i = 0; i < lines; i = i + 1) {{
+        s = lcg(s);
+        doc[i] = s % 80 + 1;
+    }}
+    return doc;
+}}
+
+fn layout(doc, lines) {{
+    let height = 0;
+    for (let i = 0; i < lines; i = i + 1) {{
+        let w = doc[i];
+        let breaks = 0;
+        while (w > 20) {{
+            w = w - 20;
+            breaks = breaks + 1;
+        }}
+        height = height + breaks + 1;
+    }}
+    return height;
+}}
+
+fn render_line(width, per_line, salt) {{
+    let out = 0;
+    let work = width * per_line;
+    for (let k = 0; k < work; k = k + 1) {{
+        out = (out * 131 + k + salt) & 1073741823;
+    }}
+    return out;
+}}
+
+fn render_pdf(doc, lines) {{
+    let out = 0;
+    for (let i = 0; i < lines; i = i + 1) {{
+        out = (out + render_line(doc[i], 8, 17)) & 1073741823;
+    }}
+    return out;
+}}
+
+fn render_ps(doc, lines) {{
+    let out = 0;
+    for (let i = 0; i < lines; i = i + 1) {{
+        out = (out + render_line(doc[i], 4, 29)) & 1073741823;
+    }}
+    return out;
+}}
+
+fn render_txt(doc, lines) {{
+    let out = 0;
+    for (let i = 0; i < lines; i = i + 1) {{
+        out = (out + render_line(doc[i], 1, 43)) & 1073741823;
+    }}
+    return out;
+}}
+
+fn main() {{
+    let lines = {lines};
+    let fmt = {fmt_id};
+    let doc = parse_fo(lines, {seed});
+    print layout(doc, lines);
+    if (fmt == 0) {{
+        print render_pdf(doc, lines);
+    }} else if (fmt == 1) {{
+        print render_ps(doc, lines);
+    }} else {{
+        print render_txt(doc, lines);
+    }}
+}}
+"
+    )
+}
+
+fn generate(rng: &mut StdRng) -> Vec<GeneratedInput> {
+    const FMTS: [&str; 3] = ["pdf", "ps", "txt"];
+    let mut inputs = Vec::with_capacity(30);
+    for i in 0..30u64 {
+        let lines = log_uniform_int(rng, 60, 4_000);
+        let fmt_id = rng.gen_range(0..FMTS.len());
+        let seed = rng.gen_range(1..1_000_000u64);
+        let name = format!("doc_{i}.fo");
+        let mut vfs = evovm_xicl::Vfs::new();
+        // One VFS line per document line so LINES matches.
+        let mut body = String::new();
+        for l in 0..lines {
+            body.push_str(&format!("<fo:block line=\"{l}\"/>\n"));
+        }
+        vfs.write(name.clone(), body);
+        inputs.push(GeneratedInput {
+            args: vec!["-fmt".into(), FMTS[fmt_id].into(), name],
+            vfs,
+            source: source(lines, fmt_id as u64, seed),
+        });
+    }
+    inputs
+}
+
+pub(crate) fn def() -> Def {
+    Def {
+        name: "fop",
+        suite: Suite::Dacapo,
+        campaign_runs: 30,
+        spec: SPEC,
+        registry,
+        generate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn run(src: &str) -> (Vec<String>, u64) {
+        let program = Arc::new(evovm_minijava::compile(src).unwrap());
+        let mut vm = evovm_vm::Vm::new(
+            program,
+            Box::new(evovm_vm::BaselineOnlyPolicy),
+            evovm_vm::VmConfig::default(),
+        )
+        .unwrap();
+        match vm.run().unwrap() {
+            evovm_vm::Outcome::Finished(r) => (r.output, r.total_cycles),
+            evovm_vm::Outcome::FeaturesReady => panic!("fop does not publish"),
+        }
+    }
+
+    #[test]
+    fn formats_have_distinct_costs() {
+        let (_, pdf) = run(&source(200, 0, 3));
+        let (_, ps) = run(&source(200, 1, 3));
+        let (_, txt) = run(&source(200, 2, 3));
+        assert!(pdf > ps);
+        assert!(ps > txt);
+    }
+
+    #[test]
+    fn lines_feature_matches_document() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let inputs = generate(&mut rng);
+        assert_eq!(inputs.len(), 30);
+        let spec = evovm_xicl::spec::parse(SPEC).unwrap();
+        let t = evovm_xicl::Translator::new(spec, registry());
+        let (fv, _) = t.translate(&inputs[0].args, &inputs[0].vfs).unwrap();
+        let lines = fv.get("operand0.LINES").unwrap().as_num().unwrap();
+        assert!(lines >= 60.0);
+    }
+
+    #[test]
+    fn template_output_is_deterministic() {
+        let (a, _) = run(&source(100, 0, 9));
+        let (b, _) = run(&source(100, 0, 9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,228 @@
+//! The benchmark workloads of the reproduction: eleven input-sensitive
+//! MiniJava programs mirroring the paper's Table I benchmark mix
+//! (SPECjvm98, DaCapo and Java Grande analogs).
+//!
+//! Each workload bundles
+//!
+//! - a MiniJava **program template** whose input parameters are baked into
+//!   the bytecode per input (the toy VM has no argv, see `DESIGN.md`),
+//! - an **XICL spec** (with programmer-defined extractors where the paper
+//!   used them: db/query sizes for Db, rule counts for Antlr, LoC for
+//!   Bloat, scene sizes for Mtrt),
+//! - an **input generator** producing the paper's per-benchmark input-set
+//!   sizes with wide running-time spreads.
+//!
+//! | name | suite | inputs | key features | hot-method story |
+//! |---|---|---|---|---|
+//! | `mtrt` | jvm98 | 100 | `-w/-h/-d`, `mSpheres`, runtime publish | per-pixel trace/intersect over a scene |
+//! | `compress` | jvm98 | 100 | `-l`, file `SIZE`/`LINES` | per-element hash/back-reference scan |
+//! | `db` | jvm98 | 90 | `-u`, `mDbSize`, `mQueries` | shellsort inserts + binary-search queries |
+//! | `antlr` | dacapo | 40 | `-o`/`-lang` (categorical), `mRules`, publish | quadratic closures + language-selected emitter |
+//! | `bloat` | dacapo | 40 | `-op` (categorical), `mLoc` | pass selection flips the hot method |
+//! | `fop` | dacapo | 30 | `-fmt` (categorical), `LINES` | renderer choice flips the hot method |
+//! | `euler` | grande | 30 | `-n`, `-t` | per-step flux kernel, float-heavy |
+//! | `moldyn` | grande | 30 | `-n`, `-s` | O(n²) pairwise forces per step |
+//! | `montecarlo` | grande | 30 | `-p`, `-s` | per-path simulation kernel |
+//! | `search` | grande | 7 | position string `LEN` | recursive alpha-beta, depth from input |
+//! | `raytracer` | grande | 70 | `-n` | n² pixels over a fixed scene |
+//!
+//! # Example
+//!
+//! ```
+//! let bench = evovm_workloads::by_name("search").expect("bundled workload");
+//! assert!(!bench.inputs.is_empty());
+//! assert!(bench.check_consistent());
+//! ```
+
+mod antlr;
+mod bloat;
+mod common;
+mod compress;
+mod db;
+mod euler;
+mod fop;
+mod moldyn;
+mod montecarlo;
+mod mtrt;
+mod raytracer;
+mod search;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+use std::sync::Arc;
+
+use evovm::{AppInput, Bench};
+use evovm_xicl::extract::Registry;
+use evovm_xicl::{spec, Translator, Vfs};
+
+/// Which suite the original benchmark came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Suite {
+    /// SPECjvm98.
+    Jvm98,
+    /// DaCapo.
+    Dacapo,
+    /// Java Grande.
+    Grande,
+}
+
+impl fmt::Display for Suite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Suite::Jvm98 => write!(f, "jvm98"),
+            Suite::Dacapo => write!(f, "dacapo"),
+            Suite::Grande => write!(f, "grande"),
+        }
+    }
+}
+
+/// One generated input before compilation.
+pub struct GeneratedInput {
+    /// Command-line arguments.
+    pub args: Vec<String>,
+    /// Files the arguments reference.
+    pub vfs: Vfs,
+    /// The MiniJava source with this input's parameters baked in.
+    pub source: String,
+}
+
+/// A workload definition (internal registry entry).
+pub(crate) struct Def {
+    pub name: &'static str,
+    pub suite: Suite,
+    /// Paper-style campaign length (30, or 70 for input-rich programs).
+    pub campaign_runs: usize,
+    pub spec: &'static str,
+    pub registry: fn() -> Registry,
+    pub generate: fn(&mut StdRng) -> Vec<GeneratedInput>,
+}
+
+/// Descriptive metadata of a workload.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadInfo {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Source suite.
+    pub suite: Suite,
+    /// Campaign length used by the paper-style experiments.
+    pub campaign_runs: usize,
+}
+
+fn defs() -> Vec<Def> {
+    vec![
+        mtrt::def(),
+        compress::def(),
+        db::def(),
+        antlr::def(),
+        bloat::def(),
+        fop::def(),
+        euler::def(),
+        moldyn::def(),
+        montecarlo::def(),
+        search::def(),
+        raytracer::def(),
+    ]
+}
+
+/// Names of all bundled workloads, in Table I order.
+pub fn names() -> Vec<&'static str> {
+    defs().iter().map(|d| d.name).collect()
+}
+
+/// Metadata for a bundled workload.
+pub fn info(name: &str) -> Option<WorkloadInfo> {
+    defs().into_iter().find(|d| d.name == name).map(|d| WorkloadInfo {
+        name: d.name,
+        suite: d.suite,
+        campaign_runs: d.campaign_runs,
+    })
+}
+
+/// Materialize a workload into a runnable [`Bench`] with a specific input
+/// generation seed.
+///
+/// Returns `None` for an unknown name.
+///
+/// # Panics
+///
+/// Panics if a bundled template fails to compile — a workspace bug caught
+/// by this crate's tests, never by downstream users.
+pub fn materialize(name: &str, seed: u64) -> Option<Bench> {
+    let def = defs().into_iter().find(|d| d.name == name)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let generated = (def.generate)(&mut rng);
+    let inputs = generated
+        .into_iter()
+        .map(|g| {
+            let program = evovm_minijava::compile(&g.source).unwrap_or_else(|e| {
+                panic!("workload `{}` template failed to compile: {e}", def.name)
+            });
+            AppInput {
+                args: g.args,
+                vfs: g.vfs,
+                program: Arc::new(program),
+            }
+        })
+        .collect();
+    let xicl_spec = spec::parse(def.spec)
+        .unwrap_or_else(|e| panic!("workload `{}` spec failed to parse: {e}", def.name));
+    Some(Bench {
+        name: def.name.to_owned(),
+        translator: Translator::new(xicl_spec, (def.registry)()),
+        inputs,
+    })
+}
+
+/// Materialize a workload with the default seed (42).
+pub fn by_name(name: &str) -> Option<Bench> {
+    materialize(name, 42)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_eleven_workloads_exist() {
+        let names = names();
+        assert_eq!(names.len(), 11);
+        for expected in [
+            "mtrt",
+            "compress",
+            "db",
+            "antlr",
+            "bloat",
+            "fop",
+            "euler",
+            "moldyn",
+            "montecarlo",
+            "search",
+            "raytracer",
+        ] {
+            assert!(names.contains(&expected), "missing workload {expected}");
+        }
+    }
+
+    #[test]
+    fn unknown_names_are_none() {
+        assert!(by_name("javac").is_none());
+        assert!(info("javac").is_none());
+    }
+
+    #[test]
+    fn seeds_change_inputs_deterministically() {
+        let a = materialize("search", 1).unwrap();
+        let b = materialize("search", 1).unwrap();
+        let c = materialize("search", 2).unwrap();
+        assert_eq!(a.inputs.len(), b.inputs.len());
+        assert_eq!(a.inputs[0].args, b.inputs[0].args);
+        // Different seed should produce at least one differing input.
+        let differs = a
+            .inputs
+            .iter()
+            .zip(&c.inputs)
+            .any(|(x, y)| x.args != y.args || x.program != y.program);
+        assert!(differs, "seed should influence generation");
+    }
+}

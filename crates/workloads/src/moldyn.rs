@@ -1,0 +1,154 @@
+//! `moldyn` — the Java Grande molecular-dynamics analog.
+//!
+//! `-n` particles with an O(n²) pairwise force kernel, stepped `-s`
+//! times. The force loop is by far the hottest method, and whether it
+//! deserves O2 depends entirely on the input's `n²·s` product.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use evovm_xicl::extract::Registry;
+
+use crate::common::{log_uniform_int, LCG};
+use crate::{Def, GeneratedInput, Suite};
+
+const SPEC: &str = "
+# moldyn: particle count and step count
+option {name=-n; type=num; attr=VAL; default=24; has_arg=y}
+option {name=-s; type=num; attr=VAL; default=5; has_arg=y}
+";
+
+fn registry() -> Registry {
+    Registry::with_predefined()
+}
+
+fn source(n: u64, steps: u64, seed: u64) -> String {
+    format!(
+        "{LCG}
+fn init_axis(n, seed) {{
+    let a = new [n];
+    let s = seed;
+    for (let i = 0; i < n; i = i + 1) {{
+        s = lcg(s);
+        a[i] = float(s % 1000) / 100.0;
+    }}
+    return a;
+}}
+
+fn forces(x, y, fx, fy, n) {{
+    let pot = 0.0;
+    for (let i = 0; i < n; i = i + 1) {{
+        let fxi = 0.0;
+        let fyi = 0.0;
+        for (let j = 0; j < n; j = j + 1) {{
+            if (j != i) {{
+                let dx = x[i] - x[j];
+                let dy = y[i] - y[j];
+                let r2 = dx * dx + dy * dy + 0.01;
+                let inv = 1.0 / r2;
+                let f = inv * inv - 0.5 * inv;
+                fxi = fxi + dx * f;
+                fyi = fyi + dy * f;
+                pot = pot + inv;
+            }}
+        }}
+        fx[i] = fxi;
+        fy[i] = fyi;
+    }}
+    return pot;
+}}
+
+fn advance(x, y, fx, fy, n, dt) {{
+    for (let i = 0; i < n; i = i + 1) {{
+        x[i] = x[i] + fx[i] * dt;
+        y[i] = y[i] + fy[i] * dt;
+    }}
+    return x[0];
+}}
+
+fn kinetic(fx, fy, n) {{
+    let e = 0.0;
+    for (let i = 0; i < n; i = i + 1) {{
+        e = e + fx[i] * fx[i] + fy[i] * fy[i];
+    }}
+    return e;
+}}
+
+fn main() {{
+    let n = {n};
+    let steps = {steps};
+    let x = init_axis(n, {seed});
+    let y = init_axis(n, {seed} + 1);
+    let fx = new [n];
+    let fy = new [n];
+    let pot = 0.0;
+    for (let t = 0; t < steps; t = t + 1) {{
+        pot = pot + forces(x, y, fx, fy, n);
+        advance(x, y, fx, fy, n, 0.002);
+    }}
+    print int(pot);
+    print int(kinetic(fx, fy, n) * 1000.0);
+}}
+"
+    )
+}
+
+fn generate(rng: &mut StdRng) -> Vec<GeneratedInput> {
+    let mut inputs = Vec::with_capacity(30);
+    for _ in 0..30u64 {
+        let n = log_uniform_int(rng, 12, 80);
+        let steps = log_uniform_int(rng, 2, 32);
+        let seed = rng.gen_range(1..1_000_000u64);
+        inputs.push(GeneratedInput {
+            args: vec!["-n".into(), n.to_string(), "-s".into(), steps.to_string()],
+            vfs: evovm_xicl::Vfs::new(),
+            source: source(n, steps, seed),
+        });
+    }
+    inputs
+}
+
+pub(crate) fn def() -> Def {
+    Def {
+        name: "moldyn",
+        suite: Suite::Grande,
+        campaign_runs: 30,
+        spec: SPEC,
+        registry,
+        generate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn run(src: &str) -> (Vec<String>, u64) {
+        let program = Arc::new(evovm_minijava::compile(src).unwrap());
+        let mut vm = evovm_vm::Vm::new(
+            program,
+            Box::new(evovm_vm::BaselineOnlyPolicy),
+            evovm_vm::VmConfig::default(),
+        )
+        .unwrap();
+        match vm.run().unwrap() {
+            evovm_vm::Outcome::Finished(r) => (r.output, r.total_cycles),
+            evovm_vm::Outcome::FeaturesReady => panic!("moldyn does not publish"),
+        }
+    }
+
+    #[test]
+    fn template_compiles_and_runs() {
+        let (out, _) = run(&source(8, 3, 3));
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn pairwise_kernel_is_quadratic() {
+        let (_, n8) = run(&source(8, 4, 3));
+        let (_, n32) = run(&source(32, 4, 3));
+        // 16× the pairs; allow slack for fixed costs.
+        assert!(n32 > 8 * n8);
+    }
+}

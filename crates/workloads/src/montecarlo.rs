@@ -1,0 +1,138 @@
+//! `montecarlo` — the Java Grande Monte Carlo pricing analog.
+//!
+//! Simulates `-p` random-walk paths of `-s` steps each and aggregates
+//! their statistics. The path kernel mixes integer PRNG work with float
+//! accumulation.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use evovm_xicl::extract::Registry;
+
+use crate::common::{log_uniform_int, LCG};
+use crate::{Def, GeneratedInput, Suite};
+
+const SPEC: &str = "
+# montecarlo: path count and steps per path
+option {name=-p; type=num; attr=VAL; default=500; has_arg=y}
+option {name=-s; type=num; attr=VAL; default=32; has_arg=y}
+";
+
+fn registry() -> Registry {
+    Registry::with_predefined()
+}
+
+fn source(paths: u64, steps: u64, seed: u64) -> String {
+    format!(
+        "{LCG}
+fn sim_path(seed, steps) {{
+    let s = seed;
+    let value = 100.0;
+    for (let t = 0; t < steps; t = t + 1) {{
+        s = lcg(s);
+        let shock = float(s % 2001 - 1000) / 10000.0;
+        value = value * (1.0 + shock);
+    }}
+    return value;
+}}
+
+fn stats_update(sum, sq, v) {{
+    // packs (sum, sumsq) into an array for multi-value return
+    let out = new [2];
+    out[0] = sum + v;
+    out[1] = sq + v * v;
+    return out;
+}}
+
+fn main() {{
+    let paths = {paths};
+    let steps = {steps};
+    let sum = 0.0;
+    let sq = 0.0;
+    let s = {seed};
+    for (let p = 0; p < paths; p = p + 1) {{
+        s = lcg(s + p);
+        let v = sim_path(s, steps);
+        let acc = stats_update(sum, sq, v);
+        sum = acc[0];
+        sq = acc[1];
+    }}
+    let mean = sum / float(paths);
+    let var = sq / float(paths) - mean * mean;
+    print int(mean * 100.0);
+    print int(var);
+}}
+"
+    )
+}
+
+fn generate(rng: &mut StdRng) -> Vec<GeneratedInput> {
+    let mut inputs = Vec::with_capacity(30);
+    for _ in 0..30u64 {
+        let paths = log_uniform_int(rng, 100, 12_000);
+        let steps = log_uniform_int(rng, 8, 96);
+        let seed = rng.gen_range(1..1_000_000u64);
+        inputs.push(GeneratedInput {
+            args: vec![
+                "-p".into(),
+                paths.to_string(),
+                "-s".into(),
+                steps.to_string(),
+            ],
+            vfs: evovm_xicl::Vfs::new(),
+            source: source(paths, steps, seed),
+        });
+    }
+    inputs
+}
+
+pub(crate) fn def() -> Def {
+    Def {
+        name: "montecarlo",
+        suite: Suite::Grande,
+        campaign_runs: 30,
+        spec: SPEC,
+        registry,
+        generate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn run(src: &str) -> (Vec<String>, u64) {
+        let program = Arc::new(evovm_minijava::compile(src).unwrap());
+        let mut vm = evovm_vm::Vm::new(
+            program,
+            Box::new(evovm_vm::BaselineOnlyPolicy),
+            evovm_vm::VmConfig::default(),
+        )
+        .unwrap();
+        match vm.run().unwrap() {
+            evovm_vm::Outcome::Finished(r) => (r.output, r.total_cycles),
+            evovm_vm::Outcome::FeaturesReady => panic!("montecarlo does not publish"),
+        }
+    }
+
+    #[test]
+    fn template_compiles_and_runs() {
+        let (out, _) = run(&source(50, 8, 3));
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn cost_scales_with_paths_times_steps() {
+        let (_, small) = run(&source(50, 8, 3));
+        let (_, large) = run(&source(500, 16, 3));
+        assert!(large > 10 * small);
+    }
+
+    #[test]
+    fn different_seeds_change_the_estimate() {
+        let (a, _) = run(&source(100, 16, 3));
+        let (b, _) = run(&source(100, 16, 4));
+        assert_ne!(a, b);
+    }
+}

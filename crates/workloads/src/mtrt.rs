@@ -1,0 +1,238 @@
+//! `mtrt` — the SPECjvm98 multi-threaded ray tracer analog.
+//!
+//! Renders a `W×H` image of a procedurally generated sphere scene with
+//! reflection depth `D`. The per-pixel cost scales with the sphere count,
+//! so running time — and therefore the ideal optimization levels of
+//! `intersect`/`trace` — is a strong function of the input. The program
+//! publishes the scene size through the runtime feature channel and calls
+//! `done` (paper §III-B.3's `updateV`/`done` path), so campaigns exercise
+//! the pause-predict-resume protocol.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use evovm_xicl::extract::Registry;
+
+use crate::common::{log_uniform_int, HeaderNum, LCG};
+use crate::{Def, GeneratedInput, Suite};
+
+const SPEC: &str = "
+# mtrt: W/H resolution options, reflection depth, scene file
+option {name=-w; type=num; attr=VAL; default=16; has_arg=y}
+option {name=-h; type=num; attr=VAL; default=16; has_arg=y}
+option {name=-d; type=num; attr=VAL; default=2; has_arg=y}
+operand {position=1; type=file; attr=mSpheres}
+";
+
+fn registry() -> Registry {
+    let mut r = Registry::with_predefined();
+    r.register("mSpheres", HeaderNum { index: 0 });
+    r
+}
+
+fn source(w: u64, h: u64, depth: u64, ns: u64, seed: u64) -> String {
+    format!(
+        "{LCG}
+fn make_axis(ns, seed, scale) {{
+    let a = new [ns];
+    let s = seed;
+    for (let i = 0; i < ns; i = i + 1) {{
+        s = lcg(s);
+        a[i] = float(s % 1000) / 1000.0 * scale - scale / 2.0;
+    }}
+    return a;
+}}
+
+fn intersect(px, py, pz, dx, dy, dz, sx, sy, sz, sr, ns) {{
+    let best = 0 - 1;
+    let bestd = 1000000000.0;
+    for (let i = 0; i < ns; i = i + 1) {{
+        let ox = sx[i] - px;
+        let oy = sy[i] - py;
+        let oz = sz[i] - pz;
+        let b = ox * dx + oy * dy + oz * dz;
+        let c = ox * ox + oy * oy + oz * oz - sr[i] * sr[i];
+        let disc = b * b - c;
+        if (disc > 0.0) {{
+            let t = b - sqrt(disc);
+            if (t > 0.001 && t < bestd) {{
+                bestd = t;
+                best = i;
+            }}
+        }}
+    }}
+    return best;
+}}
+
+fn shade(hit, depth, px, py, pz, dx, dy, dz, sx, sy, sz, sr, ns) {{
+    let base = 200 - hit * 3;
+    if (depth <= 1) {{
+        return base;
+    }}
+    // bounce: perturb the ray off the hit sphere
+    let rdx = dy + sx[hit] * 0.01;
+    let rdy = dz - sy[hit] * 0.01;
+    let rdz = dx + sz[hit] * 0.01;
+    let bounce = trace(px + dx, py + dy, pz + dz, rdx, rdy, rdz, depth - 1, sx, sy, sz, sr, ns);
+    return base + bounce / 2;
+}}
+
+fn trace(px, py, pz, dx, dy, dz, depth, sx, sy, sz, sr, ns) {{
+    let hit = intersect(px, py, pz, dx, dy, dz, sx, sy, sz, sr, ns);
+    if (hit < 0) {{
+        return 16;
+    }}
+    return shade(hit, depth, px, py, pz, dx, dy, dz, sx, sy, sz, sr, ns);
+}}
+
+fn render(w, h, depth, sx, sy, sz, sr, ns) {{
+    let acc = 0;
+    for (let y = 0; y < h; y = y + 1) {{
+        for (let x = 0; x < w; x = x + 1) {{
+            let dx = float(x) / float(w) - 0.5;
+            let dy = float(y) / float(h) - 0.5;
+            let dz = 1.0;
+            acc = acc + trace(0.0, 0.0, 0.0 - 4.0, dx, dy, dz, depth, sx, sy, sz, sr, ns);
+        }}
+    }}
+    return acc;
+}}
+
+fn main() {{
+    let w = {w};
+    let h = {h};
+    let depth = {depth};
+    let ns = {ns};
+    publish \"spheres\", ns;
+    done;
+    let sx = make_axis(ns, {seed}, 8.0);
+    let sy = make_axis(ns, {seed} + 1, 8.0);
+    let sz = make_axis(ns, {seed} + 2, 6.0);
+    let sr = new [ns];
+    let s = {seed} + 3;
+    for (let i = 0; i < ns; i = i + 1) {{
+        s = lcg(s);
+        sr[i] = 0.3 + float(s % 100) / 100.0;
+    }}
+    for (let i = 0; i < ns; i = i + 1) {{
+        sz[i] = sz[i] + 6.0;
+    }}
+    print render(w, h, depth, sx, sy, sz, sr, ns);
+}}
+"
+    )
+}
+
+fn generate(rng: &mut StdRng) -> Vec<GeneratedInput> {
+    let mut inputs = Vec::with_capacity(100);
+    for i in 0..100u64 {
+        let w = log_uniform_int(rng, 8, 40);
+        let h = log_uniform_int(rng, 8, 40);
+        let depth = rng.gen_range(1..=3u64);
+        let ns = log_uniform_int(rng, 4, 48);
+        let seed = rng.gen_range(1..1_000_000u64);
+        let scene_name = format!("scene_{i}.txt");
+        let mut scene = format!("{ns} spheres\n");
+        let mut s = seed;
+        for _ in 0..ns {
+            s = s.wrapping_mul(1103515245).wrapping_add(12345) & 0x7fff_ffff;
+            scene.push_str(&format!(
+                "{} {} {} {}\n",
+                s % 17,
+                (s >> 3) % 17,
+                (s >> 6) % 13,
+                1 + s % 3
+            ));
+        }
+        let mut vfs = evovm_xicl::Vfs::new();
+        vfs.write(scene_name.clone(), scene);
+        inputs.push(GeneratedInput {
+            args: vec![
+                "-w".into(),
+                w.to_string(),
+                "-h".into(),
+                h.to_string(),
+                "-d".into(),
+                depth.to_string(),
+                scene_name,
+            ],
+            vfs,
+            source: source(w, h, depth, ns, seed),
+        });
+    }
+    inputs
+}
+
+pub(crate) fn def() -> Def {
+    Def {
+        name: "mtrt",
+        suite: Suite::Jvm98,
+        campaign_runs: 70,
+        spec: SPEC,
+        registry,
+        generate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    #[test]
+    fn template_compiles_and_runs() {
+        let src = source(4, 4, 2, 3, 7);
+        let program = Arc::new(evovm_minijava::compile(&src).unwrap());
+        let mut vm = evovm_vm::Vm::new(
+            program,
+            Box::new(evovm_vm::BaselineOnlyPolicy),
+            evovm_vm::VmConfig::default(),
+        )
+        .unwrap();
+        // First outcome is the pause at `done`.
+        let evovm_vm::Outcome::FeaturesReady = vm.run().unwrap() else {
+            panic!("expected a pause at done")
+        };
+        assert_eq!(vm.published()[0].0, "spheres");
+        let evovm_vm::Outcome::Finished(result) = vm.resume().unwrap() else {
+            panic!("expected completion")
+        };
+        assert_eq!(result.output.len(), 1);
+    }
+
+    #[test]
+    fn features_extract_from_generated_inputs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let inputs = generate(&mut rng);
+        assert_eq!(inputs.len(), 100);
+        let spec = evovm_xicl::spec::parse(SPEC).unwrap();
+        let t = evovm_xicl::Translator::new(spec, registry());
+        let (fv, _) = t.translate(&inputs[0].args, &inputs[0].vfs).unwrap();
+        assert!(fv.get("operand0.mSpheres").unwrap().as_num().unwrap() >= 4.0);
+        assert!(fv.get("-w.VAL").unwrap().as_num().unwrap() >= 8.0);
+    }
+
+    #[test]
+    fn output_is_input_sensitive() {
+        let run = |src: &str| {
+            let program = Arc::new(evovm_minijava::compile(src).unwrap());
+            let mut vm = evovm_vm::Vm::new(
+                program,
+                Box::new(evovm_vm::BaselineOnlyPolicy),
+                evovm_vm::VmConfig::default(),
+            )
+            .unwrap();
+            loop {
+                match vm.run().unwrap() {
+                    evovm_vm::Outcome::Finished(r) => return (r.output, r.total_cycles),
+                    evovm_vm::Outcome::FeaturesReady => continue,
+                }
+            }
+        };
+        let (small_out, small_cycles) = run(&source(4, 4, 1, 3, 7));
+        let (large_out, large_cycles) = run(&source(12, 12, 3, 24, 7));
+        assert_ne!(small_out, large_out);
+        assert!(large_cycles > 4 * small_cycles);
+    }
+}

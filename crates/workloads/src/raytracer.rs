@@ -1,0 +1,162 @@
+//! `raytracer` — the Java Grande ray tracer analog.
+//!
+//! Unlike [`crate::mtrt`] this version takes a single numeric "input
+//! value" `-n` (the Grande convention): it renders an `n×n` image of a
+//! fixed 12-sphere scene without reflections, so its cost is a clean
+//! quadratic function of one feature.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use evovm_xicl::extract::Registry;
+
+use crate::common::{log_uniform_int, LCG};
+use crate::{Def, GeneratedInput, Suite};
+
+const SPEC: &str = "
+# raytracer: the Grande single input value (image resolution)
+option {name=-n; type=num; attr=VAL; default=16; has_arg=y}
+";
+
+fn registry() -> Registry {
+    Registry::with_predefined()
+}
+
+fn source(n: u64, seed: u64) -> String {
+    format!(
+        "{LCG}
+fn build_scene(seed) {{
+    let ns = 12;
+    let scene = new [ns * 4];
+    let s = seed;
+    for (let i = 0; i < ns; i = i + 1) {{
+        s = lcg(s);
+        scene[i * 4] = float(s % 160) / 10.0 - 8.0;
+        s = lcg(s);
+        scene[i * 4 + 1] = float(s % 160) / 10.0 - 8.0;
+        s = lcg(s);
+        scene[i * 4 + 2] = float(s % 100) / 10.0 + 2.0;
+        s = lcg(s);
+        scene[i * 4 + 3] = 0.4 + float(s % 20) / 10.0;
+    }}
+    return scene;
+}}
+
+fn hit_sphere(scene, i, dx, dy, dz) {{
+    let cx = scene[i * 4];
+    let cy = scene[i * 4 + 1];
+    let cz = scene[i * 4 + 2];
+    let r = scene[i * 4 + 3];
+    let b = cx * dx + cy * dy + cz * dz;
+    let c = cx * cx + cy * cy + cz * cz - r * r;
+    let disc = b * b - c;
+    if (disc > 0.0) {{
+        let t = b - sqrt(disc);
+        if (t > 0.001) {{
+            return int(t * 1000.0);
+        }}
+    }}
+    return 0 - 1;
+}}
+
+fn pixel(scene, dx, dy, dz) {{
+    let best = 0 - 1;
+    let bestt = 1000000000;
+    for (let i = 0; i < 12; i = i + 1) {{
+        let t = hit_sphere(scene, i, dx, dy, dz);
+        if (t >= 0 && t < bestt) {{
+            bestt = t;
+            best = i;
+        }}
+    }}
+    if (best < 0) {{
+        return 8;
+    }}
+    return 255 - best * 9 - bestt % 32;
+}}
+
+fn render(scene, n) {{
+    let acc = 0;
+    for (let y = 0; y < n; y = y + 1) {{
+        for (let x = 0; x < n; x = x + 1) {{
+            let dx = float(x) / float(n) - 0.5;
+            let dy = float(y) / float(n) - 0.5;
+            acc = (acc + pixel(scene, dx, dy, 1.0)) & 1073741823;
+        }}
+    }}
+    return acc;
+}}
+
+fn main() {{
+    let n = {n};
+    let scene = build_scene({seed});
+    print render(scene, n);
+}}
+"
+    )
+}
+
+fn generate(rng: &mut StdRng) -> Vec<GeneratedInput> {
+    let mut inputs = Vec::with_capacity(70);
+    for _ in 0..70u64 {
+        let n = log_uniform_int(rng, 8, 96);
+        let seed = rng.gen_range(1..1_000_000u64);
+        inputs.push(GeneratedInput {
+            args: vec!["-n".into(), n.to_string()],
+            vfs: evovm_xicl::Vfs::new(),
+            source: source(n, seed),
+        });
+    }
+    inputs
+}
+
+pub(crate) fn def() -> Def {
+    Def {
+        name: "raytracer",
+        suite: Suite::Grande,
+        campaign_runs: 30,
+        spec: SPEC,
+        registry,
+        generate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn run(src: &str) -> (Vec<String>, u64) {
+        let program = Arc::new(evovm_minijava::compile(src).unwrap());
+        let mut vm = evovm_vm::Vm::new(
+            program,
+            Box::new(evovm_vm::BaselineOnlyPolicy),
+            evovm_vm::VmConfig::default(),
+        )
+        .unwrap();
+        match vm.run().unwrap() {
+            evovm_vm::Outcome::Finished(r) => (r.output, r.total_cycles),
+            evovm_vm::Outcome::FeaturesReady => panic!("raytracer does not publish"),
+        }
+    }
+
+    #[test]
+    fn template_compiles_and_runs() {
+        let (out, _) = run(&source(8, 3));
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn cost_is_quadratic_in_resolution() {
+        let (_, n8) = run(&source(8, 3));
+        let (_, n32) = run(&source(32, 3));
+        assert!(n32 > 8 * n8);
+    }
+
+    #[test]
+    fn scene_seed_changes_the_image() {
+        let (a, _) = run(&source(16, 3));
+        let (b, _) = run(&source(16, 4));
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,143 @@
+//! `search` — the Java Grande alpha-beta game-tree search analog.
+//!
+//! Searches a synthetic game tree with alpha-beta pruning. The search
+//! depth is derived from the length of the position string — the paper's
+//! feature for Search is exactly "length of input string" — and the input
+//! set is small (the paper collected only a handful of legal positions).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use evovm_xicl::extract::Registry;
+
+use crate::common::LCG;
+use crate::{Def, GeneratedInput, Suite};
+
+const SPEC: &str = "
+# search: position string operand (its LENgth drives the search depth)
+operand {position=1; type=str; attr=LEN:VAL}
+";
+
+fn registry() -> Registry {
+    Registry::with_predefined()
+}
+
+fn source(depth: u64, seed: u64) -> String {
+    format!(
+        "{LCG}
+fn evaluate(state) {{
+    let v = (state * 2654435761) & 1048575;
+    return v % 2001 - 1000;
+}}
+
+fn child(state, mv) {{
+    return lcg(state * 4 + mv + 1);
+}}
+
+fn alphabeta(state, depth, alpha, beta) {{
+    if (depth == 0) {{
+        return evaluate(state);
+    }}
+    let best = 0 - 1000000;
+    for (let mv = 0; mv < 4; mv = mv + 1) {{
+        let score = 0 - alphabeta(child(state, mv), depth - 1, 0 - beta, 0 - alpha);
+        if (score > best) {{
+            best = score;
+        }}
+        if (best > alpha) {{
+            alpha = best;
+        }}
+        if (alpha >= beta) {{
+            break;
+        }}
+    }}
+    return best;
+}}
+
+fn main() {{
+    let depth = {depth};
+    let root = {seed};
+    print alphabeta(root, depth, 0 - 1000000, 1000000);
+}}
+"
+    )
+}
+
+fn generate(rng: &mut StdRng) -> Vec<GeneratedInput> {
+    // Seven legal positions, as in the paper's tiny Search input set.
+    // Longer position strings mean deeper searches.
+    let mut inputs = Vec::with_capacity(7);
+    for len in [4u64, 5, 6, 7, 8, 9, 10] {
+        let seed = rng.gen_range(1..1_000_000u64);
+        let depth = 3 + len / 2; // 5..=8
+        let mut position = String::new();
+        let mut s = seed;
+        for _ in 0..len {
+            s = s.wrapping_mul(48271) % 0x7fff_ffff;
+            position.push((b'a' + (s % 8) as u8) as char);
+        }
+        inputs.push(GeneratedInput {
+            args: vec![position],
+            vfs: evovm_xicl::Vfs::new(),
+            source: source(depth, seed),
+        });
+    }
+    inputs
+}
+
+pub(crate) fn def() -> Def {
+    Def {
+        name: "search",
+        suite: Suite::Grande,
+        campaign_runs: 30,
+        spec: SPEC,
+        registry,
+        generate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn run(src: &str) -> (Vec<String>, u64) {
+        let program = Arc::new(evovm_minijava::compile(src).unwrap());
+        let mut vm = evovm_vm::Vm::new(
+            program,
+            Box::new(evovm_vm::BaselineOnlyPolicy),
+            evovm_vm::VmConfig::default(),
+        )
+        .unwrap();
+        match vm.run().unwrap() {
+            evovm_vm::Outcome::Finished(r) => (r.output, r.total_cycles),
+            evovm_vm::Outcome::FeaturesReady => panic!("search does not publish"),
+        }
+    }
+
+    #[test]
+    fn template_compiles_and_runs() {
+        let (out, _) = run(&source(4, 3));
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn deeper_searches_cost_more() {
+        let (_, shallow) = run(&source(4, 3));
+        let (_, deep) = run(&source(7, 3));
+        assert!(deep > 5 * shallow);
+    }
+
+    #[test]
+    fn exactly_seven_inputs() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let inputs = generate(&mut rng);
+        assert_eq!(inputs.len(), 7);
+        // The LEN feature separates them.
+        let spec = evovm_xicl::spec::parse(SPEC).unwrap();
+        let t = evovm_xicl::Translator::new(spec, registry());
+        let (fv, _) = t.translate(&inputs[0].args, &inputs[0].vfs).unwrap();
+        assert_eq!(fv.get("operand0.LEN").unwrap().as_num(), Some(4.0));
+    }
+}

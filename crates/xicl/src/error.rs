@@ -1,0 +1,65 @@
+//! XICL errors.
+
+use std::fmt;
+
+/// Errors from spec parsing or input translation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XiclError {
+    /// The spec text failed to parse.
+    Spec {
+        /// 1-based line.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+    /// A command line mentioned an option the spec does not declare.
+    UnknownOption(String),
+    /// An option that requires an argument appeared without one.
+    MissingArgument(String),
+    /// An option/operand value failed its declared type conversion.
+    BadValue {
+        /// The component (option name or operand position).
+        component: String,
+        /// The offending raw value.
+        value: String,
+        /// The declared type.
+        ty: String,
+    },
+    /// A FILE component referenced a file absent from the VFS.
+    FileNotFound(String),
+    /// An `attr` names a feature-extraction method that is not registered.
+    UnknownExtractor(String),
+    /// A feature extractor failed.
+    Extractor {
+        /// The extractor name.
+        name: String,
+        /// Description.
+        message: String,
+    },
+}
+
+impl fmt::Display for XiclError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XiclError::Spec { line, message } => {
+                write!(f, "spec parse error at line {line}: {message}")
+            }
+            XiclError::UnknownOption(o) => write!(f, "unknown option `{o}`"),
+            XiclError::MissingArgument(o) => write!(f, "option `{o}` requires an argument"),
+            XiclError::BadValue {
+                component,
+                value,
+                ty,
+            } => write!(f, "`{component}`: value `{value}` is not a valid {ty}"),
+            XiclError::FileNotFound(p) => write!(f, "input file `{p}` not found"),
+            XiclError::UnknownExtractor(m) => {
+                write!(f, "feature extraction method `{m}` is not registered")
+            }
+            XiclError::Extractor { name, message } => {
+                write!(f, "extractor `{name}` failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for XiclError {}

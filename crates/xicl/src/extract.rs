@@ -1,0 +1,303 @@
+//! Feature extractors and the extractor registry.
+//!
+//! This is the Rust analog of the paper's `XFMethod` interface and the
+//! `xfMethodsMap` in the `XICLTranslator` class (Figure 3): every `attr`
+//! name in a spec resolves through a [`Registry`] to a
+//! [`FeatureExtractor`]. The predefined extractors (`VAL`, `SIZE`, `LEN`,
+//! `LINES`, `WORDS`) are registered out of the box; programmers extend the
+//! translator by registering their own (conventionally `m`-prefixed, like
+//! the paper's `mNodes`/`mEdges`).
+//!
+//! # Example: a programmer-defined extractor
+//!
+//! ```
+//! use evovm_xicl::extract::{ExtractCtx, FeatureExtractor, Registry};
+//! use evovm_xicl::feature::FeatureValue;
+//! use evovm_xicl::XiclError;
+//!
+//! /// Number of edges in a graph file (one edge per line after the header).
+//! #[derive(Debug)]
+//! struct MEdges;
+//!
+//! impl FeatureExtractor for MEdges {
+//!     fn extract(&self, raw: &str, ctx: &ExtractCtx<'_>) -> Result<FeatureValue, XiclError> {
+//!         let lines = ctx
+//!             .vfs
+//!             .lines(raw)
+//!             .ok_or_else(|| XiclError::FileNotFound(raw.to_owned()))?;
+//!         Ok(FeatureValue::Num(lines.saturating_sub(1) as f64))
+//!     }
+//! }
+//!
+//! let mut registry = Registry::with_predefined();
+//! registry.register("mEdges", MEdges);
+//! assert!(registry.get("mEdges").is_some());
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::XiclError;
+use crate::feature::FeatureValue;
+use crate::spec::ComponentType;
+use crate::vfs::Vfs;
+
+/// Context handed to extractors.
+#[derive(Debug, Clone, Copy)]
+pub struct ExtractCtx<'a> {
+    /// The virtual filesystem for FILE components.
+    pub vfs: &'a Vfs,
+    /// The declared type of the component being extracted.
+    pub ty: ComponentType,
+}
+
+/// A feature-extraction method (the paper's `XFMethod`).
+pub trait FeatureExtractor: fmt::Debug + Send + Sync {
+    /// Compute the feature from the component's raw value.
+    ///
+    /// # Errors
+    ///
+    /// Implementations report bad values, missing files or their own
+    /// failures as [`XiclError`].
+    fn extract(&self, raw: &str, ctx: &ExtractCtx<'_>) -> Result<FeatureValue, XiclError>;
+
+    /// Approximate work units of one extraction, for overhead accounting
+    /// (defaults to the raw value's length).
+    fn cost(&self, raw: &str, ctx: &ExtractCtx<'_>) -> u64 {
+        let file_bytes = if ctx.ty == ComponentType::File {
+            ctx.vfs.size(raw).unwrap_or(0)
+        } else {
+            0
+        };
+        raw.len() as u64 + file_bytes
+    }
+}
+
+/// Maps attr names to extractor instances (the paper's `xfMethodsMap`).
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    methods: HashMap<String, Arc<dyn FeatureExtractor>>,
+}
+
+impl Registry {
+    /// An empty registry (no predefined methods).
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// A registry with the predefined extractors: `VAL`, `SIZE`, `LEN`,
+    /// `LINES`, `WORDS`.
+    pub fn with_predefined() -> Registry {
+        let mut r = Registry::new();
+        r.register("VAL", Val);
+        r.register("SIZE", Size);
+        r.register("LEN", Len);
+        r.register("LINES", Lines);
+        r.register("WORDS", Words);
+        r
+    }
+
+    /// Register (or replace) an extractor under `name`.
+    pub fn register(&mut self, name: impl Into<String>, extractor: impl FeatureExtractor + 'static) {
+        self.methods.insert(name.into(), Arc::new(extractor));
+    }
+
+    /// Look up an extractor (the paper's `getMethod`).
+    pub fn get(&self, name: &str) -> Option<&Arc<dyn FeatureExtractor>> {
+        self.methods.get(name)
+    }
+
+    /// Registered method names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.methods.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// `VAL`: the component's value itself, converted per its declared type.
+#[derive(Debug)]
+struct Val;
+
+impl FeatureExtractor for Val {
+    fn extract(&self, raw: &str, ctx: &ExtractCtx<'_>) -> Result<FeatureValue, XiclError> {
+        match ctx.ty {
+            ComponentType::Num => raw
+                .trim()
+                .parse::<f64>()
+                .map(FeatureValue::Num)
+                .map_err(|_| XiclError::BadValue {
+                    component: "VAL".into(),
+                    value: raw.to_owned(),
+                    ty: "num".into(),
+                }),
+            ComponentType::Bin => match raw.trim() {
+                "" | "0" | "n" | "no" | "false" | "off" => Ok(FeatureValue::Num(0.0)),
+                "1" | "y" | "yes" | "true" | "on" => Ok(FeatureValue::Num(1.0)),
+                other => Err(XiclError::BadValue {
+                    component: "VAL".into(),
+                    value: other.to_owned(),
+                    ty: "bin".into(),
+                }),
+            },
+            ComponentType::Str | ComponentType::File => Ok(FeatureValue::Cat(raw.to_owned())),
+        }
+    }
+
+    fn cost(&self, raw: &str, _ctx: &ExtractCtx<'_>) -> u64 {
+        raw.len() as u64
+    }
+}
+
+/// `SIZE`: the file's size in bytes.
+#[derive(Debug)]
+struct Size;
+
+impl FeatureExtractor for Size {
+    fn extract(&self, raw: &str, ctx: &ExtractCtx<'_>) -> Result<FeatureValue, XiclError> {
+        ctx.vfs
+            .size(raw)
+            .map(|s| FeatureValue::Num(s as f64))
+            .ok_or_else(|| XiclError::FileNotFound(raw.to_owned()))
+    }
+
+    fn cost(&self, raw: &str, _ctx: &ExtractCtx<'_>) -> u64 {
+        // Stat-like: does not scan the contents.
+        raw.len() as u64
+    }
+}
+
+/// `LEN`: the string value's length.
+#[derive(Debug)]
+struct Len;
+
+impl FeatureExtractor for Len {
+    fn extract(&self, raw: &str, _ctx: &ExtractCtx<'_>) -> Result<FeatureValue, XiclError> {
+        Ok(FeatureValue::Num(raw.chars().count() as f64))
+    }
+}
+
+/// `LINES`: the file's line count.
+#[derive(Debug)]
+struct Lines;
+
+impl FeatureExtractor for Lines {
+    fn extract(&self, raw: &str, ctx: &ExtractCtx<'_>) -> Result<FeatureValue, XiclError> {
+        ctx.vfs
+            .lines(raw)
+            .map(|s| FeatureValue::Num(s as f64))
+            .ok_or_else(|| XiclError::FileNotFound(raw.to_owned()))
+    }
+}
+
+/// `WORDS`: the file's whitespace-separated word count.
+#[derive(Debug)]
+struct Words;
+
+impl FeatureExtractor for Words {
+    fn extract(&self, raw: &str, ctx: &ExtractCtx<'_>) -> Result<FeatureValue, XiclError> {
+        ctx.vfs
+            .words(raw)
+            .map(|s| FeatureValue::Num(s as f64))
+            .ok_or_else(|| XiclError::FileNotFound(raw.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(vfs: &Vfs, ty: ComponentType) -> ExtractCtx<'_> {
+        ExtractCtx { vfs, ty }
+    }
+
+    #[test]
+    fn val_converts_by_type() {
+        let vfs = Vfs::new();
+        let r = Registry::with_predefined();
+        let val = r.get("VAL").unwrap();
+        assert_eq!(
+            val.extract("3.5", &ctx(&vfs, ComponentType::Num)).unwrap(),
+            FeatureValue::Num(3.5)
+        );
+        assert_eq!(
+            val.extract("true", &ctx(&vfs, ComponentType::Bin)).unwrap(),
+            FeatureValue::Num(1.0)
+        );
+        assert_eq!(
+            val.extract("xml", &ctx(&vfs, ComponentType::Str)).unwrap(),
+            FeatureValue::Cat("xml".into())
+        );
+        assert!(val.extract("abc", &ctx(&vfs, ComponentType::Num)).is_err());
+    }
+
+    #[test]
+    fn file_extractors_use_the_vfs() {
+        let mut vfs = Vfs::new();
+        vfs.write("g.txt", "a b\nc\n");
+        let r = Registry::with_predefined();
+        let c = ctx(&vfs, ComponentType::File);
+        assert_eq!(
+            r.get("SIZE").unwrap().extract("g.txt", &c).unwrap(),
+            FeatureValue::Num(6.0)
+        );
+        assert_eq!(
+            r.get("LINES").unwrap().extract("g.txt", &c).unwrap(),
+            FeatureValue::Num(2.0)
+        );
+        assert_eq!(
+            r.get("WORDS").unwrap().extract("g.txt", &c).unwrap(),
+            FeatureValue::Num(3.0)
+        );
+        assert!(matches!(
+            r.get("SIZE").unwrap().extract("nope", &c),
+            Err(XiclError::FileNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn len_counts_characters() {
+        let vfs = Vfs::new();
+        let r = Registry::with_predefined();
+        assert_eq!(
+            r.get("LEN")
+                .unwrap()
+                .extract("hello", &ctx(&vfs, ComponentType::Str))
+                .unwrap(),
+            FeatureValue::Num(5.0)
+        );
+    }
+
+    #[test]
+    fn custom_extractors_can_be_registered() {
+        #[derive(Debug)]
+        struct MTen;
+        impl FeatureExtractor for MTen {
+            fn extract(&self, _: &str, _: &ExtractCtx<'_>) -> Result<FeatureValue, XiclError> {
+                Ok(FeatureValue::Num(10.0))
+            }
+        }
+        let mut r = Registry::with_predefined();
+        r.register("mTen", MTen);
+        let vfs = Vfs::new();
+        assert_eq!(
+            r.get("mTen")
+                .unwrap()
+                .extract("x", &ctx(&vfs, ComponentType::Str))
+                .unwrap(),
+            FeatureValue::Num(10.0)
+        );
+        assert!(r.names().contains(&"mTen"));
+    }
+
+    #[test]
+    fn cost_scales_with_file_size() {
+        let mut vfs = Vfs::new();
+        vfs.write("big", "x".repeat(1000));
+        let r = Registry::with_predefined();
+        let c = ctx(&vfs, ComponentType::File);
+        assert!(r.get("LINES").unwrap().cost("big", &c) >= 1000);
+        assert!(r.get("SIZE").unwrap().cost("big", &c) < 1000);
+    }
+}

@@ -1,0 +1,160 @@
+//! Feature vectors: the translator's output.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One feature value: numeric (quantitative) or categorical.
+///
+/// The separation matters for learning — classification trees split
+/// numeric features on thresholds and categorical features on equality
+/// (paper §III: "the separation between categorical and quantitative
+/// features is important for behavior modeling").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FeatureValue {
+    /// A quantitative feature.
+    Num(f64),
+    /// A categorical feature.
+    Cat(String),
+}
+
+impl FeatureValue {
+    /// The numeric value, if quantitative.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            FeatureValue::Num(v) => Some(*v),
+            FeatureValue::Cat(_) => None,
+        }
+    }
+
+    /// The category, if categorical.
+    pub fn as_cat(&self) -> Option<&str> {
+        match self {
+            FeatureValue::Num(_) => None,
+            FeatureValue::Cat(s) => Some(s),
+        }
+    }
+}
+
+impl fmt::Display for FeatureValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeatureValue::Num(v) => write!(f, "{v}"),
+            FeatureValue::Cat(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+/// A named, ordered feature vector. The order and names are determined by
+/// the XICL spec, so vectors from different runs of the same application
+/// are positionally comparable — the property incremental learning needs.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FeatureVector {
+    features: Vec<(String, FeatureValue)>,
+}
+
+impl FeatureVector {
+    /// An empty vector.
+    pub fn new() -> FeatureVector {
+        FeatureVector::default()
+    }
+
+    /// Append a feature.
+    pub fn push(&mut self, name: impl Into<String>, value: FeatureValue) {
+        self.features.push((name.into(), value));
+    }
+
+    /// Number of features.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// True if no features are present.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Look up a feature by name.
+    pub fn get(&self, name: &str) -> Option<&FeatureValue> {
+        self.features
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Iterate features in order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &FeatureValue)> {
+        self.features.iter().map(|(n, v)| (n.as_str(), v))
+    }
+
+    /// Feature names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.features.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Replace the value of `name` (appending if absent) — used by the
+    /// runtime `updateV` channel.
+    pub fn update(&mut self, name: &str, value: FeatureValue) {
+        match self.features.iter_mut().find(|(n, _)| n == name) {
+            Some((_, v)) => *v = value,
+            None => self.features.push((name.to_owned(), value)),
+        }
+    }
+}
+
+impl fmt::Display for FeatureVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, (n, v)) in self.features.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n}={v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl FromIterator<(String, FeatureValue)> for FeatureVector {
+    fn from_iter<T: IntoIterator<Item = (String, FeatureValue)>>(iter: T) -> FeatureVector {
+        FeatureVector {
+            features: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_update() {
+        let mut fv = FeatureVector::new();
+        fv.push("-n.VAL", FeatureValue::Num(3.0));
+        fv.push("file.mNodes", FeatureValue::Num(100.0));
+        assert_eq!(fv.len(), 2);
+        assert_eq!(fv.get("-n.VAL"), Some(&FeatureValue::Num(3.0)));
+        fv.update("-n.VAL", FeatureValue::Num(5.0));
+        assert_eq!(fv.get("-n.VAL"), Some(&FeatureValue::Num(5.0)));
+        fv.update("fresh", FeatureValue::Cat("x".into()));
+        assert_eq!(fv.len(), 3);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut fv = FeatureVector::new();
+        fv.push("a", FeatureValue::Num(1.0));
+        fv.push("b", FeatureValue::Cat("xml".into()));
+        assert_eq!(fv.to_string(), "(a=1, b=\"xml\")");
+    }
+
+    #[test]
+    fn order_is_preserved() {
+        let fv: FeatureVector = vec![
+            ("z".to_owned(), FeatureValue::Num(1.0)),
+            ("a".to_owned(), FeatureValue::Num(2.0)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(fv.names(), vec!["z", "a"]);
+    }
+}

@@ -1,0 +1,51 @@
+//! XICL — the Extensible Input Characterization Language.
+//!
+//! One of the three techniques of the evolvable virtual machine
+//! (Mao & Shen, CGO 2009, §III): a mini-language in which a programmer
+//! describes the format and potentially-important features of a program's
+//! inputs, plus a translator that converts an arbitrary legal command line
+//! into a well-formed feature vector.
+//!
+//! - [`spec`] — the `option {..}` / `operand {..}` constructs and parser.
+//! - [`extract`] — predefined and programmer-defined feature extractors
+//!   (the paper's `XFMethod` interface and method map).
+//! - [`translate`] — the translator (`buildFVector`).
+//! - [`runtime`] — the `updateV`/`done` channel for features computed by
+//!   the running application itself.
+//! - [`vfs`] — the in-memory filesystem FILE components resolve against.
+//!
+//! # Example
+//!
+//! ```
+//! use evovm_xicl::{extract::Registry, spec, translate::Translator, vfs::Vfs};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let spec = spec::parse(
+//!     "option {name=-n; type=num; attr=VAL; default=1; has_arg=y}\n\
+//!      operand {position=1:$; type=file; attr=SIZE}",
+//! )?;
+//! let translator = Translator::new(spec, Registry::with_predefined());
+//! let mut vfs = Vfs::new();
+//! vfs.write("input.dat", "some file contents");
+//! let (fv, _stats) =
+//!     translator.translate(&["-n".into(), "3".into(), "input.dat".into()], &vfs)?;
+//! assert_eq!(fv.get("-n.VAL").unwrap().as_num(), Some(3.0));
+//! assert_eq!(fv.get("operand0.SIZE").unwrap().as_num(), Some(18.0));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod error;
+pub mod extract;
+pub mod feature;
+pub mod runtime;
+pub mod spec;
+pub mod translate;
+pub mod vfs;
+
+pub use error::XiclError;
+pub use feature::{FeatureValue, FeatureVector};
+pub use runtime::RuntimeChannel;
+pub use spec::XiclSpec;
+pub use translate::{TranslationStats, Translator};
+pub use vfs::Vfs;

@@ -1,0 +1,133 @@
+//! The runtime feature channel: the paper's
+//! `XICLFeatureVector.updateV()` / `done()` interface (§III-B.3).
+//!
+//! Applications often compute good input characterizations during their
+//! own initialization (e.g. the `route` program parses its graph anyway).
+//! Rather than re-deriving those features, the application *publishes*
+//! them to the VM. In this reproduction, bytecode programs execute
+//! `Publish`/`Done` instructions; the host forwards the published values
+//! into a [`RuntimeChannel`], whose contents merge into the XICL feature
+//! vector under `runtime.`-prefixed names.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::feature::{FeatureValue, FeatureVector};
+
+/// Prefix for runtime-published feature names.
+pub const RUNTIME_PREFIX: &str = "runtime.";
+
+#[derive(Debug, Default)]
+struct ChannelState {
+    values: BTreeMap<String, f64>,
+    done: bool,
+}
+
+/// A shared, thread-safe channel of application-published features.
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeChannel {
+    inner: Arc<Mutex<ChannelState>>,
+}
+
+impl RuntimeChannel {
+    /// An empty channel.
+    pub fn new() -> RuntimeChannel {
+        RuntimeChannel::default()
+    }
+
+    /// Publish (or update) a feature value — `updateV` in the paper.
+    pub fn update_v(&self, name: &str, value: f64) {
+        self.inner.lock().values.insert(name.to_owned(), value);
+    }
+
+    /// Signal that no more features will be published — `done()`.
+    pub fn done(&self) {
+        self.inner.lock().done = true;
+    }
+
+    /// True once [`RuntimeChannel::done`] was called.
+    pub fn is_done(&self) -> bool {
+        self.inner.lock().done
+    }
+
+    /// Snapshot of the published values, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, f64)> {
+        self.inner
+            .lock()
+            .values
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Merge the published values into `fv` as `runtime.<name>` features
+    /// (updating in place if the name already exists).
+    pub fn merge_into(&self, fv: &mut FeatureVector) {
+        for (name, value) in self.snapshot() {
+            fv.update(&format!("{RUNTIME_PREFIX}{name}"), FeatureValue::Num(value));
+        }
+    }
+
+    /// Reset for a new run.
+    pub fn clear(&self) {
+        let mut s = self.inner.lock();
+        s.values.clear();
+        s.done = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_done_snapshot() {
+        let ch = RuntimeChannel::new();
+        assert!(!ch.is_done());
+        ch.update_v("nodes", 100.0);
+        ch.update_v("edges", 1000.0);
+        ch.update_v("nodes", 101.0); // updates overwrite
+        ch.done();
+        assert!(ch.is_done());
+        assert_eq!(
+            ch.snapshot(),
+            vec![("edges".to_owned(), 1000.0), ("nodes".to_owned(), 101.0)]
+        );
+    }
+
+    #[test]
+    fn merges_into_a_feature_vector() {
+        let ch = RuntimeChannel::new();
+        ch.update_v("nodes", 100.0);
+        let mut fv = FeatureVector::new();
+        fv.push("-n.VAL", FeatureValue::Num(3.0));
+        ch.merge_into(&mut fv);
+        assert_eq!(fv.get("runtime.nodes"), Some(&FeatureValue::Num(100.0)));
+        assert_eq!(fv.len(), 2);
+        // Merging again updates rather than duplicates.
+        ch.update_v("nodes", 200.0);
+        ch.merge_into(&mut fv);
+        assert_eq!(fv.get("runtime.nodes"), Some(&FeatureValue::Num(200.0)));
+        assert_eq!(fv.len(), 2);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let ch = RuntimeChannel::new();
+        ch.update_v("x", 1.0);
+        ch.done();
+        ch.clear();
+        assert!(!ch.is_done());
+        assert!(ch.snapshot().is_empty());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = RuntimeChannel::new();
+        let b = a.clone();
+        b.update_v("k", 9.0);
+        assert_eq!(a.snapshot(), vec![("k".to_owned(), 9.0)]);
+    }
+}

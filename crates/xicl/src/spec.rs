@@ -1,0 +1,386 @@
+//! The XICL specification language: model and parser.
+//!
+//! A spec describes every component a program's command line may contain,
+//! using the paper's two constructs:
+//!
+//! ```text
+//! # the route example from the paper (Figure 2)
+//! option  {name=-n; type=num; attr=VAL; default=1; has_arg=y}
+//! option  {name=-e:--echo; type=bin; attr=VAL; default=0; has_arg=n}
+//! operand {position=1:$; type=file; attr=mNodes:mEdges}
+//! ```
+//!
+//! - `name` — the option's aliases, `:`-separated.
+//! - `type` — `num`, `bin`, `str` or `file`.
+//! - `attr` — the potentially-important features, `:`-separated. Uppercase
+//!   names (`VAL`, `SIZE`, `LEN`, `LINES`, `WORDS`) are predefined;
+//!   `m`-prefixed names are programmer-defined extractor methods
+//!   (see [`crate::extract`]).
+//! - `default` — the value assumed when the option is absent.
+//! - `has_arg` — `y` if the option consumes the next token.
+//! - `position` — which command-line operands the construct covers:
+//!   `2`, `1:3`, `1:$` (from 1 to the end) or `$` (the last).
+//!
+//! `#` starts a comment.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::XiclError;
+
+/// Declared type of an input component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ComponentType {
+    /// Numeric value.
+    Num,
+    /// Boolean flag (0/1).
+    Bin,
+    /// Free-form string (categorical).
+    Str,
+    /// A file path resolved against the VFS.
+    File,
+}
+
+impl ComponentType {
+    /// Parse the spec keyword.
+    pub fn from_keyword(s: &str) -> Option<ComponentType> {
+        Some(match s {
+            "num" => ComponentType::Num,
+            "bin" => ComponentType::Bin,
+            "str" => ComponentType::Str,
+            "file" => ComponentType::File,
+            _ => return None,
+        })
+    }
+
+    /// The spec keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            ComponentType::Num => "num",
+            ComponentType::Bin => "bin",
+            ComponentType::Str => "str",
+            ComponentType::File => "file",
+        }
+    }
+}
+
+/// One endpoint of an operand position range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Position {
+    /// A 1-based operand index.
+    Index(u32),
+    /// `$` — the end of the command line.
+    End,
+}
+
+/// The operand positions a construct covers (inclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PositionRange {
+    /// First covered position.
+    pub start: Position,
+    /// Last covered position.
+    pub end: Position,
+}
+
+impl PositionRange {
+    /// True if 1-based operand index `i` (of `total` operands) is covered.
+    pub fn contains(&self, i: u32, total: u32) -> bool {
+        let resolve = |p: Position| match p {
+            Position::Index(n) => n,
+            Position::End => total,
+        };
+        let (s, e) = (resolve(self.start), resolve(self.end));
+        i >= s && i <= e
+    }
+}
+
+/// An `option { .. }` construct.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptionSpec {
+    /// Aliases (e.g. `-e` and `--echo`).
+    pub names: Vec<String>,
+    /// Declared type.
+    pub ty: ComponentType,
+    /// Feature-extraction attributes.
+    pub attrs: Vec<String>,
+    /// Value assumed when absent.
+    pub default: Option<String>,
+    /// Whether the option consumes the following token.
+    pub has_arg: bool,
+}
+
+impl OptionSpec {
+    /// The canonical (first) name.
+    pub fn canonical(&self) -> &str {
+        &self.names[0]
+    }
+}
+
+/// An `operand { .. }` construct.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperandSpec {
+    /// Covered positions.
+    pub position: PositionRange,
+    /// Declared type.
+    pub ty: ComponentType,
+    /// Feature-extraction attributes.
+    pub attrs: Vec<String>,
+}
+
+/// A parsed XICL specification.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct XiclSpec {
+    /// Declared options, in spec order.
+    pub options: Vec<OptionSpec>,
+    /// Declared operand groups, in spec order.
+    pub operands: Vec<OperandSpec>,
+}
+
+impl XiclSpec {
+    /// Total number of declared features (the "raw features" column of the
+    /// paper's Table I): one per attr per construct, plus the implicit
+    /// operand count feature per operand construct.
+    pub fn raw_feature_count(&self) -> usize {
+        let opt: usize = self.options.iter().map(|o| o.attrs.len()).sum();
+        let opr: usize = self.operands.iter().map(|o| o.attrs.len() + 1).sum();
+        opt + opr
+    }
+
+    /// Find the option covering alias `name`.
+    pub fn option_by_name(&self, name: &str) -> Option<&OptionSpec> {
+        self.options
+            .iter()
+            .find(|o| o.names.iter().any(|n| n == name))
+    }
+}
+
+/// Parse an XICL specification.
+///
+/// # Errors
+///
+/// Returns [`XiclError::Spec`] with the offending line.
+pub fn parse(text: &str) -> Result<XiclSpec, XiclError> {
+    let mut spec = XiclSpec::default();
+    let mut line_no = 0usize;
+    let mut pending = String::new();
+    let mut pending_line = 0usize;
+    for raw in text.lines() {
+        line_no += 1;
+        let line = match raw.find('#') {
+            Some(i) => &raw[..i],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        if pending.is_empty() {
+            pending_line = line_no;
+        }
+        pending.push_str(line);
+        pending.push(' ');
+        if !line.ends_with('}') {
+            continue; // constructs may span lines
+        }
+        parse_construct(pending.trim(), pending_line, &mut spec)?;
+        pending.clear();
+    }
+    if !pending.trim().is_empty() {
+        return Err(XiclError::Spec {
+            line: pending_line,
+            message: "unterminated construct (missing `}`)".into(),
+        });
+    }
+    Ok(spec)
+}
+
+fn parse_construct(text: &str, line: usize, spec: &mut XiclSpec) -> Result<(), XiclError> {
+    let err = |message: String| XiclError::Spec { line, message };
+    let (kind, rest) = text
+        .split_once('{')
+        .ok_or_else(|| err("expected `option {..}` or `operand {..}`".into()))?;
+    let kind = kind.trim();
+    let body = rest
+        .trim()
+        .strip_suffix('}')
+        .ok_or_else(|| err("missing closing `}`".into()))?;
+    let mut fields: Vec<(String, String)> = Vec::new();
+    for part in body.split(';') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (k, v) = part
+            .split_once('=')
+            .ok_or_else(|| err(format!("field `{part}` is not `key=value`")))?;
+        fields.push((k.trim().to_owned(), v.trim().to_owned()));
+    }
+    let get = |key: &str| -> Option<&str> {
+        fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    };
+    let ty = {
+        let t = get("type").ok_or_else(|| err("missing `type`".into()))?;
+        ComponentType::from_keyword(t).ok_or_else(|| err(format!("unknown type `{t}`")))?
+    };
+    let attrs: Vec<String> = get("attr")
+        .map(|a| a.split(':').map(|s| s.trim().to_owned()).collect())
+        .unwrap_or_default();
+    match kind {
+        "option" => {
+            let names: Vec<String> = get("name")
+                .ok_or_else(|| err("option missing `name`".into()))?
+                .split(':')
+                .map(|s| s.trim().to_owned())
+                .collect();
+            if names.iter().any(String::is_empty) {
+                return Err(err("empty option name".into()));
+            }
+            let has_arg = match get("has_arg").unwrap_or("y") {
+                "y" | "Y" => true,
+                "n" | "N" => false,
+                other => return Err(err(format!("has_arg must be y or n, got `{other}`"))),
+            };
+            spec.options.push(OptionSpec {
+                names,
+                ty,
+                attrs,
+                default: get("default").map(str::to_owned),
+                has_arg,
+            });
+        }
+        "operand" => {
+            let pos_text = get("position").unwrap_or("1:$");
+            let position = parse_position(pos_text).ok_or_else(|| {
+                err(format!("bad position `{pos_text}` (want `2`, `1:3`, `1:$`, `$`)"))
+            })?;
+            spec.operands.push(OperandSpec {
+                position,
+                ty,
+                attrs,
+            });
+        }
+        other => return Err(err(format!("unknown construct `{other}`"))),
+    }
+    Ok(())
+}
+
+fn parse_position(s: &str) -> Option<PositionRange> {
+    let endpoint = |t: &str| -> Option<Position> {
+        if t == "$" {
+            Some(Position::End)
+        } else {
+            t.parse::<u32>().ok().filter(|&n| n >= 1).map(Position::Index)
+        }
+    };
+    match s.split_once(':') {
+        Some((a, b)) => Some(PositionRange {
+            start: endpoint(a.trim())?,
+            end: endpoint(b.trim())?,
+        }),
+        None => {
+            let p = endpoint(s.trim())?;
+            Some(PositionRange { start: p, end: p })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 2 spec.
+    pub(crate) const ROUTE_SPEC: &str = "
+option {name=-n; type=num; attr=VAL; default=1; has_arg=y}
+option {name=-e:--echo; type=bin; attr=VAL; default=0; has_arg=n}
+operand {position=1:$; type=file; attr=mNodes:mEdges}
+";
+
+    #[test]
+    fn parses_the_route_spec() {
+        let spec = parse(ROUTE_SPEC).unwrap();
+        assert_eq!(spec.options.len(), 2);
+        assert_eq!(spec.operands.len(), 1);
+        assert_eq!(spec.options[0].names, vec!["-n"]);
+        assert!(spec.options[0].has_arg);
+        assert_eq!(spec.options[0].default.as_deref(), Some("1"));
+        assert_eq!(spec.options[1].names, vec!["-e", "--echo"]);
+        assert!(!spec.options[1].has_arg);
+        assert_eq!(spec.operands[0].attrs, vec!["mNodes", "mEdges"]);
+        assert_eq!(
+            spec.operands[0].position,
+            PositionRange {
+                start: Position::Index(1),
+                end: Position::End
+            }
+        );
+    }
+
+    #[test]
+    fn raw_feature_count_matches_attrs() {
+        let spec = parse(ROUTE_SPEC).unwrap();
+        // 1 (VAL) + 1 (VAL) + 2 (mNodes, mEdges) + 1 (implicit count)
+        assert_eq!(spec.raw_feature_count(), 5);
+    }
+
+    #[test]
+    fn alias_lookup() {
+        let spec = parse(ROUTE_SPEC).unwrap();
+        assert!(spec.option_by_name("--echo").is_some());
+        assert!(spec.option_by_name("-e").is_some());
+        assert!(spec.option_by_name("-x").is_none());
+    }
+
+    #[test]
+    fn comments_and_multiline_constructs() {
+        let spec = parse(
+            "# header comment
+option {name=-v; type=bin;
+        attr=VAL; default=0; has_arg=n} # trailing
+",
+        )
+        .unwrap();
+        assert_eq!(spec.options.len(), 1);
+    }
+
+    #[test]
+    fn position_forms() {
+        assert_eq!(
+            parse_position("2"),
+            Some(PositionRange {
+                start: Position::Index(2),
+                end: Position::Index(2)
+            })
+        );
+        assert_eq!(
+            parse_position("$"),
+            Some(PositionRange {
+                start: Position::End,
+                end: Position::End
+            })
+        );
+        assert_eq!(parse_position("0"), None);
+        assert_eq!(parse_position("a:b"), None);
+    }
+
+    #[test]
+    fn position_contains() {
+        let all = parse_position("1:$").unwrap();
+        assert!(all.contains(1, 3));
+        assert!(all.contains(3, 3));
+        let last = parse_position("$").unwrap();
+        assert!(!last.contains(1, 3));
+        assert!(last.contains(3, 3));
+    }
+
+    #[test]
+    fn errors_with_lines() {
+        let e = parse("option {name=-n; type=wat}").unwrap_err();
+        assert!(matches!(e, XiclError::Spec { line: 1, .. }), "{e}");
+        let e = parse("\nbogus {type=num}").unwrap_err();
+        assert!(matches!(e, XiclError::Spec { line: 2, .. }), "{e}");
+        assert!(parse("option {name=-n; type=num").is_err());
+        assert!(parse("option {name=-n type=num}").is_err());
+    }
+}

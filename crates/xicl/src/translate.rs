@@ -1,0 +1,361 @@
+//! The XICL translator: command line → feature vector.
+//!
+//! The Rust analog of the paper's `XICLTranslator.buildFVector` (Figure 3):
+//! given a parsed [`XiclSpec`], an extractor [`Registry`] and a [`Vfs`],
+//! [`Translator::translate`] converts an arbitrary legal command line into
+//! a well-formed [`FeatureVector`] whose layout (names and order) is fixed
+//! by the spec — absent options contribute their defaults, so vectors from
+//! different runs are positionally comparable.
+
+use crate::error::XiclError;
+use crate::extract::{ExtractCtx, Registry};
+use crate::feature::{FeatureValue, FeatureVector};
+use crate::spec::{ComponentType, XiclSpec};
+use crate::vfs::Vfs;
+
+/// Work accounting for one translation, used by the overhead experiment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TranslationStats {
+    /// Command-line tokens scanned.
+    pub tokens_scanned: u64,
+    /// Extractor invocations.
+    pub extractions: u64,
+    /// Total extractor work units (roughly bytes touched).
+    pub work_units: u64,
+}
+
+/// The XICL translator.
+#[derive(Debug, Clone)]
+pub struct Translator {
+    spec: XiclSpec,
+    registry: Registry,
+}
+
+impl Translator {
+    /// Create a translator for `spec` using `registry`'s methods.
+    pub fn new(spec: XiclSpec, registry: Registry) -> Translator {
+        Translator { spec, registry }
+    }
+
+    /// The spec this translator implements.
+    pub fn spec(&self) -> &XiclSpec {
+        &self.spec
+    }
+
+    /// Translate a command line (program name excluded) into a feature
+    /// vector.
+    ///
+    /// # Errors
+    ///
+    /// Unknown options, missing arguments, type-conversion failures,
+    /// missing files and unregistered extractors are reported as
+    /// [`XiclError`].
+    pub fn translate(
+        &self,
+        args: &[String],
+        vfs: &Vfs,
+    ) -> Result<(FeatureVector, TranslationStats), XiclError> {
+        let mut stats = TranslationStats::default();
+        // Pass 1: split options from operands.
+        let mut present: Vec<Option<String>> = vec![None; self.spec.options.len()];
+        let mut operands: Vec<&str> = Vec::new();
+        let mut i = 0usize;
+        while i < args.len() {
+            let tok = args[i].as_str();
+            stats.tokens_scanned += 1;
+            let opt_idx = self
+                .spec
+                .options
+                .iter()
+                .position(|o| o.names.iter().any(|n| n == tok));
+            match opt_idx {
+                Some(idx) => {
+                    let opt = &self.spec.options[idx];
+                    if opt.has_arg {
+                        i += 1;
+                        let Some(value) = args.get(i) else {
+                            return Err(XiclError::MissingArgument(tok.to_owned()));
+                        };
+                        stats.tokens_scanned += 1;
+                        present[idx] = Some(value.clone());
+                    } else {
+                        present[idx] = Some("1".to_owned());
+                    }
+                }
+                None if looks_like_option(tok) => {
+                    return Err(XiclError::UnknownOption(tok.to_owned()));
+                }
+                None => operands.push(tok),
+            }
+            i += 1;
+        }
+
+        // Pass 2: emit features in spec order.
+        let mut fv = FeatureVector::new();
+        for (idx, opt) in self.spec.options.iter().enumerate() {
+            let raw = match &present[idx] {
+                Some(v) => v.clone(),
+                None => opt
+                    .default
+                    .clone()
+                    .unwrap_or_else(|| implicit_default(opt.ty).to_owned()),
+            };
+            let ctx = ExtractCtx { vfs, ty: opt.ty };
+            for attr in &opt.attrs {
+                let value = self.extract(attr, &raw, &ctx, &mut stats)?;
+                fv.push(format!("{}.{attr}", opt.canonical()), value);
+            }
+        }
+        let total = operands.len() as u32;
+        for (gidx, group) in self.spec.operands.iter().enumerate() {
+            let covered: Vec<&str> = operands
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| group.position.contains(*i as u32 + 1, total))
+                .map(|(_, t)| *t)
+                .collect();
+            let ctx = ExtractCtx { vfs, ty: group.ty };
+            for attr in &group.attrs {
+                let mut nums: Vec<f64> = Vec::new();
+                let mut cat: Option<String> = None;
+                for tok in &covered {
+                    match self.extract(attr, tok, &ctx, &mut stats)? {
+                        FeatureValue::Num(v) => nums.push(v),
+                        FeatureValue::Cat(s) => {
+                            cat.get_or_insert(s);
+                        }
+                    }
+                }
+                // Numeric features aggregate by sum over the covered
+                // operands (so `route a.g b.g` sees total nodes/edges);
+                // categorical features take the first covered value.
+                let value = if let Some(s) = cat {
+                    FeatureValue::Cat(s)
+                } else {
+                    FeatureValue::Num(nums.iter().sum())
+                };
+                fv.push(format!("operand{gidx}.{attr}"), value);
+            }
+            fv.push(
+                format!("operand{gidx}.COUNT"),
+                FeatureValue::Num(covered.len() as f64),
+            );
+        }
+        Ok((fv, stats))
+    }
+
+    fn extract(
+        &self,
+        attr: &str,
+        raw: &str,
+        ctx: &ExtractCtx<'_>,
+        stats: &mut TranslationStats,
+    ) -> Result<FeatureValue, XiclError> {
+        let method = self
+            .registry
+            .get(attr)
+            .ok_or_else(|| XiclError::UnknownExtractor(attr.to_owned()))?;
+        stats.extractions += 1;
+        stats.work_units += method.cost(raw, ctx);
+        method.extract(raw, ctx)
+    }
+}
+
+fn implicit_default(ty: ComponentType) -> &'static str {
+    match ty {
+        ComponentType::Num | ComponentType::Bin => "0",
+        ComponentType::Str | ComponentType::File => "",
+    }
+}
+
+/// Heuristic for rejecting undeclared options: a leading `-` that is not a
+/// negative number.
+fn looks_like_option(tok: &str) -> bool {
+    tok.len() > 1 && tok.starts_with('-') && tok.parse::<f64>().is_err()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::FeatureExtractor;
+    use crate::spec;
+
+    const ROUTE_SPEC: &str = "
+option {name=-n; type=num; attr=VAL; default=1; has_arg=y}
+option {name=-e:--echo; type=bin; attr=VAL; default=0; has_arg=n}
+operand {position=1:$; type=file; attr=mNodes:mEdges}
+";
+
+    /// `mNodes`: first number on the first line of a graph file.
+    #[derive(Debug)]
+    struct MNodes;
+    impl FeatureExtractor for MNodes {
+        fn extract(&self, raw: &str, ctx: &ExtractCtx<'_>) -> Result<FeatureValue, XiclError> {
+            let contents = ctx
+                .vfs
+                .read(raw)
+                .ok_or_else(|| XiclError::FileNotFound(raw.to_owned()))?;
+            let n = contents
+                .lines()
+                .next()
+                .and_then(|l| l.split_whitespace().next())
+                .and_then(|w| w.parse::<f64>().ok())
+                .unwrap_or(0.0);
+            Ok(FeatureValue::Num(n))
+        }
+    }
+
+    /// `mEdges`: line count minus the header.
+    #[derive(Debug)]
+    struct MEdges;
+    impl FeatureExtractor for MEdges {
+        fn extract(&self, raw: &str, ctx: &ExtractCtx<'_>) -> Result<FeatureValue, XiclError> {
+            let lines = ctx
+                .vfs
+                .lines(raw)
+                .ok_or_else(|| XiclError::FileNotFound(raw.to_owned()))?;
+            Ok(FeatureValue::Num(lines.saturating_sub(1) as f64))
+        }
+    }
+
+    fn route_translator() -> Translator {
+        let mut registry = Registry::with_predefined();
+        registry.register("mNodes", MNodes);
+        registry.register("mEdges", MEdges);
+        Translator::new(spec::parse(ROUTE_SPEC).unwrap(), registry)
+    }
+
+    fn graph_vfs() -> Vfs {
+        let mut vfs = Vfs::new();
+        // Header: "<nodes>", then one edge per line.
+        let mut g = String::from("100\n");
+        for i in 0..1000 {
+            g.push_str(&format!("{} {}\n", i % 100, (i * 7) % 100));
+        }
+        vfs.write("graph", g);
+        vfs
+    }
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|&x| x.to_owned()).collect()
+    }
+
+    #[test]
+    fn reproduces_the_papers_route_example() {
+        // "route -n 3 graph" with a 100-node 1000-edge graph must produce
+        // the feature vector (3, 0, 100, 1000) — paper §III-A.
+        let t = route_translator();
+        let (fv, _) = t.translate(&args(&["-n", "3", "graph"]), &graph_vfs()).unwrap();
+        let nums: Vec<f64> = fv.iter().filter_map(|(_, v)| v.as_num()).collect();
+        assert_eq!(nums, vec![3.0, 0.0, 100.0, 1000.0, 1.0]); // + operand count
+        assert_eq!(
+            fv.names(),
+            vec![
+                "-n.VAL",
+                "-e.VAL",
+                "operand0.mNodes",
+                "operand0.mEdges",
+                "operand0.COUNT"
+            ]
+        );
+    }
+
+    #[test]
+    fn defaults_fill_absent_options() {
+        let t = route_translator();
+        let (fv, _) = t.translate(&args(&["graph"]), &graph_vfs()).unwrap();
+        assert_eq!(fv.get("-n.VAL"), Some(&FeatureValue::Num(1.0)));
+        assert_eq!(fv.get("-e.VAL"), Some(&FeatureValue::Num(0.0)));
+    }
+
+    #[test]
+    fn aliases_resolve_to_the_same_option() {
+        let t = route_translator();
+        let vfs = graph_vfs();
+        let (a, _) = t.translate(&args(&["-e", "graph"]), &vfs).unwrap();
+        let (b, _) = t.translate(&args(&["--echo", "graph"]), &vfs).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.get("-e.VAL"), Some(&FeatureValue::Num(1.0)));
+    }
+
+    #[test]
+    fn multiple_operands_aggregate_by_sum() {
+        let t = route_translator();
+        let mut vfs = graph_vfs();
+        vfs.write("g2", "50\n1 2\n3 4\n");
+        let (fv, _) = t.translate(&args(&["graph", "g2"]), &vfs).unwrap();
+        assert_eq!(fv.get("operand0.mNodes"), Some(&FeatureValue::Num(150.0)));
+        assert_eq!(fv.get("operand0.mEdges"), Some(&FeatureValue::Num(1002.0)));
+        assert_eq!(fv.get("operand0.COUNT"), Some(&FeatureValue::Num(2.0)));
+    }
+
+    #[test]
+    fn unknown_option_is_rejected() {
+        let t = route_translator();
+        assert!(matches!(
+            t.translate(&args(&["-x", "graph"]), &graph_vfs()),
+            Err(XiclError::UnknownOption(_))
+        ));
+    }
+
+    #[test]
+    fn missing_argument_is_rejected() {
+        let t = route_translator();
+        assert!(matches!(
+            t.translate(&args(&["-n"]), &graph_vfs()),
+            Err(XiclError::MissingArgument(_))
+        ));
+    }
+
+    #[test]
+    fn negative_numbers_are_operands_not_options() {
+        let spec_text = "operand {position=1; type=num; attr=VAL}";
+        let t = Translator::new(
+            spec::parse(spec_text).unwrap(),
+            Registry::with_predefined(),
+        );
+        let (fv, _) = t.translate(&args(&["-5"]), &Vfs::new()).unwrap();
+        assert_eq!(fv.get("operand0.VAL"), Some(&FeatureValue::Num(-5.0)));
+    }
+
+    #[test]
+    fn missing_file_is_reported() {
+        let t = route_translator();
+        assert!(matches!(
+            t.translate(&args(&["nope"]), &Vfs::new()),
+            Err(XiclError::FileNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn stats_count_work() {
+        let t = route_translator();
+        let (_, stats) = t.translate(&args(&["-n", "3", "graph"]), &graph_vfs()).unwrap();
+        assert_eq!(stats.tokens_scanned, 3);
+        assert!(stats.extractions >= 4);
+        assert!(stats.work_units > 0);
+    }
+
+    #[test]
+    fn unregistered_attr_is_an_error() {
+        let t = Translator::new(
+            spec::parse("option {name=-q; type=num; attr=mMissing; default=0}").unwrap(),
+            Registry::with_predefined(),
+        );
+        assert!(matches!(
+            t.translate(&[], &Vfs::new()),
+            Err(XiclError::UnknownExtractor(_))
+        ));
+    }
+
+    #[test]
+    fn vector_layout_is_input_independent() {
+        let t = route_translator();
+        let vfs = graph_vfs();
+        let (a, _) = t.translate(&args(&["graph"]), &vfs).unwrap();
+        let (b, _) = t
+            .translate(&args(&["-n", "9", "--echo", "graph", "graph"]), &vfs)
+            .unwrap();
+        assert_eq!(a.names(), b.names());
+    }
+}

@@ -1,0 +1,86 @@
+//! A tiny in-memory virtual filesystem.
+//!
+//! The paper's benchmarks take real input files; this reproduction keeps
+//! inputs hermetic by materializing them here. FILE-typed XICL components
+//! resolve their SIZE/LINES/WORDS features (and programmer-defined ones)
+//! against a [`Vfs`].
+
+use std::collections::BTreeMap;
+
+/// In-memory file store mapping paths to contents.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Vfs {
+    files: BTreeMap<String, String>,
+}
+
+impl Vfs {
+    /// An empty filesystem.
+    pub fn new() -> Vfs {
+        Vfs::default()
+    }
+
+    /// Create or replace a file.
+    pub fn write(&mut self, path: impl Into<String>, contents: impl Into<String>) {
+        self.files.insert(path.into(), contents.into());
+    }
+
+    /// Read a file's contents.
+    pub fn read(&self, path: &str) -> Option<&str> {
+        self.files.get(path).map(String::as_str)
+    }
+
+    /// True if `path` exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    /// File size in bytes.
+    pub fn size(&self, path: &str) -> Option<u64> {
+        self.read(path).map(|c| c.len() as u64)
+    }
+
+    /// Number of lines (including a trailing partial line).
+    pub fn lines(&self, path: &str) -> Option<u64> {
+        self.read(path).map(|c| c.lines().count() as u64)
+    }
+
+    /// Number of whitespace-separated words.
+    pub fn words(&self, path: &str) -> Option<u64> {
+        self.read(path).map(|c| c.split_whitespace().count() as u64)
+    }
+
+    /// Paths in the filesystem, sorted.
+    pub fn paths(&self) -> impl Iterator<Item = &str> {
+        self.files.keys().map(String::as_str)
+    }
+
+    /// Number of files.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_and_metrics() {
+        let mut vfs = Vfs::new();
+        vfs.write("graph.txt", "1 2\n2 3\n3 1\n");
+        assert!(vfs.exists("graph.txt"));
+        assert_eq!(vfs.size("graph.txt"), Some(12));
+        assert_eq!(vfs.lines("graph.txt"), Some(3));
+        assert_eq!(vfs.words("graph.txt"), Some(6));
+        assert_eq!(vfs.read("missing"), None);
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let mut vfs = Vfs::new();
+        vfs.write("f", "old");
+        vfs.write("f", "newer");
+        assert_eq!(vfs.read("f"), Some("newer"));
+        assert_eq!(vfs.file_count(), 1);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests for XICL: the translator is total over legal command
+//! lines, the vector layout is input-independent, and defaults behave
+//! like explicit values.
+
+use proptest::prelude::*;
+
+use evovm_xicl::extract::Registry;
+use evovm_xicl::{spec, FeatureValue, Translator, Vfs};
+
+const SPEC: &str = "
+option {name=-n; type=num; attr=VAL; default=1; has_arg=y}
+option {name=-q; type=num; attr=VAL; default=50; has_arg=y}
+option {name=-v:--verbose; type=bin; attr=VAL; default=0; has_arg=n}
+option {name=-f; type=str; attr=VAL:LEN; default=plain; has_arg=y}
+operand {position=1:$; type=file; attr=SIZE:LINES}
+";
+
+fn translator() -> Translator {
+    Translator::new(spec::parse(SPEC).expect("valid"), Registry::with_predefined())
+}
+
+/// A legal command line: any subset of options in any order, then 1..3
+/// file operands that exist in the VFS.
+#[derive(Debug, Clone)]
+struct LegalInput {
+    args: Vec<String>,
+    vfs: Vfs,
+}
+
+fn arb_legal_input() -> impl Strategy<Value = LegalInput> {
+    (
+        proptest::option::of(-1000i64..1000),
+        proptest::option::of(0i64..100),
+        proptest::bool::ANY,
+        proptest::option::of("[a-z]{1,8}"),
+        proptest::collection::vec((1usize..2000, "[a-z ]{0,40}"), 1..4),
+        proptest::bool::ANY, // verbose alias choice
+        proptest::bool::ANY, // options before or after operands
+    )
+        .prop_map(|(n, q, verbose, fmt, files, long_alias, options_first)| {
+            let mut options: Vec<String> = Vec::new();
+            if let Some(n) = n {
+                options.extend(["-n".to_owned(), n.to_string()]);
+            }
+            if let Some(q) = q {
+                options.extend(["-q".to_owned(), q.to_string()]);
+            }
+            if verbose {
+                options.push(if long_alias { "--verbose" } else { "-v" }.to_owned());
+            }
+            if let Some(f) = fmt {
+                options.extend(["-f".to_owned(), f]);
+            }
+            let mut vfs = Vfs::new();
+            let mut operands = Vec::new();
+            for (i, (lines, word)) in files.iter().enumerate() {
+                let name = format!("file{i}.dat");
+                vfs.write(name.clone(), format!("{word}\n").repeat(*lines));
+                operands.push(name);
+            }
+            let args = if options_first {
+                options.into_iter().chain(operands).collect()
+            } else {
+                operands.into_iter().chain(options).collect()
+            };
+            LegalInput { args, vfs }
+        })
+}
+
+proptest! {
+    /// Every legal command line translates successfully.
+    #[test]
+    fn translator_is_total_on_legal_inputs(input in arb_legal_input()) {
+        let t = translator();
+        let result = t.translate(&input.args, &input.vfs);
+        prop_assert!(result.is_ok(), "failed on {:?}: {:?}", input.args, result.err());
+    }
+
+    /// The feature-vector layout never depends on the input.
+    #[test]
+    fn layout_is_fixed(a in arb_legal_input(), b in arb_legal_input()) {
+        let t = translator();
+        let (fa, _) = t.translate(&a.args, &a.vfs).expect("legal");
+        let (fb, _) = t.translate(&b.args, &b.vfs).expect("legal");
+        prop_assert_eq!(fa.names(), fb.names());
+    }
+
+    /// An absent option contributes exactly its default's features.
+    #[test]
+    fn defaults_equal_explicit_values(input in arb_legal_input()) {
+        let t = translator();
+        // Strip -n if present; then add it back explicitly as the default.
+        let mut stripped: Vec<String> = Vec::new();
+        let mut i = 0;
+        while i < input.args.len() {
+            if input.args[i] == "-n" {
+                i += 2;
+            } else {
+                stripped.push(input.args[i].clone());
+                i += 1;
+            }
+        }
+        let mut explicit = vec!["-n".to_owned(), "1".to_owned()];
+        explicit.extend(stripped.clone());
+        let (fa, _) = t.translate(&stripped, &input.vfs).expect("legal");
+        let (fb, _) = t.translate(&explicit, &input.vfs).expect("legal");
+        prop_assert_eq!(fa, fb);
+    }
+
+    /// Numeric operand features aggregate by summation over files.
+    #[test]
+    fn operand_features_sum(input in arb_legal_input()) {
+        let t = translator();
+        let (fv, _) = t.translate(&input.args, &input.vfs).expect("legal");
+        let total_size: f64 = input
+            .vfs
+            .paths()
+            .filter(|p| input.args.iter().any(|a| a == p))
+            .map(|p| input.vfs.size(p).unwrap_or(0) as f64)
+            .sum();
+        prop_assert_eq!(
+            fv.get("operand0.SIZE").and_then(FeatureValue::as_num),
+            Some(total_size)
+        );
+    }
+
+    /// Work accounting is monotone in input size: scanning more bytes
+    /// never reports fewer work units.
+    #[test]
+    fn stats_are_sane(input in arb_legal_input()) {
+        let t = translator();
+        let (_, stats) = t.translate(&input.args, &input.vfs).expect("legal");
+        prop_assert!(stats.tokens_scanned as usize >= input.args.len());
+        prop_assert!(stats.extractions >= 5); // 5 option attrs at minimum
+    }
+}

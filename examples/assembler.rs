@@ -1,0 +1,117 @@
+//! Working at the bytecode layer: write a program in textual assembly,
+//! inspect what each JIT level does to it, and run it.
+//!
+//! ```text
+//! cargo run --release --example assembler
+//! ```
+
+use std::sync::Arc;
+
+use evolvable_vm::bytecode::{asm, disasm};
+use evolvable_vm::opt::{OptLevel, Optimizer};
+use evolvable_vm::vm::{CostBenefitPolicy, Outcome, Vm, VmConfig};
+
+const SOURCE: &str = "
+# dot product of two generated vectors, with a deliberately foldable
+# header and a dead store for the optimizer to chew on
+entry func main/0 locals=3 {
+  const 2
+  const 3
+  mul
+  const 94
+  add            # folds to 100
+  store 0        # n = 100
+  const 7
+  store 2        # dead store: slot 2 is never read
+  load 0
+  call dot
+  print
+  null
+  return
+}
+
+func dot/1 locals=4 {
+  const 0
+  store 1        # i
+  const 0
+  store 2        # acc
+top:
+  load 1
+  load 0
+  cmpge
+  jumpif end
+  load 1
+  const 3
+  mul            # a[i] = 3i
+  load 1
+  const 5
+  mul            # b[i] = 5i
+  add
+  load 2
+  add
+  store 2
+  load 1
+  const 1
+  add
+  store 1
+  jump top
+end:
+  load 2
+  return
+}
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = asm::parse(SOURCE)?;
+    evolvable_vm::bytecode::verify::verify(&program)?;
+
+    println!("--- original ---\n{}", disasm::disassemble(&program));
+
+    let optimizer = Optimizer::new();
+    for level in [OptLevel::O1, OptLevel::O2] {
+        let main = program.entry();
+        let compiled = optimizer.compile(&program, main, level);
+        let original_len = program.function(main).code.len();
+        println!(
+            "--- main at O{} ({} -> {} instructions, {} compile cycles) ---",
+            level.as_i8(),
+            original_len,
+            compiled.code.len(),
+            compiled.compile_cycles
+        );
+        // Render the compiled body through a scratch function.
+        let mut text = String::new();
+        disasm::disassemble_function(
+            &program,
+            &evolvable_vm::bytecode::Function {
+                name: format!("main@O{}", level.as_i8()),
+                arity: 0,
+                locals: compiled.locals,
+                code: compiled.code.as_ref().clone(),
+            },
+            &mut text,
+        );
+        println!("{text}");
+    }
+
+    let mut vm = Vm::new(
+        Arc::new(program),
+        Box::new(CostBenefitPolicy::new()),
+        VmConfig::default(),
+    )?;
+    match vm.run()? {
+        Outcome::Finished(result) => {
+            println!("--- execution ---");
+            println!("output: {:?}", result.output);
+            println!(
+                "cycles: {} total ({} executing, {} compiling), {} recompilations",
+                result.total_cycles,
+                result.exec_cycles,
+                result.compile_cycles,
+                result.profile.recompilations.len()
+            );
+        }
+        Outcome::FeaturesReady => unreachable!("no done instruction"),
+    }
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! Full three-scenario comparison on one workload: Default (reactive),
+//! Rep (repository-based) and Evolve (the evolvable VM).
+//!
+//! ```text
+//! cargo run --release --example evolve_campaign [workload]
+//! ```
+//!
+//! The optional argument is any bundled workload name
+//! (`mtrt`, `compress`, `db`, `antlr`, `bloat`, `fop`, `euler`, `moldyn`,
+//! `montecarlo`, `search`, `raytracer`); the default is `mtrt`.
+
+use evolvable_vm::evovm::metrics::BoxStats;
+use evolvable_vm::evovm::{Campaign, CampaignConfig, Scenario};
+use evolvable_vm::workloads;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "mtrt".to_owned());
+    let Some(bench) = workloads::by_name(&name) else {
+        eprintln!(
+            "unknown workload `{name}`; available: {}",
+            workloads::names().join(", ")
+        );
+        std::process::exit(2);
+    };
+    let runs = workloads::info(&name).map_or(30, |i| i.campaign_runs);
+    println!(
+        "campaigning `{name}`: {} inputs, {runs} runs per scenario, same input order\n",
+        bench.inputs.len()
+    );
+
+    let mut summaries = Vec::new();
+    for scenario in [Scenario::Default, Scenario::Rep, Scenario::Evolve] {
+        let outcome = Campaign::new(
+            &bench,
+            CampaignConfig::new(scenario).runs(runs).seed(11),
+        )?
+        .run()?;
+        let speedups = outcome.speedups();
+        let stats = BoxStats::from_slice(&speedups).expect("nonempty campaign");
+        summaries.push((scenario, stats, outcome));
+    }
+
+    println!(
+        "{:<10} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "scenario", "min", "q25", "median", "q75", "max"
+    );
+    for (scenario, s, _) in &summaries {
+        println!(
+            "{:<10} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3}",
+            scenario.to_string(),
+            s.min,
+            s.q25,
+            s.median,
+            s.q75,
+            s.max
+        );
+    }
+
+    let (_, _, evolve) = &summaries[2];
+    println!("\nEvolve learning curve (confidence / accuracy / speedup):");
+    for r in evolve.records.iter().step_by(evolve.records.len().div_ceil(15).max(1)) {
+        let bar_len = ((r.confidence * 30.0) as usize).min(30);
+        println!(
+            "  run {:>3}  conf {:.2} |{:<30}| acc {:.2}  speedup {:.3}{}",
+            r.run_index,
+            r.confidence,
+            "#".repeat(bar_len),
+            r.accuracy,
+            r.speedup,
+            if r.predicted { "  *" } else { "" }
+        );
+    }
+    println!(
+        "\nmodel uses {}/{} input features; overhead stayed below {:.2}% of run time",
+        evolve.used_features,
+        evolve.raw_features,
+        100.0
+            * evolve
+                .records
+                .iter()
+                .map(|r| r.overhead_fraction)
+                .fold(0.0, f64::max)
+    );
+    Ok(())
+}

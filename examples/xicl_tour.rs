@@ -1,0 +1,116 @@
+//! XICL language tour: every construct field, aliases, defaults,
+//! predefined and programmer-defined extractors, operand position ranges,
+//! categorical vs quantitative features, and the runtime channel.
+//!
+//! ```text
+//! cargo run --release --example xicl_tour
+//! ```
+
+use evolvable_vm::xicl::extract::{ExtractCtx, FeatureExtractor, Registry};
+use evolvable_vm::xicl::{spec, FeatureValue, RuntimeChannel, Translator, Vfs, XiclError};
+
+/// A programmer-defined extractor: the extension of the first file named
+/// on the command line (a *categorical* feature).
+#[derive(Debug)]
+struct MExtension;
+
+impl FeatureExtractor for MExtension {
+    fn extract(&self, raw: &str, _ctx: &ExtractCtx<'_>) -> Result<FeatureValue, XiclError> {
+        let ext = raw.rsplit_once('.').map_or("", |(_, e)| e);
+        Ok(FeatureValue::Cat(ext.to_owned()))
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A spec exercising every construct feature. `#` starts comments;
+    // constructs may span lines.
+    let converter_spec = spec::parse(
+        "
+# A document converter:
+#   convert [-q N] [-v|--verbose] [-f FMT] INPUT... OUTPUT
+option  {name=-q; type=num; attr=VAL; default=75; has_arg=y}     # quality
+option  {name=-v:--verbose; type=bin; attr=VAL; default=0; has_arg=n}
+option  {name=-f; type=str; attr=VAL:LEN; default=pdf; has_arg=y} # format (categorical + length)
+operand {position=1:$; type=file; attr=SIZE:LINES:WORDS:mExt}     # inputs: aggregate features
+operand {position=$; type=str; attr=LEN}                          # last operand: output name
+",
+    )?;
+    println!(
+        "spec declares {} raw features across {} options and {} operand groups\n",
+        converter_spec.raw_feature_count(),
+        converter_spec.options.len(),
+        converter_spec.operands.len()
+    );
+
+    let mut registry = Registry::with_predefined();
+    registry.register("mExt", MExtension);
+    println!("registered extractors: {:?}\n", registry.names());
+    let translator = Translator::new(converter_spec, registry);
+
+    let mut vfs = Vfs::new();
+    vfs.write("chapter1.tex", "\\section{One}\nHello world.\n");
+    vfs.write("chapter2.tex", "\\section{Two}\nMore text here, three lines.\nLast.\n");
+    vfs.write("book.pdf", "");
+
+    // 1. Full command line: options by alias, multiple operands.
+    let args: Vec<String> = [
+        "--verbose",
+        "-q",
+        "90",
+        "-f",
+        "epub",
+        "chapter1.tex",
+        "chapter2.tex",
+        "book.pdf",
+    ]
+    .iter()
+    .map(|s| (*s).to_owned())
+    .collect();
+    let (fv, stats) = translator.translate(&args, &vfs)?;
+    println!("convert {} =>", args.join(" "));
+    for (name, value) in fv.iter() {
+        let kind = match value {
+            FeatureValue::Num(_) => "num",
+            FeatureValue::Cat(_) => "cat",
+        };
+        println!("  {name:<22} = {value} ({kind})");
+    }
+    println!(
+        "  ({} tokens scanned, {} extractions, {} work units)\n",
+        stats.tokens_scanned, stats.extractions, stats.work_units
+    );
+
+    // 2. Defaults: every option absent — the vector keeps its layout.
+    // (Note the `1:$` input group covers *every* operand, including the
+    // output file, so the output must exist in the VFS too.)
+    let (defaults, _) =
+        translator.translate(&["chapter1.tex".to_owned(), "book.pdf".to_owned()], &vfs)?;
+    println!("with defaults: {defaults}\n");
+    assert_eq!(fv.names(), defaults.names(), "layout is input-independent");
+
+    // 3. Errors are precise.
+    for bad in [
+        vec!["-x".to_owned()],
+        vec!["-q".to_owned()],
+        vec!["missing.tex".to_owned(), "out".to_owned()],
+    ] {
+        match translator.translate(&bad, &vfs) {
+            Err(e) => println!("convert {:<28} => error: {e}", bad.join(" ")),
+            Ok(_) => println!("convert {:<28} => ok!?", bad.join(" ")),
+        }
+    }
+
+    // 4. The runtime channel: the application publishes features it
+    //    computed anyway during initialization (`updateV`), then `done()`.
+    let channel = RuntimeChannel::new();
+    channel.update_v("pages", 412.0);
+    channel.update_v("images", 17.0);
+    channel.done();
+    let mut merged = fv;
+    channel.merge_into(&mut merged);
+    println!("\nafter updateV/done the vector gains runtime features:");
+    for (name, value) in merged.iter().filter(|(n, _)| n.starts_with("runtime.")) {
+        println!("  {name} = {value}");
+    }
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! Differential testing: every workload program must produce identical
+//! observable output at every optimization level — optimizers may change
+//! *when* code gets compiled and how fast it runs, never what it computes.
+
+use std::sync::Arc;
+
+use evolvable_vm::opt::OptLevel;
+use evolvable_vm::vm::{AosContext, AosPolicy, Outcome, Vm, VmConfig};
+use evolvable_vm::workloads;
+use evovm_bytecode::FuncId;
+
+/// Pins every method to one level at its first compilation.
+#[derive(Debug)]
+struct PinPolicy(OptLevel);
+
+impl AosPolicy for PinPolicy {
+    fn on_first_compile(&mut self, _m: FuncId, _ctx: AosContext<'_>) -> Option<OptLevel> {
+        Some(self.0)
+    }
+}
+
+fn run_pinned(program: &Arc<evovm_bytecode::Program>, level: OptLevel) -> (Vec<String>, u64) {
+    let mut vm = Vm::new(
+        Arc::clone(program),
+        Box::new(PinPolicy(level)),
+        VmConfig::default(),
+    )
+    .expect("workload programs verify");
+    loop {
+        match vm.run().expect("workload programs run") {
+            Outcome::Finished(r) => return (r.output, r.exec_cycles),
+            Outcome::FeaturesReady => continue,
+        }
+    }
+}
+
+#[test]
+fn all_workloads_agree_across_levels() {
+    for name in workloads::names() {
+        let bench = workloads::by_name(name).expect("bundled");
+        // Cheapest inputs only (debug builds run this test too): take the
+        // input with the smallest program-embedded work via a short probe.
+        let input = &bench.inputs[0];
+        let (baseline_out, baseline_cycles) = run_pinned(&input.program, OptLevel::Baseline);
+        assert!(!baseline_out.is_empty(), "{name} should print something");
+        for level in [OptLevel::O0, OptLevel::O1, OptLevel::O2] {
+            let (out, cycles) = run_pinned(&input.program, level);
+            assert_eq!(
+                out, baseline_out,
+                "{name}: output diverged at {level}"
+            );
+            assert!(
+                cycles <= baseline_cycles,
+                "{name}: {level} exec cycles {cycles} exceed baseline {baseline_cycles}"
+            );
+        }
+    }
+}
+
+#[test]
+fn optimized_code_is_smaller_or_equal_for_workload_hot_methods() {
+    use evolvable_vm::opt::Optimizer;
+    let optimizer = Optimizer::new();
+    for name in workloads::names() {
+        let bench = workloads::by_name(name).expect("bundled");
+        let program = &bench.inputs[0].program;
+        for (i, f) in program.functions().iter().enumerate() {
+            let o1 = optimizer.compile(program, FuncId(i as u32), OptLevel::O1);
+            assert!(
+                o1.code.len() <= f.code.len(),
+                "{name}/{}: O1 grew the code {} -> {}",
+                f.name,
+                f.code.len(),
+                o1.code.len()
+            );
+        }
+    }
+}

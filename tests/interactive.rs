@@ -1,0 +1,158 @@
+//! Interactive applications (paper §III-B.4): programs that publish new
+//! features at several interactive points via `updateV`/`done`. The
+//! evolvable VM re-predicts at each pause when the grown feature vector
+//! changes the answer.
+
+use std::sync::Arc;
+
+use evolvable_vm::evovm::{AppInput, EvolvableVm, EvolveConfig};
+use evolvable_vm::minijava;
+use evolvable_vm::xicl::extract::Registry;
+use evolvable_vm::xicl::{spec, Translator, Vfs};
+
+/// An editor-like session: a light parsing phase, then an interactive
+/// "command" whose cost arrives only at the second interactive point.
+fn session_source(doc_size: u64, command_cost: u64) -> String {
+    format!(
+        "
+fn lcg(s) {{
+    return (s * 1103515245 + 12345) & 2147483647;
+}}
+
+fn load_document(n) {{
+    let doc = new [n];
+    let s = 7;
+    for (let i = 0; i < n; i = i + 1) {{
+        s = lcg(s);
+        doc[i] = s % 97;
+    }}
+    return doc;
+}}
+
+fn apply_command(doc, n, cost) {{
+    let acc = 0;
+    for (let r = 0; r < cost; r = r + 1) {{
+        for (let i = 0; i < n; i = i + 1) {{
+            acc = (acc * 31 + doc[i] + r) & 1073741823;
+        }}
+    }}
+    return acc;
+}}
+
+fn main() {{
+    let n = {doc_size};
+    publish \"doc_size\", n;
+    done;                          // interactive point 1: document loaded
+    let doc = load_document(n);
+    let cost = {command_cost};
+    publish \"command_cost\", cost;
+    done;                          // interactive point 2: command arrived
+    print apply_command(doc, n, cost);
+}}
+"
+    )
+}
+
+const SESSION_SPEC: &str = "
+option {name=-s; type=num; attr=VAL; default=100; has_arg=y}
+";
+
+fn session_input(doc_size: u64, command_cost: u64) -> AppInput {
+    AppInput {
+        args: vec!["-s".into(), doc_size.to_string()],
+        vfs: Vfs::new(),
+        program: Arc::new(
+            minijava::compile(&session_source(doc_size, command_cost)).expect("compiles"),
+        ),
+    }
+}
+
+#[test]
+fn interactive_sessions_repredict_at_each_pause() {
+    let translator = Translator::new(
+        spec::parse(SESSION_SPEC).expect("valid"),
+        Registry::with_predefined(),
+    );
+    let mut vm = EvolvableVm::new(translator, EvolveConfig::default());
+    // Sessions where the command cost (revealed only at pause 2) decides
+    // whether the heavy kernel deserves O2 — the command-line features
+    // alone cannot predict it.
+    let sessions: Vec<AppInput> = vec![
+        session_input(200, 1),
+        session_input(200, 400),
+        session_input(800, 2),
+        session_input(800, 300),
+        session_input(400, 1),
+        session_input(400, 500),
+    ];
+    // Warm up until confident.
+    let mut last_predictions = 0;
+    for round in 0..4 {
+        for s in &sessions {
+            let record = vm.run_once(s).expect("session runs");
+            if round >= 2 {
+                assert!(record.predicted, "should predict after warmup");
+            }
+            last_predictions = record.predictions_made;
+        }
+    }
+    // Interactive runs observe at least one prediction; the second pause
+    // re-predicts when the command cost changes the strategy.
+    assert!(last_predictions >= 1);
+    let confident = vm.confidence();
+    assert!(confident > 0.7, "confidence reached {confident}");
+
+    // A session whose second pause reveals a heavy command must end up
+    // with multiple predictions at least somewhere across the suite.
+    let mut multi = false;
+    for s in &sessions {
+        let record = vm.run_once(s).expect("session runs");
+        if record.predictions_made >= 2 {
+            multi = true;
+        }
+        assert!(
+            record.result.published.len() == 2,
+            "both interactive points publish"
+        );
+    }
+    assert!(
+        multi,
+        "at least one session should re-predict at its second interactive point"
+    );
+}
+
+/// Programs that publish *conditionally* must not corrupt the training
+/// schema: runs without the optional feature record it as missing.
+#[test]
+fn conditional_publishing_keeps_the_schema_stable() {
+    let publishing = "fn main() { publish \"extra\", 42; done; print 1; }";
+    let silent = "fn main() { print 1; }";
+    let make = |src: &str| AppInput {
+        args: Vec::new(),
+        vfs: Vfs::new(),
+        program: Arc::new(minijava::compile(src).expect("compiles")),
+    };
+    let translator = Translator::new(
+        spec::parse("").expect("empty spec is valid"),
+        Registry::with_predefined(),
+    );
+    let mut vm = EvolvableVm::new(translator, EvolveConfig::default());
+    // First run fixes the schema (with the runtime feature present).
+    vm.run_once(&make(publishing)).expect("publishing run");
+    // A silent run must still be learnable.
+    vm.run_once(&make(silent)).expect("silent run");
+    vm.run_once(&make(publishing)).expect("publishing run again");
+    assert_eq!(vm.runs_observed(), 3);
+}
+
+#[test]
+fn plain_runs_report_zero_or_one_predictions() {
+    let bench = evolvable_vm::workloads::by_name("fop").expect("bundled");
+    let mut vm = EvolvableVm::new(bench.translator.clone(), EvolveConfig::default());
+    for i in 0..8 {
+        let record = vm
+            .run_once(&bench.inputs[i % bench.inputs.len()])
+            .expect("runs");
+        assert!(record.predictions_made <= 1, "fop has no interactive points");
+    }
+}

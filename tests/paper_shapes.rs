@@ -1,0 +1,104 @@
+//! Automated guards for the paper's qualitative results — the shapes
+//! EXPERIMENTS.md reports must not silently regress when the cost model
+//! or the workloads change.
+//!
+//! These run short campaigns (release builds take ~seconds); they check
+//! directions and orderings, never absolute numbers.
+
+use evolvable_vm::evovm::metrics::BoxStats;
+use evolvable_vm::evovm::{Campaign, CampaignConfig, CampaignOutcome, Scenario};
+use evolvable_vm::workloads;
+
+fn run(name: &str, scenario: Scenario, runs: usize, seed: u64) -> CampaignOutcome {
+    let bench = workloads::by_name(name).expect("bundled workload");
+    Campaign::new(&bench, CampaignConfig::new(scenario).runs(runs).seed(seed))
+        .expect("campaign")
+        .run()
+        .expect("runs succeed")
+}
+
+/// Figure 8's essence: once Evolve predicts, it beats the default; and on
+/// an input-sensitive benchmark it beats Rep on average.
+#[test]
+fn evolve_beats_rep_on_an_input_sensitive_benchmark() {
+    let runs = 30;
+    let evolve = run("moldyn", Scenario::Evolve, runs, 1);
+    let rep = run("moldyn", Scenario::Rep, runs, 1);
+    let e = BoxStats::from_slice(&evolve.speedups()).expect("nonempty");
+    let r = BoxStats::from_slice(&rep.speedups()).expect("nonempty");
+    assert!(
+        e.median > r.median,
+        "Evolve median {:.3} should beat Rep {:.3}",
+        e.median,
+        r.median
+    );
+    assert!(e.median > 1.0, "Evolve should beat the default VM");
+}
+
+/// Figure 10's minimum-speedup claim: the discriminative guard keeps
+/// Evolve's worst case near 1.0 while Rep's immature predictions can
+/// lose badly.
+#[test]
+fn discriminative_prediction_protects_the_worst_case() {
+    let runs = 30;
+    let evolve = run("raytracer", Scenario::Evolve, runs, 23);
+    let rep = run("raytracer", Scenario::Rep, runs, 23);
+    let e = BoxStats::from_slice(&evolve.speedups()).expect("nonempty");
+    let r = BoxStats::from_slice(&rep.speedups()).expect("nonempty");
+    assert!(
+        e.min >= r.min - 0.01,
+        "Evolve min {:.3} should not be worse than Rep min {:.3}",
+        e.min,
+        r.min
+    );
+    assert!(e.min > 0.9, "Evolve worst case should stay near 1.0: {:.3}", e.min);
+}
+
+/// Table I's learning claim: accuracy reaches a high steady state and
+/// unused features are excluded from the models.
+#[test]
+fn accuracy_converges_and_features_are_selected() {
+    let outcome = run("fop", Scenario::Evolve, 30, 3);
+    let late: Vec<f64> = outcome.records[15..].iter().map(|r| r.accuracy).collect();
+    let mean_late = evolvable_vm::evovm::metrics::mean(&late);
+    assert!(mean_late > 0.8, "steady-state accuracy {mean_late:.3}");
+    assert!(outcome.used_features <= outcome.raw_features);
+    assert!(outcome.used_features >= 1);
+}
+
+/// §V-B.2: overhead never dominates — even worst case stays in the
+/// low percents.
+#[test]
+fn overhead_stays_small() {
+    let outcome = run("antlr", Scenario::Evolve, 20, 2);
+    let worst = outcome
+        .records
+        .iter()
+        .map(|r| r.overhead_fraction)
+        .fold(0.0, f64::max);
+    assert!(worst < 0.05, "worst overhead fraction {worst:.4}");
+}
+
+/// Figure 9's diminishing tail: on compress, the longest runs gain less
+/// than the mid-range runs once predictions are engaged.
+#[test]
+fn long_runs_amortize_the_benefit() {
+    let runs = 60;
+    let evolve = run("compress", Scenario::Evolve, runs, 2);
+    let mut engaged: Vec<(f64, f64)> = evolve
+        .records
+        .iter()
+        .filter(|r| r.predicted)
+        .map(|r| (r.default_seconds(), r.speedup))
+        .collect();
+    assert!(engaged.len() >= 10, "need engaged runs to compare");
+    engaged.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let half = engaged.len() / 2;
+    let mean = |xs: &[(f64, f64)]| xs.iter().map(|x| x.1).sum::<f64>() / xs.len() as f64;
+    let short_mean = mean(&engaged[..half]);
+    let long_mean = mean(&engaged[half..]);
+    assert!(
+        long_mean < short_mean * 1.1,
+        "long runs should not gain much more than short ones: {short_mean:.3} vs {long_mean:.3}"
+    );
+}

@@ -1,0 +1,85 @@
+//! Cross-invocation persistence: the evolvable VM's learned state
+//! (history + confidence) survives serialization, so a later VM process
+//! resumes evolving instead of starting over — the paper's "repository"
+//! aspect of cross-run learning.
+
+use evolvable_vm::evovm::{EvolvableVm, EvolveConfig};
+use evolvable_vm::workloads;
+
+fn trained_vm(runs: usize) -> (EvolvableVm, evolvable_vm::evovm::Bench) {
+    let bench = workloads::by_name("search").expect("bundled workload");
+    let mut vm = EvolvableVm::new(bench.translator.clone(), EvolveConfig::default());
+    for i in 0..runs {
+        let input = &bench.inputs[i % bench.inputs.len()];
+        vm.run_once(input).expect("runs succeed");
+    }
+    (vm, bench)
+}
+
+#[test]
+fn state_roundtrips_through_json() {
+    let (vm, bench) = trained_vm(10);
+    let json = vm.export_state();
+    assert!(json.contains("history"));
+
+    let mut restored = EvolvableVm::new(bench.translator.clone(), EvolveConfig::default());
+    restored.import_state(&json).expect("state imports");
+    assert_eq!(restored.runs_observed(), vm.runs_observed());
+    // JSON may lose the last bit of the decayed float.
+    assert!((restored.confidence() - vm.confidence()).abs() < 1e-12);
+    assert_eq!(
+        restored.used_feature_indices(),
+        vm.used_feature_indices(),
+        "rebuilt models must agree"
+    );
+}
+
+#[test]
+fn restored_vm_continues_predicting() {
+    let (vm, bench) = trained_vm(12);
+    assert!(vm.confidence() > 0.7, "training should reach confidence");
+    let json = vm.export_state();
+
+    let mut restored = EvolvableVm::new(bench.translator.clone(), EvolveConfig::default());
+    restored.import_state(&json).expect("state imports");
+    // The very first run of the restored process predicts immediately —
+    // no warmup replay needed.
+    let record = restored
+        .run_once(&bench.inputs[0])
+        .expect("restored vm runs");
+    assert!(record.predicted, "restored confidence should enable prediction");
+    assert!(record.accuracy > 0.5);
+}
+
+#[test]
+fn corrupt_state_degrades_to_fresh_learning() {
+    let bench = workloads::by_name("search").expect("bundled workload");
+    let mut vm = EvolvableVm::new(bench.translator.clone(), EvolveConfig::default());
+    vm.import_state("this is not json").expect("corrupt state is tolerated");
+    assert_eq!(vm.runs_observed(), 0);
+    assert_eq!(vm.confidence(), 0.0);
+    // And it still learns normally afterwards.
+    vm.run_once(&bench.inputs[0]).expect("runs succeed");
+    assert_eq!(vm.runs_observed(), 1);
+}
+
+#[test]
+fn predictions_match_between_original_and_restored() {
+    let (vm, bench) = trained_vm(14);
+    let json = vm.export_state();
+    let mut restored = EvolvableVm::new(bench.translator.clone(), EvolveConfig::default());
+    restored.import_state(&json).expect("state imports");
+
+    for input in bench.inputs.iter().take(4) {
+        let (fv, _) = bench
+            .translator
+            .translate(&input.args, &input.vfs)
+            .expect("legal input");
+        let n = input.program.functions().len();
+        // Note: trained predictions include runtime features published
+        // during runs; command-line-only vectors may be unpredictable for
+        // programs that publish. Search publishes nothing, so both sides
+        // must agree exactly.
+        assert_eq!(vm.predict(&fv, n), restored.predict(&fv, n));
+    }
+}

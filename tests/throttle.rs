@@ -1,0 +1,57 @@
+//! The extraction-overhead throttle (paper §V-B.2): if programmer-defined
+//! feature extraction is too expensive, the VM caps the charged overhead
+//! and falls back to the default optimizer for that run.
+
+use evolvable_vm::evovm::{EvolvableVm, EvolveConfig};
+use evolvable_vm::workloads;
+
+#[test]
+fn extraction_cap_throttles_and_disables_prediction() {
+    let bench = workloads::by_name("compress").expect("bundled workload");
+
+    // Train an uncapped VM until it predicts.
+    let mut uncapped = EvolvableVm::new(bench.translator.clone(), EvolveConfig::default());
+    for i in 0..8 {
+        uncapped
+            .run_once(&bench.inputs[i % 4])
+            .expect("runs succeed");
+    }
+    let record = uncapped.run_once(&bench.inputs[0]).expect("runs succeed");
+    assert!(record.predicted, "uncapped VM should predict after warmup");
+    // compress files are KBs; SIZE/LINES extraction costs thousands of
+    // work units.
+    assert!(record.extraction_cycles > 1_000);
+
+    // The same history under a 10-cycle cap: extraction is throttled and
+    // prediction disabled for the run.
+    let capped_config = EvolveConfig {
+        extraction_cycle_cap: Some(10),
+        ..EvolveConfig::default()
+    };
+    let mut capped = EvolvableVm::new(bench.translator.clone(), capped_config);
+    capped
+        .import_state(&uncapped.export_state())
+        .expect("state imports");
+    assert!(capped.confidence() > 0.7);
+    let record = capped.run_once(&bench.inputs[0]).expect("runs succeed");
+    assert!(!record.predicted, "throttled run must fall back to default");
+    assert_eq!(record.extraction_cycles, 10, "overhead is capped");
+    assert_eq!(record.prediction_cycles, 0);
+}
+
+#[test]
+fn generous_cap_changes_nothing() {
+    let bench = workloads::by_name("search").expect("bundled workload");
+    let generous = EvolveConfig {
+        extraction_cycle_cap: Some(u64::MAX),
+        ..EvolveConfig::default()
+    };
+    let mut a = EvolvableVm::new(bench.translator.clone(), generous);
+    let mut b = EvolvableVm::new(bench.translator.clone(), EvolveConfig::default());
+    for i in 0..6 {
+        let ra = a.run_once(&bench.inputs[i % bench.inputs.len()]).expect("runs");
+        let rb = b.run_once(&bench.inputs[i % bench.inputs.len()]).expect("runs");
+        assert_eq!(ra.result.total_cycles, rb.result.total_cycles);
+        assert_eq!(ra.predicted, rb.predicted);
+    }
+}
