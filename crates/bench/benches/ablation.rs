@@ -31,7 +31,10 @@ fn summarize(label: &str, outcome: &evovm::CampaignOutcome) {
 }
 
 fn main() {
-    banner("Ablations — design-choice isolation", "DESIGN.md §5 (extensions)");
+    banner(
+        "Ablations — design-choice isolation",
+        "DESIGN.md §5 (extensions)",
+    );
     let name = "mtrt";
     let runs = paper_runs(name);
 
@@ -42,7 +45,10 @@ fn main() {
     // in the input-order sensitivity experiment (Rep's unguarded
     // worst-cases of 0.67–0.78) rather than in this single-order summary.
     println!("--- 1. discriminative guard (compress) ---");
-    for (label, th) in [("guard off (TH_c = 0.0)", 0.0), ("paper guard (TH_c = 0.7)", 0.7)] {
+    for (label, th) in [
+        ("guard off (TH_c = 0.0)", 0.0),
+        ("paper guard (TH_c = 0.7)", 0.7),
+    ] {
         let outcome = campaign(
             "compress",
             Scenario::Evolve,

@@ -7,28 +7,38 @@
 //! (discriminative prediction suppresses harmful early predictions);
 //! overall means land in the paper's 7–21% range.
 
-use evovm::{EvolveConfig, Scenario};
-use evovm_bench::{banner, box_row, campaign, paper_runs, TABLE1_ORDER};
+use evovm::Scenario;
+use evovm_bench::{banner, box_row, paper_runs, session, SessionRequest, TABLE1_ORDER};
 
 const INPUT_SENSITIVE: [&str; 5] = ["mtrt", "compress", "euler", "moldyn", "raytracer"];
 
 fn main() {
-    banner("Figure 10 — speedup distributions, Evolve vs Rep", "Figure 10");
+    banner(
+        "Figure 10 — speedup distributions, Evolve vs Rep",
+        "Figure 10",
+    );
     println!(
         "{:<22} {:>7} {:>7} {:>7} {:>7} {:>7}",
         "benchmark/system", "min", "q25", "median", "q75", "max"
     );
+    // 22 campaigns (Evolve + Rep per benchmark), one parallel session;
+    // each benchmark's two campaigns share the memoized default runs.
+    let seed = 1;
+    let requests: Vec<SessionRequest> = TABLE1_ORDER
+        .iter()
+        .flat_map(|name| {
+            [Scenario::Evolve, Scenario::Rep]
+                .map(|scenario| SessionRequest::new(name, scenario, paper_runs(name), seed))
+        })
+        .collect();
+    let outcomes = session(&requests);
     let mut evolve_means = Vec::new();
     let mut sensitive_evolve = Vec::new();
     let mut sensitive_rep = Vec::new();
     let mut min_wins = 0usize;
-    for name in TABLE1_ORDER {
-        let runs = paper_runs(name);
-        let seed = 1;
-        let evolve = campaign(name, Scenario::Evolve, runs, seed, EvolveConfig::default());
-        let rep = campaign(name, Scenario::Rep, runs, seed, EvolveConfig::default());
-        let es = evolve.speedups();
-        let rs = rep.speedups();
+    for (name, pair) in TABLE1_ORDER.iter().zip(outcomes.chunks_exact(2)) {
+        let es = pair[0].speedups();
+        let rs = pair[1].speedups();
         println!("{}", box_row(&format!("{name} (Evolve)"), &es));
         println!("{}", box_row(&format!("{name} (Rep)"), &rs));
         let eb = evovm::metrics::BoxStats::from_slice(&es).expect("nonempty");
@@ -39,7 +49,7 @@ fn main() {
         if eb.min >= rb.min - 0.01 {
             min_wins += 1;
         }
-        if INPUT_SENSITIVE.contains(&name) {
+        if INPUT_SENSITIVE.contains(name) {
             sensitive_evolve.push(eb.median);
             sensitive_rep.push(rb.median);
         }
@@ -54,7 +64,5 @@ fn main() {
         100.0 * (evovm::metrics::mean(&sensitive_evolve) - 1.0),
         100.0 * (evovm::metrics::mean(&sensitive_rep) - 1.0)
     );
-    println!(
-        "  programs where Evolve's minimum speedup >= Rep's: {min_wins}/11 (paper: 9/11)"
-    );
+    println!("  programs where Evolve's minimum speedup >= Rep's: {min_wins}/11 (paper: 9/11)");
 }

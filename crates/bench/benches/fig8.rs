@@ -6,19 +6,27 @@
 //! speedup jumps once confidence crosses the 0.7 threshold; Evolve's
 //! speedups then exceed Rep's on most runs.
 
-use evovm::{EvolveConfig, Scenario};
-use evovm_bench::{banner, campaign, paper_runs};
+use evovm::Scenario;
+use evovm_bench::{banner, paper_runs, session, SessionRequest};
 
 fn main() {
     banner(
         "Figure 8 — confidence/accuracy/speedup vs run index",
         "Figure 8 (a: Mtrt, b: RayTracer)",
     );
-    for name in ["mtrt", "raytracer"] {
-        let runs = paper_runs(name);
-        let seed = 1;
-        let evolve = campaign(name, Scenario::Evolve, runs, seed, EvolveConfig::default());
-        let rep = campaign(name, Scenario::Rep, runs, seed, EvolveConfig::default());
+    let names = ["mtrt", "raytracer"];
+    let seed = 1;
+    let requests: Vec<SessionRequest> = names
+        .iter()
+        .flat_map(|name| {
+            [Scenario::Evolve, Scenario::Rep]
+                .map(|scenario| SessionRequest::new(name, scenario, paper_runs(name), seed))
+        })
+        .collect();
+    let outcomes = session(&requests);
+    for (name, pair) in names.iter().zip(outcomes.chunks_exact(2)) {
+        let (evolve, rep) = (&pair[0], &pair[1]);
+        let runs = evolve.records.len();
         println!("--- {name} ({runs} runs, same random input order for both systems) ---");
         println!(
             "{:>4} {:>6} {:>9} {:>9} {:>13} {:>12}",

@@ -5,22 +5,30 @@
 //! toward 1.0 for the longest runs (compile-time savings amortize away);
 //! the Evolve-vs-Rep gap widens in the mid range.
 
-use evovm::{EvolveConfig, Scenario};
-use evovm_bench::{banner, campaign};
+use evovm::Scenario;
+use evovm_bench::{banner, session, SessionRequest};
 
 fn main() {
     banner(
         "Figure 9 — speedup vs default running time",
         "Figure 9 (a: Mtrt, b: Compress)",
     );
-    for name in ["mtrt", "compress"] {
-        // The paper plots 92 post-warmup Mtrt runs; we run 100 and drop
-        // the first 8 (Evolve predicts in few or none of them).
-        let runs = 100;
-        let warmup = 8;
-        let seed = 2;
-        let evolve = campaign(name, Scenario::Evolve, runs, seed, EvolveConfig::default());
-        let rep = campaign(name, Scenario::Rep, runs, seed, EvolveConfig::default());
+    // The paper plots 92 post-warmup Mtrt runs; we run 100 and drop the
+    // first 8 (Evolve predicts in few or none of them).
+    let runs = 100;
+    let warmup = 8;
+    let seed = 2;
+    let names = ["mtrt", "compress"];
+    let requests: Vec<SessionRequest> = names
+        .iter()
+        .flat_map(|name| {
+            [Scenario::Evolve, Scenario::Rep]
+                .map(|scenario| SessionRequest::new(name, scenario, runs, seed))
+        })
+        .collect();
+    let outcomes = session(&requests);
+    for (name, pair) in names.iter().zip(outcomes.chunks_exact(2)) {
+        let (evolve, rep) = (&pair[0], &pair[1]);
         let mut rows: Vec<(f64, f64, f64)> = evolve.records[warmup..]
             .iter()
             .zip(&rep.records[warmup..])

@@ -109,10 +109,7 @@ fn bench_tree_training(c: &mut Criterion) {
         let y = ((s >> 10) % 100) as f64;
         let label = u16::from(x > 500.0) + u16::from(y > 50.0);
         data.push(
-            &[
-                ("x".to_owned(), Raw::Num(x)),
-                ("y".to_owned(), Raw::Num(y)),
-            ],
+            &[("x".to_owned(), Raw::Num(x)), ("y".to_owned(), Raw::Num(y))],
             label,
         )
         .expect("consistent schema");

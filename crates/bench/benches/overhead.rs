@@ -6,19 +6,25 @@
 //! Paper reference: below 0.4% for most runs, worst case 1.38% (Bloat on
 //! a small input).
 
-use evovm::{EvolveConfig, Scenario};
-use evovm_bench::{banner, campaign, paper_runs, TABLE1_ORDER};
+use evovm::Scenario;
+use evovm_bench::{banner, paper_runs, session, SessionRequest, TABLE1_ORDER};
 
 fn main() {
-    banner("Overhead analysis — evolvable-VM overhead per run", "Section V-B.2");
+    banner(
+        "Overhead analysis — evolvable-VM overhead per run",
+        "Section V-B.2",
+    );
     println!(
         "{:<12} {:>12} {:>12} {:>14}",
         "program", "mean(%)", "max(%)", "max-at-input"
     );
+    let requests: Vec<SessionRequest> = TABLE1_ORDER
+        .iter()
+        .map(|name| SessionRequest::new(name, Scenario::Evolve, paper_runs(name), 1))
+        .collect();
+    let outcomes = session(&requests);
     let mut worst = (0.0f64, String::new());
-    for name in TABLE1_ORDER {
-        let runs = paper_runs(name);
-        let outcome = campaign(name, Scenario::Evolve, runs, 1, EvolveConfig::default());
+    for (name, outcome) in TABLE1_ORDER.iter().zip(&outcomes) {
         let fractions: Vec<f64> = outcome
             .records
             .iter()
@@ -32,7 +38,7 @@ fn main() {
             .fold((0.0, 0usize), |acc, x| if x.0 > acc.0 { x } else { acc });
         println!("{name:<12} {mean:>12.4} {max:>12.4} {at:>14}");
         if max > worst.0 {
-            worst = (max, name.to_owned());
+            worst = (max, (*name).to_owned());
         }
     }
     println!(

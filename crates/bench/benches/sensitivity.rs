@@ -10,7 +10,10 @@
 
 use evovm::metrics::BoxStats;
 use evovm::{EvolveConfig, Scenario};
-use evovm_bench::{banner, campaign, paper_runs};
+use evovm_bench::{banner, paper_runs, session, SessionRequest};
+
+const THRESHOLDS: [f64; 3] = [0.5, 0.7, 0.9];
+const ORDER_SEEDS: [u64; 3] = [1, 7, 23];
 
 fn main() {
     banner("Sensitivity — thresholds and input order", "Section V-B.3");
@@ -19,15 +22,25 @@ fn main() {
     // confidence genuinely oscillates around the threshold (100 distinct
     // inputs, boundary-heavy labels), so TH_c binds there; on mtrt the
     // models are accurate enough that any threshold ≤0.9 behaves alike.
-    for name in ["compress", "mtrt"] {
+    // The sweep shares each benchmark's default runs across thresholds.
+    let names = ["compress", "mtrt"];
+    let requests: Vec<SessionRequest> = names
+        .iter()
+        .flat_map(|name| {
+            THRESHOLDS.map(|th| {
+                SessionRequest::new(name, Scenario::Evolve, paper_runs(name), 1)
+                    .evolve(EvolveConfig::default().with_threshold(th))
+            })
+        })
+        .collect();
+    let outcomes = session(&requests);
+    for (name, sweep) in names.iter().zip(outcomes.chunks_exact(THRESHOLDS.len())) {
         println!("--- confidence threshold ({name}) ---");
         println!(
             "{:>6} {:>9} {:>9} {:>9} {:>10}",
             "TH_c", "min", "median", "max", "predicted"
         );
-        for th in [0.5, 0.7, 0.9] {
-            let cfg = EvolveConfig::default().with_threshold(th);
-            let outcome = campaign(name, Scenario::Evolve, paper_runs(name), 1, cfg);
+        for (th, outcome) in THRESHOLDS.iter().zip(sweep) {
             let s = BoxStats::from_slice(&outcome.speedups()).expect("nonempty");
             let predicted = outcome.records.iter().filter(|r| r.predicted).count();
             println!(
@@ -41,29 +54,28 @@ fn main() {
         println!("(expect: higher TH_c -> fewer predictions, smaller max, safer min)\n");
     }
 
-    // Part 2: input-order sensitivity on RayTracer.
+    // Part 2: input-order sensitivity on RayTracer — six campaigns, one
+    // shared oracle (the arrival order changes, the input set does not).
     println!("--- input order (raytracer): worst-case speedup across orders ---");
     println!("{:>6} {:>14} {:>11}", "order", "evolve-min", "rep-min");
+    let runs = paper_runs("raytracer");
+    let requests: Vec<SessionRequest> = ORDER_SEEDS
+        .iter()
+        .flat_map(|&seed| {
+            [Scenario::Evolve, Scenario::Rep]
+                .map(|scenario| SessionRequest::new("raytracer", scenario, runs, seed))
+        })
+        .collect();
+    let outcomes = session(&requests);
     let mut evolve_mins = Vec::new();
     let mut rep_mins = Vec::new();
-    for seed in [1u64, 7, 23] {
-        let runs = paper_runs("raytracer");
-        let evolve = campaign(
-            "raytracer",
-            Scenario::Evolve,
-            runs,
-            seed,
-            EvolveConfig::default(),
-        );
-        let rep = campaign(
-            "raytracer",
-            Scenario::Rep,
-            runs,
-            seed,
-            EvolveConfig::default(),
-        );
-        let emin = BoxStats::from_slice(&evolve.speedups()).expect("nonempty").min;
-        let rmin = BoxStats::from_slice(&rep.speedups()).expect("nonempty").min;
+    for (seed, pair) in ORDER_SEEDS.iter().zip(outcomes.chunks_exact(2)) {
+        let emin = BoxStats::from_slice(&pair[0].speedups())
+            .expect("nonempty")
+            .min;
+        let rmin = BoxStats::from_slice(&pair[1].speedups())
+            .expect("nonempty")
+            .min;
         println!("{seed:>6} {emin:>14.3} {rmin:>11.3}");
         evolve_mins.push(emin);
         rep_mins.push(rmin);

@@ -5,9 +5,8 @@
 //! 0.1–100 s per program, raw features mostly 2–8 with 1–4 used, mean
 //! confidence/accuracy around 0.7–0.9 (87% mean accuracy overall).
 
-use evovm::{EvolveConfig, Scenario};
-use evovm_bench::{banner, campaign, paper_runs, TABLE1_ORDER};
-use evovm_workloads as workloads;
+use evovm::Scenario;
+use evovm_bench::{banner, paper_runs, session, SessionRequest, TABLE1_ORDER};
 
 fn main() {
     banner(
@@ -18,12 +17,15 @@ fn main() {
         "{:<12} {:>7} {:>9} {:>9} {:>9} {:>7} {:>7} {:>7}",
         "program", "#inputs", "min(s)", "max(s)", "features", "used", "conf", "acc"
     );
+    // All eleven Evolve campaigns fan out across the engine's workers.
+    let requests: Vec<SessionRequest> = TABLE1_ORDER
+        .iter()
+        .map(|name| SessionRequest::new(name, Scenario::Evolve, paper_runs(name), 1))
+        .collect();
+    let outcomes = session(&requests);
     let mut accs = Vec::new();
-    for name in TABLE1_ORDER {
-        let bench = workloads::by_name(name).expect("bundled workload");
-        let n_inputs = bench.inputs.len();
-        let runs = paper_runs(name);
-        let outcome = campaign(name, Scenario::Evolve, runs, 1, EvolveConfig::default());
+    for (name, outcome) in TABLE1_ORDER.iter().zip(&outcomes) {
+        let n_inputs = outcome.default_seconds_per_input.len();
         let (min_s, max_s) = outcome.default_time_range().unwrap_or((0.0, 0.0));
         // Mean confidence/accuracy over the second half of the campaign
         // (the paper reports steady-state values).

@@ -8,15 +8,18 @@
 //! EVOVM_TRACE=search cargo bench -p evovm-bench --bench trace
 //! ```
 
-use evovm::{EvolveConfig, Scenario};
-use evovm_bench::{banner, campaign, paper_runs};
+use evovm::Scenario;
+use evovm_bench::{banner, paper_runs, session, SessionRequest};
 
 fn main() {
     let name = std::env::var("EVOVM_TRACE").unwrap_or_else(|_| "compress".to_owned());
     banner(&format!("Trace — {name}"), "diagnostic, not a paper figure");
     let runs = paper_runs(&name);
-    let evolve = campaign(&name, Scenario::Evolve, runs, 1, EvolveConfig::default());
-    let rep = campaign(&name, Scenario::Rep, runs, 1, EvolveConfig::default());
+    let outcomes = session(&[
+        SessionRequest::new(&name, Scenario::Evolve, runs, 1),
+        SessionRequest::new(&name, Scenario::Rep, runs, 1),
+    ]);
+    let (evolve, rep) = (&outcomes[0], &outcomes[1]);
     println!(
         "{:>4} {:>6} {:>10} {:>9} {:>9} {:>13} {:>10} {:>6}",
         "run", "input", "def(s)", "conf", "acc", "evolve-spdup", "rep-spdup", "pred"

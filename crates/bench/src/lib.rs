@@ -4,10 +4,94 @@
 //! Mao & Shen (CGO 2009); this library centralizes campaign running and
 //! table formatting so the targets stay declarative.
 
-use evovm::{Campaign, CampaignConfig, CampaignOutcome, EvolveConfig, Scenario};
+use evovm::{
+    Bench, CampaignConfig, CampaignEngine, CampaignOutcome, CampaignSpec, EvolveConfig, Scenario,
+};
 use evovm_workloads as workloads;
 
-/// Run one scenario campaign over a named workload.
+/// One campaign of a paper-figure session: a (workload × scenario ×
+/// seed) cell.
+#[derive(Debug, Clone)]
+pub struct SessionRequest {
+    /// Workload name (as accepted by `evovm_workloads::by_name`).
+    pub workload: String,
+    /// The scenario to run.
+    pub scenario: Scenario,
+    /// Number of production runs.
+    pub runs: usize,
+    /// Input-arrival seed.
+    pub seed: u64,
+    /// Evolvable-VM parameters.
+    pub evolve: EvolveConfig,
+}
+
+impl SessionRequest {
+    /// A request with the default [`EvolveConfig`].
+    pub fn new(workload: &str, scenario: Scenario, runs: usize, seed: u64) -> SessionRequest {
+        SessionRequest {
+            workload: workload.to_owned(),
+            scenario,
+            runs,
+            seed,
+            evolve: EvolveConfig::default(),
+        }
+    }
+
+    /// Override the evolvable-VM parameters.
+    pub fn evolve(mut self, evolve: EvolveConfig) -> SessionRequest {
+        self.evolve = evolve;
+        self
+    }
+}
+
+/// Run a batch of campaigns through the parallel [`CampaignEngine`],
+/// returning outcomes in request order. Campaigns on the same workload
+/// share one loaded [`Bench`] — and therefore one memoized default-run
+/// oracle, so each (input, sampling-interval) baseline executes once per
+/// session no matter how many scenarios and seeds consume it.
+///
+/// # Panics
+///
+/// Panics on unknown workloads or failed runs — bench targets want loud
+/// failures, not skipped rows.
+pub fn session(requests: &[SessionRequest]) -> Vec<CampaignOutcome> {
+    let mut names: Vec<&str> = Vec::new();
+    for request in requests {
+        if !names.contains(&request.workload.as_str()) {
+            names.push(&request.workload);
+        }
+    }
+    let benches: Vec<Bench> = names
+        .iter()
+        .map(|name| workloads::by_name(name).unwrap_or_else(|| panic!("unknown workload `{name}`")))
+        .collect();
+    let specs: Vec<CampaignSpec<'_>> = requests
+        .iter()
+        .map(|request| {
+            let bench_index = names
+                .iter()
+                .position(|n| *n == request.workload)
+                .expect("interned above");
+            CampaignSpec::new(
+                &benches[bench_index],
+                CampaignConfig::new(request.scenario)
+                    .runs(request.runs)
+                    .seed(request.seed)
+                    .evolve(request.evolve),
+            )
+        })
+        .collect();
+    CampaignEngine::new()
+        .run(&specs)
+        .into_iter()
+        .zip(requests)
+        .map(|(result, request)| {
+            result.unwrap_or_else(|e| panic!("campaign failed for {}: {e}", request.workload))
+        })
+        .collect()
+}
+
+/// Run one scenario campaign over a named workload (a session of one).
 ///
 /// # Panics
 ///
@@ -20,15 +104,9 @@ pub fn campaign(
     seed: u64,
     evolve: EvolveConfig,
 ) -> CampaignOutcome {
-    let bench = workloads::by_name(name)
-        .unwrap_or_else(|| panic!("unknown workload `{name}`"));
-    Campaign::new(
-        &bench,
-        CampaignConfig::new(scenario).runs(runs).seed(seed).evolve(evolve),
-    )
-    .unwrap_or_else(|e| panic!("campaign setup failed for {name}: {e}"))
-    .run()
-    .unwrap_or_else(|e| panic!("campaign failed for {name}: {e}"))
+    session(&[SessionRequest::new(name, scenario, runs, seed).evolve(evolve)])
+        .pop()
+        .expect("one request yields one outcome")
 }
 
 /// The paper-style campaign length for a workload (70 for input-rich
@@ -90,13 +168,27 @@ mod tests {
 
     #[test]
     fn tiny_campaign_smoke() {
-        let out = campaign(
-            "search",
-            Scenario::Default,
-            3,
-            1,
-            EvolveConfig::default(),
-        );
+        let out = campaign("search", Scenario::Default, 3, 1, EvolveConfig::default());
         assert_eq!(out.records.len(), 3);
+    }
+
+    #[test]
+    fn session_preserves_request_order_and_shares_benches() {
+        let requests = [
+            SessionRequest::new("search", Scenario::Rep, 3, 1),
+            SessionRequest::new("montecarlo", Scenario::Default, 2, 1),
+            SessionRequest::new("search", Scenario::Default, 3, 1),
+        ];
+        let outcomes = session(&requests);
+        assert_eq!(outcomes.len(), 3);
+        assert_eq!(outcomes[0].scenario, Scenario::Rep);
+        assert_eq!(outcomes[1].scenario, Scenario::Default);
+        assert_eq!(outcomes[2].scenario, Scenario::Default);
+        assert_eq!(outcomes[1].records.len(), 2);
+        // Same workload + seed ⇒ same arrival order regardless of
+        // scenario or engine scheduling.
+        for (a, b) in outcomes[0].records.iter().zip(&outcomes[2].records) {
+            assert_eq!(a.input_index, b.input_index);
+        }
     }
 }

@@ -412,7 +412,8 @@ entry func main/0 {
 
     #[test]
     fn publish_interns_strings() {
-        let src = "entry func main/0 {\n  const 42\n  publish \"nodes\"\n  done\n  null\n  return\n}\n";
+        let src =
+            "entry func main/0 {\n  const 42\n  publish \"nodes\"\n  done\n  null\n  return\n}\n";
         let p = parse(src).unwrap();
         let main = p.function(p.entry());
         match main.code[1] {
@@ -451,7 +452,8 @@ entry func main/0 {
 
     #[test]
     fn error_on_locals_below_arity() {
-        let src = "entry func main/0 {\n null\n return\n}\nfunc f/3 locals=1 {\n null\n return\n}\n";
+        let src =
+            "entry func main/0 {\n null\n return\n}\nfunc f/3 locals=1 {\n null\n return\n}\n";
         assert!(parse(src).is_err());
     }
 }

@@ -114,8 +114,7 @@ impl<'p> FunctionBuilder<'p> {
             fixups,
         } = self;
         for (at, label) in fixups {
-            let target =
-                labels[label.0 as usize].ok_or(BytecodeError::UnboundLabel(label.0))?;
+            let target = labels[label.0 as usize].ok_or(BytecodeError::UnboundLabel(label.0))?;
             code[at] = code[at].with_branch_target(target);
         }
         parent.define(

@@ -308,8 +308,14 @@ mod tests {
 
     #[test]
     fn integer_division_by_zero_traps() {
-        assert_eq!(binop(BinOp::Div, Int(1), Int(0)), Err(ArithError::DivByZero));
-        assert_eq!(binop(BinOp::Rem, Int(1), Int(0)), Err(ArithError::DivByZero));
+        assert_eq!(
+            binop(BinOp::Div, Int(1), Int(0)),
+            Err(ArithError::DivByZero)
+        );
+        assert_eq!(
+            binop(BinOp::Rem, Int(1), Int(0)),
+            Err(ArithError::DivByZero)
+        );
         // Float division by zero is IEEE.
         assert_eq!(
             binop(BinOp::Div, Float(1.0), Float(0.0)),
@@ -321,7 +327,10 @@ mod tests {
     fn shifts_mask_their_count() {
         assert_eq!(bitop(BitOp::Shl, Int(1), Int(64)), Ok(Int(1)));
         assert_eq!(bitop(BitOp::Shr, Int(-8), Int(1)), Ok(Int(-4)));
-        assert_eq!(bitop(BitOp::And, Int(1), Float(1.0)).unwrap_err(), ArithError::TypeError);
+        assert_eq!(
+            bitop(BitOp::And, Int(1), Float(1.0)).unwrap_err(),
+            ArithError::TypeError
+        );
     }
 
     #[test]

@@ -134,11 +134,7 @@ pub fn verify(program: &Program) -> Result<(), VerifyError> {
 /// # Errors
 ///
 /// Returns the first rule violation encountered during the dataflow pass.
-pub fn verify_function(
-    program: &Program,
-    _id: FuncId,
-    f: &Function,
-) -> Result<(), VerifyError> {
+pub fn verify_function(program: &Program, _id: FuncId, f: &Function) -> Result<(), VerifyError> {
     let fail = |at: Option<u32>, kind: VerifyErrorKind| VerifyError {
         function: f.name.clone(),
         at,
@@ -161,29 +157,23 @@ pub fn verify_function(
             }
         }
         match instr {
-            Instr::Load(n) | Instr::Store(n) => {
-                if *n >= f.locals {
-                    return Err(fail(
-                        Some(pc32),
-                        VerifyErrorKind::LocalOutOfRange {
-                            local: *n,
-                            locals: f.locals,
-                        },
-                    ));
-                }
+            Instr::Load(n) | Instr::Store(n) if *n >= f.locals => {
+                return Err(fail(
+                    Some(pc32),
+                    VerifyErrorKind::LocalOutOfRange {
+                        local: *n,
+                        locals: f.locals,
+                    },
+                ));
             }
-            Instr::Call(callee) => {
-                if callee.index() >= program.functions().len() {
-                    return Err(fail(
-                        Some(pc32),
-                        VerifyErrorKind::BadCallee { callee: callee.0 },
-                    ));
-                }
+            Instr::Call(callee) if callee.index() >= program.functions().len() => {
+                return Err(fail(
+                    Some(pc32),
+                    VerifyErrorKind::BadCallee { callee: callee.0 },
+                ));
             }
-            Instr::Publish(s) => {
-                if s.index() >= program.strings().len() {
-                    return Err(fail(Some(pc32), VerifyErrorKind::BadString { string: s.0 }));
-                }
+            Instr::Publish(s) if s.index() >= program.strings().len() => {
+                return Err(fail(Some(pc32), VerifyErrorKind::BadString { string: s.0 }));
             }
             _ => {}
         }
@@ -210,7 +200,10 @@ pub fn verify_function(
         let instr = &f.code[pc as usize];
         let (pops, pushes) = instr.stack_effect(arity_of);
         if depth < pops {
-            return Err(fail(Some(pc), VerifyErrorKind::StackUnderflow { depth, pops }));
+            return Err(fail(
+                Some(pc),
+                VerifyErrorKind::StackUnderflow { depth, pops },
+            ));
         }
         let next = depth - pops + pushes;
         if matches!(instr, Instr::Return) {
@@ -284,7 +277,10 @@ end:
         let e = check("entry func main/0 locals=1 {\n  load 3\n  return\n}").unwrap_err();
         assert!(matches!(
             e.kind,
-            VerifyErrorKind::LocalOutOfRange { local: 3, locals: 1 }
+            VerifyErrorKind::LocalOutOfRange {
+                local: 3,
+                locals: 1
+            }
         ));
     }
 
@@ -311,7 +307,10 @@ join:
     #[test]
     fn rejects_return_with_extra_values() {
         let e = check("entry func main/0 {\n  const 1\n  const 2\n  return\n}").unwrap_err();
-        assert!(matches!(e.kind, VerifyErrorKind::BadReturnDepth { depth: 2 }));
+        assert!(matches!(
+            e.kind,
+            VerifyErrorKind::BadReturnDepth { depth: 2 }
+        ));
     }
 
     #[test]

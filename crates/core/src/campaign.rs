@@ -12,13 +12,14 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
-use evovm_vm::{CostBenefitPolicy, Outcome, RunResult, Vm, VmConfig, CYCLES_PER_SECOND};
+use evovm_vm::{Outcome, Vm, VmConfig, CYCLES_PER_SECOND};
 
-use crate::app::{AppInput, Bench};
+use crate::app::Bench;
 use crate::config::EvolveConfig;
 use crate::error::EvolveError;
-use crate::evolve::EvolvableVm;
-use crate::rep::{RepPolicy, RepRepository};
+use crate::optimizer::{self, RunPlan};
+use crate::oracle::DefaultOracle;
+use crate::store::ModelStore;
 
 /// Which optimizer drives the campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +53,10 @@ pub struct CampaignConfig {
     pub seed: u64,
     /// Evolvable-VM parameters (γ, TH_c, tree params, overhead model).
     pub evolve: EvolveConfig,
+    /// Key under which learned state is restored/persisted when the
+    /// campaign runs against a [`ModelStore`]; `None` keeps the campaign
+    /// self-contained.
+    pub model_key: Option<String>,
 }
 
 impl CampaignConfig {
@@ -62,6 +67,7 @@ impl CampaignConfig {
             runs: 30,
             seed: 1,
             evolve: EvolveConfig::default(),
+            model_key: None,
         }
     }
 
@@ -80,6 +86,12 @@ impl CampaignConfig {
     /// Set the evolvable-VM parameters.
     pub fn evolve(mut self, evolve: EvolveConfig) -> CampaignConfig {
         self.evolve = evolve;
+        self
+    }
+
+    /// Set the model-store key for state persistence.
+    pub fn model_key(mut self, key: impl Into<String>) -> CampaignConfig {
+        self.model_key = Some(key.into());
         self
     }
 }
@@ -200,28 +212,70 @@ impl<'a> Campaign<'a> {
         Ok(Campaign { bench, config })
     }
 
-    /// Execute the campaign.
+    /// Execute the campaign with a private default-run oracle and no
+    /// state persistence.
     ///
     /// # Errors
     ///
     /// Propagates VM/XICL/learning errors from individual runs.
     pub fn run(&self) -> Result<CampaignOutcome, EvolveError> {
+        let oracle =
+            DefaultOracle::for_bench(self.bench, self.config.evolve.sample_interval_cycles);
+        self.run_session(&oracle, None)
+    }
+
+    /// Execute the campaign against a shared default-run oracle (e.g.
+    /// one owned by a [`CampaignEngine`](crate::CampaignEngine) session),
+    /// without state persistence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates VM/XICL/learning errors from individual runs.
+    pub fn run_with_oracle(&self, oracle: &DefaultOracle) -> Result<CampaignOutcome, EvolveError> {
+        self.run_session(oracle, None)
+    }
+
+    /// Execute the campaign: restore learned state from `store` (when
+    /// the config names a `model_key`), run the scenario-agnostic loop
+    /// against the shared `oracle`, and persist the learned state back.
+    ///
+    /// The campaign outcome is a pure function of (bench, config): the
+    /// oracle only memoizes deterministic baseline cycles, so sharing it
+    /// — even across concurrently running campaigns — cannot change any
+    /// record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates VM/XICL/learning errors from individual runs.
+    pub fn run_session(
+        &self,
+        oracle: &DefaultOracle,
+        store: Option<&dyn ModelStore>,
+    ) -> Result<CampaignOutcome, EvolveError> {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let inputs = &self.bench.inputs;
-        let mut default_cache: Vec<Option<u64>> = vec![None; inputs.len()];
-        let mut evolvable =
-            EvolvableVm::new(self.bench.translator.clone(), self.config.evolve);
-        let mut repo = RepRepository::new(self.config.evolve.sample_interval_cycles);
+        let mut optimizer =
+            optimizer::for_scenario(self.config.scenario, self.bench, &self.config.evolve);
+        if let (Some(store), Some(key)) = (store, self.config.model_key.as_deref()) {
+            if let Some(state) = store.load(key) {
+                optimizer.import_state(&state)?;
+            }
+        }
+
+        // Which inputs arrived *in this campaign* (the outcome's
+        // default_seconds_per_input must not leak arrivals memoized by
+        // sibling campaigns sharing the oracle).
+        let mut arrived: Vec<Option<u64>> = vec![None; inputs.len()];
         let mut records = Vec::with_capacity(self.config.runs);
 
         for run_index in 0..self.config.runs {
             let input_index = rng.gen_range(0..inputs.len());
             let input = &inputs[input_index];
-            let default_cycles =
-                self.default_cycles(input_index, input, &mut default_cache)?;
+            let default_cycles = oracle.default_cycles(input_index, input)?;
+            arrived[input_index] = Some(default_cycles);
 
-            let record = match self.config.scenario {
-                Scenario::Default => RunRecord {
+            let record = match optimizer.prepare(input)? {
+                RunPlan::Baseline => RunRecord {
                     run_index,
                     input_index,
                     cycles: default_cycles,
@@ -232,88 +286,63 @@ impl<'a> Campaign<'a> {
                     predicted: false,
                     overhead_fraction: 0.0,
                 },
-                Scenario::Rep => {
-                    let strategy = repo.strategy(&input.program);
-                    let result = self.plain_run(
-                        input,
-                        Box::new(RepPolicy::new(strategy)),
+                RunPlan::Execute {
+                    policy,
+                    overhead_cycles,
+                } => {
+                    let mut vm = Vm::new(
+                        Arc::clone(&input.program),
+                        policy,
+                        VmConfig {
+                            sample_interval_cycles: self.config.evolve.sample_interval_cycles,
+                            ..VmConfig::default()
+                        },
                     )?;
-                    repo.observe(&input.program, &result.profile);
+                    vm.charge_overhead(overhead_cycles);
+                    let result = loop {
+                        match vm.run()? {
+                            Outcome::Finished(result) => break result,
+                            Outcome::FeaturesReady => optimizer.features_ready(&mut vm),
+                        }
+                    };
+                    let cycles = result.total_cycles;
+                    let report = optimizer.observe(input, result)?;
                     RunRecord {
                         run_index,
                         input_index,
-                        cycles: result.total_cycles,
+                        cycles,
                         default_cycles,
-                        speedup: default_cycles as f64 / result.total_cycles as f64,
-                        confidence: 0.0,
-                        accuracy: 0.0,
-                        predicted: repo.runs() > 1,
-                        overhead_fraction: 0.0,
-                    }
-                }
-                Scenario::Evolve => {
-                    let rec = evolvable.run_once(input)?;
-                    RunRecord {
-                        run_index,
-                        input_index,
-                        cycles: rec.result.total_cycles,
-                        default_cycles,
-                        speedup: default_cycles as f64 / rec.result.total_cycles as f64,
-                        confidence: rec.confidence_after,
-                        accuracy: rec.accuracy,
-                        predicted: rec.predicted,
-                        overhead_fraction: rec.overhead_fraction(),
+                        speedup: default_cycles as f64 / cycles as f64,
+                        confidence: report.confidence,
+                        accuracy: report.accuracy,
+                        predicted: report.predicted,
+                        overhead_fraction: if cycles == 0 {
+                            0.0
+                        } else {
+                            report.overhead_cycles as f64 / cycles as f64
+                        },
                     }
                 }
             };
             records.push(record);
         }
 
-        let default_seconds_per_input = default_cache
+        if let (Some(store), Some(key)) = (store, self.config.model_key.as_deref()) {
+            if let Some(state) = optimizer.export_state() {
+                store.save(key, &state);
+            }
+        }
+
+        let default_seconds_per_input = arrived
             .iter()
             .map(|c| c.map(|cy| cy as f64 / CYCLES_PER_SECOND as f64))
             .collect();
         Ok(CampaignOutcome {
             scenario: self.config.scenario,
             records,
-            raw_features: evolvable.raw_feature_count(),
-            used_features: evolvable.used_feature_indices().len(),
+            raw_features: optimizer.raw_feature_count(),
+            used_features: optimizer.used_feature_indices().len(),
             default_seconds_per_input,
         })
-    }
-
-    fn default_cycles(
-        &self,
-        input_index: usize,
-        input: &AppInput,
-        cache: &mut [Option<u64>],
-    ) -> Result<u64, EvolveError> {
-        if let Some(c) = cache[input_index] {
-            return Ok(c);
-        }
-        let result = self.plain_run(input, Box::new(CostBenefitPolicy::new()))?;
-        cache[input_index] = Some(result.total_cycles);
-        Ok(result.total_cycles)
-    }
-
-    fn plain_run(
-        &self,
-        input: &AppInput,
-        policy: Box<dyn evovm_vm::AosPolicy>,
-    ) -> Result<RunResult, EvolveError> {
-        let mut vm = Vm::new(
-            Arc::clone(&input.program),
-            policy,
-            VmConfig {
-                sample_interval_cycles: self.config.evolve.sample_interval_cycles,
-                ..VmConfig::default()
-            },
-        )?;
-        loop {
-            match vm.run()? {
-                Outcome::Finished(result) => return Ok(result),
-                Outcome::FeaturesReady => continue, // non-evolve scenarios ignore the pause
-            }
-        }
     }
 }

@@ -1,0 +1,167 @@
+//! The session-based campaign engine: fan independent campaigns out
+//! across threads.
+//!
+//! A figure or table in the paper is a *session*: many (workload ×
+//! scenario × seed) campaigns whose outcomes are mutually independent —
+//! each campaign's record stream is a pure function of its bench and
+//! config, with all randomness drawn from the campaign's own seeded
+//! generator. That makes the fan-out embarrassingly parallel **and**
+//! bit-identical to sequential execution, which
+//! `tests/determinism.rs` locks in.
+//!
+//! The engine also owns the cross-campaign sharing that makes sessions
+//! cheap: one memoized [`DefaultOracle`] per (bench, sampling-interval)
+//! group, so the expensive baseline runs of a workload execute once per
+//! session instead of once per campaign, and an optional [`ModelStore`]
+//! through which campaigns restore and persist learned state.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use parking_lot::Mutex;
+
+use crate::app::Bench;
+use crate::campaign::{Campaign, CampaignConfig, CampaignOutcome};
+use crate::error::EvolveError;
+use crate::oracle::DefaultOracle;
+use crate::store::ModelStore;
+
+/// One campaign to run within an engine session.
+#[derive(Debug)]
+pub struct CampaignSpec<'a> {
+    /// The workload.
+    pub bench: &'a Bench,
+    /// The campaign parameters (scenario, runs, seed, …).
+    pub config: CampaignConfig,
+}
+
+impl<'a> CampaignSpec<'a> {
+    /// A spec for running `config` against `bench`.
+    pub fn new(bench: &'a Bench, config: CampaignConfig) -> CampaignSpec<'a> {
+        CampaignSpec { bench, config }
+    }
+}
+
+/// Runs batches of independent campaigns, in parallel, with shared
+/// default-run oracles and optional model persistence.
+#[derive(Debug, Default)]
+pub struct CampaignEngine {
+    threads: Option<usize>,
+    store: Option<Arc<dyn ModelStore>>,
+}
+
+impl CampaignEngine {
+    /// An engine using all available parallelism and no model store.
+    pub fn new() -> CampaignEngine {
+        CampaignEngine::default()
+    }
+
+    /// Cap the worker-thread count (`0` is treated as `1`).
+    pub fn threads(mut self, threads: usize) -> CampaignEngine {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Attach a model store; campaigns whose config names a `model_key`
+    /// restore state from it before running and persist state after.
+    pub fn store(mut self, store: Arc<dyn ModelStore>) -> CampaignEngine {
+        self.store = Some(store);
+        self
+    }
+
+    /// Run every spec, returning outcomes in spec order. Campaigns are
+    /// scheduled across worker threads; results are deterministic and
+    /// bit-identical to running the specs sequentially because each
+    /// campaign seeds its own generator and the shared oracles memoize
+    /// only deterministic baseline cycle counts.
+    pub fn run(&self, specs: &[CampaignSpec<'_>]) -> Vec<Result<CampaignOutcome, EvolveError>> {
+        let oracles = build_oracles(specs);
+        let workers = self
+            .threads
+            .unwrap_or_else(|| {
+                thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            })
+            .min(specs.len())
+            .max(1);
+
+        if workers <= 1 {
+            return specs
+                .iter()
+                .zip(&oracles.assignment)
+                .map(|(spec, &oracle_index)| {
+                    run_spec(spec, &oracles.shared[oracle_index], self.store.as_deref())
+                })
+                .collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<CampaignOutcome, EvolveError>>>> =
+            specs.iter().map(|_| Mutex::new(None)).collect();
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(spec) = specs.get(index) else { break };
+                    let oracle = &oracles.shared[oracles.assignment[index]];
+                    *slots[index].lock() = Some(run_spec(spec, oracle, self.store.as_deref()));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every spec index was claimed"))
+            .collect()
+    }
+}
+
+/// The session's shared oracles plus, per spec, which oracle it uses.
+struct SessionOracles {
+    shared: Vec<DefaultOracle>,
+    assignment: Vec<usize>,
+}
+
+/// Group specs by (bench identity, sampling interval): campaigns in one
+/// group see the same baseline cycle counts, so they share one memo.
+fn build_oracles(specs: &[CampaignSpec<'_>]) -> SessionOracles {
+    let mut keys: Vec<(*const Bench, u64)> = Vec::new();
+    let mut shared: Vec<DefaultOracle> = Vec::new();
+    let mut assignment = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let key = (
+            std::ptr::from_ref(spec.bench),
+            spec.config.evolve.sample_interval_cycles,
+        );
+        let index = keys.iter().position(|k| *k == key).unwrap_or_else(|| {
+            keys.push(key);
+            shared.push(DefaultOracle::for_bench(spec.bench, key.1));
+            keys.len() - 1
+        });
+        assignment.push(index);
+    }
+    SessionOracles { shared, assignment }
+}
+
+fn run_spec(
+    spec: &CampaignSpec<'_>,
+    oracle: &DefaultOracle,
+    store: Option<&dyn ModelStore>,
+) -> Result<CampaignOutcome, EvolveError> {
+    Campaign::new(spec.bench, spec.config.clone())?.run_session(oracle, store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_types_are_send() {
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<CampaignEngine>();
+        assert_send::<CampaignSpec<'_>>();
+        assert_sync::<Bench>();
+        assert_send::<EvolveError>();
+        assert_send::<CampaignOutcome>();
+    }
+}

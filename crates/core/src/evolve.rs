@@ -109,13 +109,41 @@ struct MethodModel {
     tree: ClassificationTree,
 }
 
+/// Transient state of one in-flight evolvable run, between
+/// [`EvolvableVm::begin_run`] and [`EvolvableVm::finish_run`]. Produced
+/// and consumed by the campaign layer's Evolve optimizer backend; the
+/// all-in-one [`EvolvableVm::run_once`] drives the same three phases.
+#[derive(Debug)]
+pub(crate) struct PendingRun {
+    vector: FeatureVector,
+    applied: Option<LevelStrategy>,
+    extraction_cycles: u64,
+    prediction_cycles: u64,
+    confidence_before: f64,
+    confident: bool,
+    n_methods: usize,
+    predictions_made: u32,
+}
+
+impl PendingRun {
+    /// Overhead cycles to charge at launch (extraction plus the initial
+    /// prediction, if one was made).
+    pub(crate) fn launch_overhead_cycles(&self) -> u64 {
+        self.extraction_cycles + self.prediction_cycles
+    }
+}
+
+/// One observed run in the training history: the normalized feature row
+/// and the posterior ideal per-method levels.
+type HistoryRow = (Vec<(String, Raw)>, Vec<OptLevel>);
+
 /// The evolvable virtual machine for one application.
 #[derive(Debug)]
 pub struct EvolvableVm {
     translator: Translator,
     config: EvolveConfig,
     confidence: ConfidenceTracker,
-    history: Vec<(Vec<(String, Raw)>, Vec<OptLevel>)>,
+    history: Vec<HistoryRow>,
     models: Vec<Option<MethodModel>>,
 }
 
@@ -171,8 +199,36 @@ impl EvolvableVm {
     ///
     /// Propagates XICL, VM and dataset errors.
     pub fn run_once(&mut self, input: &AppInput) -> Result<EvolveRunRecord, EvolveError> {
-        let (fv, stats) = self.translator.translate(&input.args, &input.vfs)?;
-        let mut vector = fv;
+        let (mut pending, launch_policy) = self.begin_run(input)?;
+        let mut vm = Vm::new(
+            Arc::clone(&input.program),
+            launch_policy,
+            VmConfig {
+                sample_interval_cycles: self.config.sample_interval_cycles,
+                ..VmConfig::default()
+            },
+        )?;
+        vm.charge_overhead(pending.launch_overhead_cycles());
+
+        let result = loop {
+            match vm.run()? {
+                Outcome::Finished(result) => break result,
+                Outcome::FeaturesReady => self.on_features_ready(&mut pending, &mut vm),
+            }
+        };
+        self.finish_run(pending, input, result)
+    }
+
+    /// Phase 1 of a run: translate the input, charge (capped) extraction
+    /// overhead and, when confident, make the launch prediction. Returns
+    /// the in-flight state plus the policy to launch the VM with; the
+    /// caller must charge [`PendingRun::launch_overhead_cycles`] on the
+    /// VM it builds.
+    pub(crate) fn begin_run(
+        &mut self,
+        input: &AppInput,
+    ) -> Result<(PendingRun, Box<dyn evovm_vm::AosPolicy>), EvolveError> {
+        let (vector, stats) = self.translator.translate(&input.args, &input.vfs)?;
 
         // Extraction overhead, with the optional throttling cap (§V-B.2).
         let raw_extraction =
@@ -197,69 +253,79 @@ impl EvolvableVm {
             }
         }
 
-        let mut vm = Vm::new(
-            Arc::clone(&input.program),
-            launch_policy,
-            VmConfig {
-                sample_interval_cycles: self.config.sample_interval_cycles,
-                ..VmConfig::default()
+        let predictions_made = u32::from(applied.is_some());
+        Ok((
+            PendingRun {
+                vector,
+                applied,
+                extraction_cycles,
+                prediction_cycles,
+                confidence_before,
+                confident,
+                n_methods,
+                predictions_made,
             },
-        )?;
-        vm.charge_overhead(extraction_cycles + prediction_cycles);
+            launch_policy,
+        ))
+    }
 
-        let mut predictions_made = u32::from(applied.is_some());
-        let result = loop {
-            match vm.run()? {
-                Outcome::Finished(result) => break result,
-                Outcome::FeaturesReady => {
-                    // An interactive point (paper §III-B.4): new features
-                    // may have arrived via updateV; re-predict when they
-                    // change the answer. Levels only move upward
-                    // (`apply_strategy` never downgrades installed code).
-                    merge_published(&mut vector, vm.published());
-                    if !confident {
-                        continue;
-                    }
-                    let Some(strategy) = self.predict(&vector, n_methods) else {
-                        continue;
-                    };
-                    if applied.as_ref() == Some(&strategy) {
-                        continue;
-                    }
-                    let cost = self.prediction_cost(&strategy);
-                    prediction_cycles += cost;
-                    vm.charge_overhead(cost);
-                    vm.apply_strategy(&strategy.levels);
-                    vm.replace_policy(Box::new(PredictedPolicy::new(strategy.clone())));
-                    applied = Some(strategy);
-                    predictions_made += 1;
-                }
-            }
+    /// Phase 2, at each interactive pause (paper §III-B.4): new features
+    /// may have arrived via updateV; re-predict when they change the
+    /// answer. Levels only move upward (`apply_strategy` never downgrades
+    /// installed code).
+    pub(crate) fn on_features_ready(&self, pending: &mut PendingRun, vm: &mut Vm) {
+        merge_published(&mut pending.vector, vm.published());
+        if !pending.confident {
+            return;
+        }
+        let Some(strategy) = self.predict(&pending.vector, pending.n_methods) else {
+            return;
         };
+        if pending.applied.as_ref() == Some(&strategy) {
+            return;
+        }
+        let cost = self.prediction_cost(&strategy);
+        pending.prediction_cycles += cost;
+        vm.charge_overhead(cost);
+        vm.apply_strategy(&strategy.levels);
+        vm.replace_policy(Box::new(PredictedPolicy::new(strategy.clone())));
+        pending.applied = Some(strategy);
+        pending.predictions_made += 1;
+    }
 
-        // Posterior learning (paper Fig. 7): ideal strategy, accuracy,
-        // confidence, model update.
-        merge_published(&mut vector, &result.published);
-        let ideal = ideal_levels(&input.program, &result.profile, self.config.sample_interval_cycles);
-        let assessed = match &applied {
+    /// Phase 3, posterior learning (paper Fig. 7): ideal strategy,
+    /// accuracy, confidence, model update.
+    pub(crate) fn finish_run(
+        &mut self,
+        mut pending: PendingRun,
+        input: &AppInput,
+        result: RunResult,
+    ) -> Result<EvolveRunRecord, EvolveError> {
+        merge_published(&mut pending.vector, &result.published);
+        let ideal = ideal_levels(
+            &input.program,
+            &result.profile,
+            self.config.sample_interval_cycles,
+        );
+        let assessed = match &pending.applied {
             Some(s) => s.clone(),
             None => self
-                .predict(&vector, n_methods)
-                .unwrap_or_else(|| LevelStrategy::empty(n_methods)),
+                .predict(&pending.vector, pending.n_methods)
+                .unwrap_or_else(|| LevelStrategy::empty(pending.n_methods)),
         };
         let accuracy = prediction_accuracy(&assessed, &ideal, &result.profile);
         self.confidence.update(accuracy);
-        let row = self.normalize_to_schema(to_raw(&vector));
+        let row = self.normalize_to_schema(to_raw(&pending.vector));
         self.history.push((row, ideal));
         self.rebuild_models()?;
 
         Ok(EvolveRunRecord {
             result,
-            extraction_cycles,
-            prediction_cycles,
-            predicted: applied.is_some(),
-            predictions_made,
-            confidence_before,
+            extraction_cycles: pending.extraction_cycles,
+            prediction_cycles: pending.prediction_cycles,
+            predicted: pending.applied.is_some(),
+            predictions_made: pending.predictions_made,
+            confidence_before: pending.confidence_before,
             confidence_after: self.confidence.value(),
             accuracy,
         })
@@ -341,10 +407,7 @@ impl EvolvableVm {
     /// Returns a dataset error if the restored history is internally
     /// inconsistent (rows with differing schemas).
     pub fn import_state(&mut self, json: &str) -> Result<(), EvolveError> {
-        let state: EvolveState = match serde_json::from_str(json) {
-            Ok(s) => s,
-            Err(_) => EvolveState::default(),
-        };
+        let state: EvolveState = serde_json::from_str(json).unwrap_or_default();
         self.history = state
             .history
             .into_iter()
@@ -404,8 +467,8 @@ impl EvolvableVm {
     }
 
     fn prediction_cost(&self, strategy: &LevelStrategy) -> u64 {
-        let path = (self.config.tree_params.max_depth as u64 + 1)
-            * self.config.cycles_per_tree_node;
+        let path =
+            (self.config.tree_params.max_depth as u64 + 1) * self.config.cycles_per_tree_node;
         strategy.levels.len() as u64 * path
     }
 

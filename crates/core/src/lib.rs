@@ -33,16 +33,24 @@
 pub mod app;
 pub mod campaign;
 pub mod config;
+pub mod engine;
 pub mod error;
 pub mod evolve;
 pub mod metrics;
+pub mod optimizer;
+pub mod oracle;
 pub mod rep;
+pub mod store;
 pub mod strategy;
 
 pub use app::{AppInput, Bench};
 pub use campaign::{Campaign, CampaignConfig, CampaignOutcome, RunRecord, Scenario};
 pub use config::EvolveConfig;
+pub use engine::{CampaignEngine, CampaignSpec};
 pub use error::EvolveError;
 pub use evolve::{EvolvableVm, EvolveRunRecord, EvolveState};
+pub use optimizer::{CrossRunOptimizer, RunPlan, RunReport};
+pub use oracle::DefaultOracle;
 pub use rep::{RepPolicy, RepRepository, RepStrategy};
+pub use store::{DirStore, MemoryStore, ModelStore};
 pub use strategy::{ideal_levels, prediction_accuracy, LevelStrategy, PredictedPolicy};

@@ -1,0 +1,35 @@
+//! The `Default` scenario: reactive adaptive optimization, no cross-run
+//! memory. Every run is *by definition* the baseline run, so the backend
+//! plans [`RunPlan::Baseline`] and lets the campaign reuse the oracle's
+//! memoized default cycles instead of executing the input again.
+
+use evovm_vm::RunResult;
+
+use crate::app::AppInput;
+use crate::error::EvolveError;
+
+use super::{CrossRunOptimizer, RunPlan, RunReport};
+
+/// The stateless baseline backend.
+#[derive(Debug, Default)]
+pub struct DefaultOptimizer {
+    _private: (),
+}
+
+impl DefaultOptimizer {
+    /// Create the baseline backend.
+    pub fn new() -> DefaultOptimizer {
+        DefaultOptimizer::default()
+    }
+}
+
+impl CrossRunOptimizer for DefaultOptimizer {
+    fn prepare(&mut self, _input: &AppInput) -> Result<RunPlan, EvolveError> {
+        Ok(RunPlan::Baseline)
+    }
+
+    fn observe(&mut self, _input: &AppInput, _result: RunResult) -> Result<RunReport, EvolveError> {
+        // Baseline plans never execute, so there is nothing to observe.
+        Ok(RunReport::default())
+    }
+}

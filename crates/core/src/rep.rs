@@ -58,8 +58,8 @@ impl RepRepository {
                 .copied()
                 .unwrap_or(OptLevel::Baseline);
             // Intrinsic work W such that time-at-level-L = W × quality(L).
-            let w = samples as f64 * self.sample_interval_cycles as f64
-                / final_level.quality_for(name);
+            let w =
+                samples as f64 * self.sample_interval_cycles as f64 / final_level.quality_for(name);
             intrinsic.push(w);
         }
         self.observations.push(intrinsic);
@@ -79,7 +79,7 @@ impl RepRepository {
             return RepStrategy { pairs };
         }
         let interval = self.sample_interval_cycles as f64;
-        for m in 0..n {
+        for (m, method_pairs) in pairs.iter_mut().enumerate() {
             let f = program.function(FuncId(m as u32));
             let q_base = OptLevel::Baseline.quality_for(&f.name);
             let size = f.code.len() as u64;
@@ -133,7 +133,7 @@ impl RepRepository {
                 }
             }
             debug_assert!(best_plan.len() <= COMPILATION_BOUND);
-            pairs[m] = best_plan;
+            *method_pairs = best_plan;
         }
         RepStrategy { pairs }
     }
@@ -183,6 +183,14 @@ impl RepStrategy {
     pub fn covered_methods(&self) -> usize {
         self.pairs.iter().filter(|p| !p.is_empty()).count()
     }
+
+    /// Total `<k, o>` pairs across all methods. A run only counts as
+    /// *predicted* when the strategy that drove it had at least one pair
+    /// — an empty strategy leaves every method reactive, which is
+    /// indistinguishable from the default VM.
+    pub fn predicted_count(&self) -> usize {
+        self.pairs.iter().map(Vec::len).sum()
+    }
 }
 
 /// The policy executing a [`RepStrategy`]: fires each pair when the
@@ -215,17 +223,12 @@ impl AosPolicy for RepPolicy {
     }
 
     fn on_sample(&mut self, method: FuncId, ctx: AosContext<'_>) -> Option<OptLevel> {
-        let Some(pairs) = self.strategy.pairs.get(method.index()) else {
-            return None;
-        };
+        let pairs = self.strategy.pairs.get(method.index())?;
         if pairs.is_empty() {
             return self.fallback.on_sample(method, ctx);
         }
         let samples = ctx.samples[method.index()];
-        pairs
-            .iter()
-            .find(|&&(k, _)| k == samples)
-            .map(|&(_, o)| o)
+        pairs.iter().find(|&&(k, _)| k == samples).map(|&(_, o)| o)
     }
 }
 
@@ -268,7 +271,10 @@ mod tests {
         assert!(!s.pairs[0].is_empty(), "hot method should have a pair");
         let (k, o) = s.pairs[0][0];
         assert!(o >= OptLevel::O1, "expected an optimizing level, got {o}");
-        assert!(k <= 3, "history says it's always hot; trigger early (k={k})");
+        assert!(
+            k <= 3,
+            "history says it's always hot; trigger early (k={k})"
+        );
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! Persistence for learned cross-run state.
+//!
+//! A [`ModelStore`] maps opaque string keys to the JSON blobs the
+//! optimizer backends export ([`EvolvableVm::export_state`]
+//! (crate::EvolvableVm::export_state) and the Rep repository). The
+//! campaign engine restores a campaign's state before its first run and
+//! saves it after its last, so learning survives across engine sessions
+//! — the paper's "the VM carries its experience from one deployment to
+//! the next" reading of cross-run evolution.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// A keyed blob store for serialized optimizer state. Implementations
+/// must be thread-safe: the campaign engine saves from worker threads.
+pub trait ModelStore: std::fmt::Debug + Send + Sync {
+    /// Persist `state` under `key`, replacing any previous value.
+    fn save(&self, key: &str, state: &str);
+
+    /// The last state saved under `key`, if any.
+    fn load(&self, key: &str) -> Option<String>;
+}
+
+/// An in-memory store: state survives across campaigns within one
+/// process (e.g. consecutive engine sessions in a benchmark driver).
+#[derive(Debug, Default)]
+pub struct MemoryStore {
+    entries: Mutex<BTreeMap<String, String>>,
+}
+
+impl MemoryStore {
+    /// An empty store.
+    pub fn new() -> MemoryStore {
+        MemoryStore::default()
+    }
+
+    /// Number of stored keys.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether the store holds no state.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+}
+
+impl ModelStore for MemoryStore {
+    fn save(&self, key: &str, state: &str) {
+        self.entries
+            .lock()
+            .insert(key.to_string(), state.to_string());
+    }
+
+    fn load(&self, key: &str) -> Option<String> {
+        self.entries.lock().get(key).cloned()
+    }
+}
+
+/// A directory-backed store: one file per key, so state survives across
+/// processes. Keys are sanitized to a conservative filename alphabet
+/// (alphanumerics, `-`, `_`, `.`; everything else becomes `_`).
+#[derive(Debug)]
+pub struct DirStore {
+    dir: PathBuf,
+}
+
+impl DirStore {
+    /// A store rooted at `dir` (created on first save).
+    pub fn new(dir: impl Into<PathBuf>) -> DirStore {
+        DirStore { dir: dir.into() }
+    }
+
+    fn path_for(&self, key: &str) -> PathBuf {
+        let name: String = key
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        self.dir.join(format!("{name}.json"))
+    }
+}
+
+impl ModelStore for DirStore {
+    fn save(&self, key: &str, state: &str) {
+        // Persistence is best-effort: an unwritable directory degrades to
+        // fresh-start behaviour on the next load, it does not fail runs.
+        let _ = std::fs::create_dir_all(&self.dir);
+        let _ = std::fs::write(self.path_for(key), state);
+    }
+
+    fn load(&self, key: &str) -> Option<String> {
+        std::fs::read_to_string(self.path_for(key)).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_store_round_trips() {
+        let store = MemoryStore::new();
+        assert!(store.is_empty());
+        assert_eq!(store.load("a"), None);
+        store.save("a", "{\"x\":1}");
+        store.save("a", "{\"x\":2}");
+        assert_eq!(store.load("a").as_deref(), Some("{\"x\":2}"));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn dir_store_round_trips_and_sanitizes_keys() {
+        let dir = std::env::temp_dir().join(format!("evovm-store-{}", std::process::id()));
+        let store = DirStore::new(&dir);
+        assert_eq!(store.load("mtrt/evolve"), None);
+        store.save("mtrt/evolve", "[1,2]");
+        assert_eq!(store.load("mtrt/evolve").as_deref(), Some("[1,2]"));
+        assert!(dir.join("mtrt_evolve.json").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stores_are_object_safe_and_sync() {
+        fn assert_store<T: ModelStore>() {}
+        assert_store::<MemoryStore>();
+        assert_store::<DirStore>();
+        let _: Option<Box<dyn ModelStore>> = None;
+    }
+}

@@ -66,9 +66,7 @@ mod tests {
 
     #[test]
     fn separable_data_scores_high() {
-        let rows: Vec<(f64, u16)> = (0..20)
-            .map(|i| (i as f64, u16::from(i >= 10)))
-            .collect();
+        let rows: Vec<(f64, u16)> = (0..20).map(|i| (i as f64, u16::from(i >= 10))).collect();
         let acc = k_fold_accuracy(&dataset(&rows), 5, &TreeParams::default());
         assert!(acc >= 0.9, "expected high accuracy, got {acc}");
     }
@@ -85,7 +83,10 @@ mod tests {
 
     #[test]
     fn empty_dataset_scores_zero() {
-        assert_eq!(k_fold_accuracy(&Dataset::new(), 5, &TreeParams::default()), 0.0);
+        assert_eq!(
+            k_fold_accuracy(&Dataset::new(), 5, &TreeParams::default()),
+            0.0
+        );
     }
 
     #[test]

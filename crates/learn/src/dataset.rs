@@ -65,7 +65,10 @@ impl fmt::Display for DatasetError {
                 write!(f, "row has {got} values, schema has {expected} columns")
             }
             DatasetError::KindMismatch { column } => {
-                write!(f, "column `{column}` saw both numeric and categorical values")
+                write!(
+                    f,
+                    "column `{column}` saw both numeric and categorical values"
+                )
             }
         }
     }
@@ -135,11 +138,7 @@ impl Dataset {
     ///
     /// [`DatasetError::SchemaMismatch`] if the layout differs from the
     /// schema, [`DatasetError::KindMismatch`] if a column changes kind.
-    pub fn push(
-        &mut self,
-        values: &[(String, Raw)],
-        label: u16,
-    ) -> Result<(), DatasetError> {
+    pub fn push(&mut self, values: &[(String, Raw)], label: u16) -> Result<(), DatasetError> {
         if self.columns.is_empty() && self.rows.is_empty() {
             self.columns = values
                 .iter()

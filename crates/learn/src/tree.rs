@@ -228,10 +228,10 @@ fn build(data: &Dataset, indices: &[usize], params: &TreeParams, depth: usize) -
                 continue;
             }
             let n = indices.len() as f64;
-            let children = (l.len() as f64 / n) * entropy(data, &l)
-                + (r.len() as f64 / n) * entropy(data, &r);
+            let children =
+                (l.len() as f64 / n) * entropy(data, &l) + (r.len() as f64 / n) * entropy(data, &r);
             let gain = parent_entropy - children;
-            if gain >= params.min_gain && best.as_ref().map_or(true, |(g, _)| gain > *g) {
+            if gain >= params.min_gain && best.as_ref().is_none_or(|(g, _)| gain > *g) {
                 best = Some((gain, split));
             }
         }
@@ -395,8 +395,26 @@ mod tests {
             (12.0, "a", 1),
         ]);
         let t = ClassificationTree::fit(&d, &TreeParams::default());
-        assert_eq!(t.predict(&d.encode(&[("x".to_owned(), Raw::Num(2.5)), ("kind".to_owned(), Raw::Cat("a".into()))]).unwrap()), 0);
-        assert_eq!(t.predict(&d.encode(&[("x".to_owned(), Raw::Num(100.0)), ("kind".to_owned(), Raw::Cat("a".into()))]).unwrap()), 1);
+        assert_eq!(
+            t.predict(
+                &d.encode(&[
+                    ("x".to_owned(), Raw::Num(2.5)),
+                    ("kind".to_owned(), Raw::Cat("a".into()))
+                ])
+                .unwrap()
+            ),
+            0
+        );
+        assert_eq!(
+            t.predict(
+                &d.encode(&[
+                    ("x".to_owned(), Raw::Num(100.0)),
+                    ("kind".to_owned(), Raw::Cat("a".into()))
+                ])
+                .unwrap()
+            ),
+            1
+        );
         // Only feature 0 is informative.
         assert_eq!(t.used_features(), vec![0]);
     }
@@ -439,12 +457,7 @@ mod tests {
     fn constant_features_never_appear() {
         // Feature 0 is constant (a disabled option at its default);
         // feature 1 fully determines the label.
-        let d = make_dataset(&[
-            (7.0, "s", 0),
-            (7.0, "m", 1),
-            (7.0, "s", 0),
-            (7.0, "m", 1),
-        ]);
+        let d = make_dataset(&[(7.0, "s", 0), (7.0, "m", 1), (7.0, "s", 0), (7.0, "m", 1)]);
         let t = ClassificationTree::fit(&d, &TreeParams::default());
         assert_eq!(t.used_features(), vec![1]);
     }
@@ -479,7 +492,12 @@ mod tests {
             (1.0, "b", 0),
         ]);
         let t = ClassificationTree::fit(&d, &TreeParams::default());
-        for (x, k, want) in [(0.0, "a", 0u16), (0.0, "b", 1), (1.0, "a", 1), (1.0, "b", 0)] {
+        for (x, k, want) in [
+            (0.0, "a", 0u16),
+            (0.0, "b", 1),
+            (1.0, "a", 1),
+            (1.0, "b", 0),
+        ] {
             let enc = d
                 .encode(&[
                     ("x".to_owned(), Raw::Num(x)),

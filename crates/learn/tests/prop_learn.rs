@@ -24,10 +24,7 @@ fn dataset(rows: &[(f64, f64, u16)]) -> Dataset {
     let mut d = Dataset::new();
     for &(x, y, label) in rows {
         d.push(
-            &[
-                ("x".to_owned(), Raw::Num(x)),
-                ("y".to_owned(), Raw::Num(y)),
-            ],
+            &[("x".to_owned(), Raw::Num(x)), ("y".to_owned(), Raw::Num(y))],
             label,
         )
         .expect("consistent schema");

@@ -87,11 +87,7 @@ struct Codegen<'p, 'a> {
 
 impl Codegen<'_, '_> {
     fn lookup(&self, name: &str) -> Option<u16> {
-        self.scopes
-            .iter()
-            .rev()
-            .find_map(|s| s.get(name))
-            .copied()
+        self.scopes.iter().rev().find_map(|s| s.get(name)).copied()
     }
 
     fn arity_of(&self, id: FuncId) -> usize {
@@ -323,10 +319,7 @@ impl Codegen<'_, '_> {
                 if args.len() != arity {
                     return Err(CompileError::new(
                         *line,
-                        format!(
-                            "`{name}` takes {arity} argument(s), got {}",
-                            args.len()
-                        ),
+                        format!("`{name}` takes {arity} argument(s), got {}", args.len()),
                     ));
                 }
                 for a in args {

@@ -121,8 +121,7 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, CompileError> {
                     i += 1;
                 }
                 let text = &source[start..i];
-                let token =
-                    Token::keyword(text).unwrap_or_else(|| Token::Ident(text.to_owned()));
+                let token = Token::keyword(text).unwrap_or_else(|| Token::Ident(text.to_owned()));
                 out.push(Spanned { token, line });
             }
             _ => {
@@ -212,7 +211,7 @@ mod tests {
     #[test]
     fn dot_without_digits_is_not_a_float() {
         // `2.foo` is not valid MiniJava but must not lex as a float.
-        assert!(lex("2.foo").is_err() || toks("2 . foo").is_empty() == false);
+        assert!(lex("2.foo").is_err() || !toks("2 . foo").is_empty());
     }
 
     #[test]

@@ -124,8 +124,10 @@ mod tests {
     #[test]
     fn functions_and_recursion() {
         assert_eq!(
-            run("fn fib(n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
-                 fn main() { print fib(12); }"),
+            run(
+                "fn fib(n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+                 fn main() { print fib(12); }"
+            ),
             vec!["144"]
         );
     }
@@ -146,7 +148,10 @@ mod tests {
     fn builtins() {
         assert_eq!(run("fn main() { print sqrt(16.0); }"), vec!["4"]);
         assert_eq!(run("fn main() { print pow(2, 10); }"), vec!["1024"]);
-        assert_eq!(run("fn main() { print min(3, 7) + max(3, 7); }"), vec!["10"]);
+        assert_eq!(
+            run("fn main() { print min(3, 7) + max(3, 7); }"),
+            vec!["10"]
+        );
         assert_eq!(run("fn main() { print int(3.9); }"), vec!["3"]);
         assert_eq!(run("fn main() { print float(3) / 2.0; }"), vec!["1.5"]);
         assert_eq!(run("fn main() { print abs(-9); }"), vec!["9"]);
@@ -195,7 +200,9 @@ mod tests {
         assert!(code
             .iter()
             .any(|i| matches!(i, evovm_bytecode::Instr::Publish(_))));
-        assert!(code.iter().any(|i| matches!(i, evovm_bytecode::Instr::Done)));
+        assert!(code
+            .iter()
+            .any(|i| matches!(i, evovm_bytecode::Instr::Done)));
     }
 
     #[test]

@@ -570,7 +570,9 @@ mod tests {
         let Stmt::Let { value, .. } = &sf.functions[0].body[0] else {
             panic!()
         };
-        let Expr::Binary { op, rhs, .. } = value else { panic!() };
+        let Expr::Binary { op, rhs, .. } = value else {
+            panic!()
+        };
         assert_eq!(*op, BinaryOp::Add);
         assert!(matches!(
             **rhs,

@@ -13,7 +13,7 @@ proptest! {
             Ok(program) => {
                 // Anything that compiles must verify (compile() verifies
                 // internally, so reaching here is already the guarantee).
-                prop_assert!(program.functions().len() >= 1);
+                prop_assert!(!program.functions().is_empty());
             }
             Err(e) => prop_assert!(!e.message.is_empty()),
         }

@@ -164,10 +164,10 @@ pub fn run(code: &[Instr]) -> Vec<Instr> {
                     let identity = match (op, b.value) {
                         (BinOp::Add | BinOp::Sub, Some(Scalar::Int(0))) => true,
                         (BinOp::Mul | BinOp::Div, Some(Scalar::Int(1))) => true,
-                        (BinOp::Mul | BinOp::Div, Some(Scalar::Float(f))) if f == 1.0 => {
+                        (BinOp::Mul | BinOp::Div, Some(Scalar::Float(f))) => {
                             // Only safe for float-typed ops: 1.0 promotes an
                             // int left operand to float under generic ops.
-                            matches!(instr, Instr::FMul | Instr::FDiv)
+                            f == 1.0 && matches!(instr, Instr::FMul | Instr::FDiv)
                         }
                         _ => false,
                     };
@@ -297,17 +297,14 @@ pub fn run(code: &[Instr]) -> Vec<Instr> {
             // --- constant branch folding ---
             Instr::JumpIf(t) | Instr::JumpIfNot(t) => {
                 let c = pop!();
-                match (c.value, c.producer) {
-                    (Some(v), Some(pa)) => {
-                        let taken = v.truthy() == matches!(instr, Instr::JumpIf(_));
-                        keep[pa] = false;
-                        if taken {
-                            out[pc] = Instr::Jump(t);
-                        } else {
-                            keep[pc] = false;
-                        }
+                if let (Some(v), Some(pa)) = (c.value, c.producer) {
+                    let taken = v.truthy() == matches!(instr, Instr::JumpIf(_));
+                    keep[pa] = false;
+                    if taken {
+                        out[pc] = Instr::Jump(t);
+                    } else {
+                        keep[pc] = false;
                     }
-                    _ => {}
                 }
                 stack.clear();
             }

@@ -277,7 +277,9 @@ recurse:
         let fact = p.function(fact_id);
         let (code, _) = run(&p, fact_id, fact, InlineBudget::default());
         // The self-call stays.
-        assert!(code.iter().any(|i| matches!(i, Instr::Call(id) if *id == fact_id)));
+        assert!(code
+            .iter()
+            .any(|i| matches!(i, Instr::Call(id) if *id == fact_id)));
     }
 
     #[test]

@@ -26,11 +26,7 @@ pub fn run(code: &[Instr]) -> Vec<Instr> {
         match (threaded[pc], fusable.then(|| threaded[next])) {
             // pure push immediately discarded
             (
-                Instr::Const(_)
-                | Instr::FConst(_)
-                | Instr::Null
-                | Instr::Load(_)
-                | Instr::Dup,
+                Instr::Const(_) | Instr::FConst(_) | Instr::Null | Instr::Load(_) | Instr::Dup,
                 Some(Instr::Pop),
             ) => {
                 keep[pc] = false;
@@ -100,12 +96,12 @@ mod tests {
         // The Pop is a branch target, so another path reaches it with its
         // own value on the stack: the pair must not be fused.
         let code = vec![
-            Instr::Const(1),   // 0
-            Instr::JumpIf(3),  // 1 -> makes 3 a leader... target is Pop? no:
-            Instr::Const(9),   // 2
-            Instr::Pop,        // 3 (leader)
-            Instr::Null,       // 4
-            Instr::Return,     // 5
+            Instr::Const(1),  // 0
+            Instr::JumpIf(3), // 1 -> makes 3 a leader... target is Pop? no:
+            Instr::Const(9),  // 2
+            Instr::Pop,       // 3 (leader)
+            Instr::Null,      // 4
+            Instr::Return,    // 5
         ];
         let out = run(&code);
         assert!(out.contains(&Instr::Pop));
@@ -128,22 +124,13 @@ mod tests {
 
     #[test]
     fn removes_jump_to_next() {
-        let code = vec![
-            Instr::Jump(1),
-            Instr::Null,
-            Instr::Return,
-        ];
+        let code = vec![Instr::Jump(1), Instr::Null, Instr::Return];
         assert_eq!(run(&code), vec![Instr::Null, Instr::Return]);
     }
 
     #[test]
     fn removes_double_negation() {
-        let code = vec![
-            Instr::Load(0),
-            Instr::INeg,
-            Instr::INeg,
-            Instr::Return,
-        ];
+        let code = vec![Instr::Load(0), Instr::INeg, Instr::INeg, Instr::Return];
         assert_eq!(run(&code), vec![Instr::Load(0), Instr::Return]);
     }
 

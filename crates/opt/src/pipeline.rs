@@ -64,8 +64,7 @@ impl Optimizer {
                 locals,
                 code: code.clone(),
             };
-            verify_function(program, id, &check)
-                .expect("optimizer produced unverifiable code");
+            verify_function(program, id, &check).expect("optimizer produced unverifiable code");
         }
         CompiledCode {
             level,

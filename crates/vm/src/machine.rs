@@ -295,7 +295,11 @@ impl Vm {
     }
 
     fn take_sample(&mut self) {
-        let method = self.frames.last().expect("sampling requires a frame").method;
+        let method = self
+            .frames
+            .last()
+            .expect("sampling requires a frame")
+            .method;
         self.profile.samples[method.index()] += 1;
         let target = self.policy.on_sample(
             method,

@@ -75,11 +75,7 @@ impl CostBenefitPolicy {
     /// quality), the level that the cost-benefit model would have chosen
     /// with perfect knowledge. This is what the paper calls the *ideal*
     /// strategy `o` computed after a run from the full profile.
-    pub fn ideal_level(
-        program: &Program,
-        method: FuncId,
-        total_method_cycles: u64,
-    ) -> OptLevel {
+    pub fn ideal_level(program: &Program, method: FuncId, total_method_cycles: u64) -> OptLevel {
         let f = program.function(method);
         let name = &f.name;
         let size = f.code.len() as u64;
@@ -87,7 +83,7 @@ impl CostBenefitPolicy {
         // quality it was (mostly) observed at.
         let base_work = total_method_cycles as f64 / OptLevel::Baseline.quality_for(name);
         let mut best = OptLevel::Baseline;
-        let mut best_total = base_work * OptLevel::Baseline.quality_for(name) as f64;
+        let mut best_total = base_work * OptLevel::Baseline.quality_for(name);
         for level in [OptLevel::O0, OptLevel::O1, OptLevel::O2] {
             let exec = base_work * level.quality_for(name);
             let compile = (level.compile_cost_per_instr() * size) as f64;
@@ -116,7 +112,7 @@ impl AosPolicy for CostBenefitPolicy {
             let benefit = future * (1.0 - q / q_cur);
             let cost = (level.compile_cost_per_instr() * size) as f64;
             let net = benefit - cost;
-            if net > 0.0 && best.map_or(true, |(b, _)| net > b) {
+            if net > 0.0 && best.is_none_or(|(b, _)| net > b) {
                 best = Some((net, level));
             }
             candidate = level.next();

@@ -7,9 +7,7 @@ use evovm_bytecode::asm::parse;
 use evovm_bytecode::scalar::Scalar;
 use evovm_opt::OptLevel;
 
-use crate::{
-    BaselineOnlyPolicy, CostBenefitPolicy, Outcome, Trap, Vm, VmConfig, VmError,
-};
+use crate::{BaselineOnlyPolicy, CostBenefitPolicy, Outcome, Trap, Vm, VmConfig, VmError};
 
 fn run_src(src: &str) -> crate::RunResult {
     run_src_with(src, VmConfig::default())
@@ -26,7 +24,8 @@ fn run_src_with(src: &str, config: VmConfig) -> crate::RunResult {
 
 #[test]
 fn arithmetic_and_print() {
-    let r = run_src("entry func main/0 {\n  const 6\n  const 7\n  mul\n  print\n  null\n  return\n}");
+    let r =
+        run_src("entry func main/0 {\n  const 6\n  const 7\n  mul\n  print\n  null\n  return\n}");
     assert_eq!(r.output, vec!["42"]);
     assert!(r.total_cycles > 0);
     assert_eq!(r.total_cycles, r.exec_cycles + r.compile_cycles);
@@ -275,7 +274,10 @@ fn adaptive_run_beats_baseline_only_run() {
         Outcome::Finished(r) => r,
         Outcome::FeaturesReady => unreachable!(),
     };
-    assert_eq!(adaptive.output, baseline.output, "semantics must not change");
+    assert_eq!(
+        adaptive.output, baseline.output,
+        "semantics must not change"
+    );
     assert!(
         adaptive.total_cycles < baseline.total_cycles,
         "adaptive {} should beat baseline {}",

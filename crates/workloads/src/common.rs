@@ -32,13 +32,15 @@ pub(crate) fn text_file(header: &str, bytes: usize, seed: u64) -> String {
     out.push('\n');
     let mut s = seed.wrapping_mul(2654435761).wrapping_add(17);
     while out.len() < bytes {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let word_len = 3 + (s % 9) as usize;
         for k in 0..word_len {
             let c = b'a' + (((s >> (k * 5)) & 0x0f) % 26) as u8;
             out.push(c as char);
         }
-        out.push(if s % 7 == 0 { '\n' } else { ' ' });
+        out.push(if s.is_multiple_of(7) { '\n' } else { ' ' });
     }
     out.push('\n');
     out
@@ -95,7 +97,9 @@ mod tests {
     #[test]
     fn log_uniform_covers_low_decades() {
         let mut rng = StdRng::seed_from_u64(9);
-        let samples: Vec<u64> = (0..200).map(|_| log_uniform_int(&mut rng, 10, 10_000)).collect();
+        let samples: Vec<u64> = (0..200)
+            .map(|_| log_uniform_int(&mut rng, 10, 10_000))
+            .collect();
         assert!(samples.iter().any(|&v| v < 100));
         assert!(samples.iter().any(|&v| v > 1_000));
     }

@@ -114,7 +114,10 @@ fn generate(rng: &mut StdRng) -> Vec<GeneratedInput> {
         let seed = rng.gen_range(1..1_000_000u64);
         let name = format!("data_{i}.bin");
         let mut vfs = evovm_xicl::Vfs::new();
-        vfs.write(name.clone(), text_file("compress corpus", bytes as usize, seed));
+        vfs.write(
+            name.clone(),
+            text_file("compress corpus", bytes as usize, seed),
+        );
         inputs.push(GeneratedInput {
             args: vec!["-l".into(), level.to_string(), name],
             vfs,

@@ -130,8 +130,14 @@ fn generate(rng: &mut StdRng) -> Vec<GeneratedInput> {
         let db_name = format!("db_{i}.tbl");
         let q_name = format!("queries_{i}.sql");
         let mut vfs = evovm_xicl::Vfs::new();
-        vfs.write(db_name.clone(), text_file(&format!("{n} records"), 256, seed));
-        vfs.write(q_name.clone(), text_file(&format!("{q} queries"), 128, seed + 1));
+        vfs.write(
+            db_name.clone(),
+            text_file(&format!("{n} records"), 256, seed),
+        );
+        vfs.write(
+            q_name.clone(),
+            text_file(&format!("{q} queries"), 128, seed + 1),
+        );
         inputs.push(GeneratedInput {
             args: vec!["-u".into(), u.to_string(), db_name, q_name],
             vfs,

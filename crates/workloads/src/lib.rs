@@ -132,11 +132,14 @@ pub fn names() -> Vec<&'static str> {
 
 /// Metadata for a bundled workload.
 pub fn info(name: &str) -> Option<WorkloadInfo> {
-    defs().into_iter().find(|d| d.name == name).map(|d| WorkloadInfo {
-        name: d.name,
-        suite: d.suite,
-        campaign_runs: d.campaign_runs,
-    })
+    defs()
+        .into_iter()
+        .find(|d| d.name == name)
+        .map(|d| WorkloadInfo {
+            name: d.name,
+            suite: d.suite,
+            campaign_runs: d.campaign_runs,
+        })
 }
 
 /// Materialize a workload into a runnable [`Bench`] with a specific input

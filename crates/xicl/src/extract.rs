@@ -99,7 +99,11 @@ impl Registry {
     }
 
     /// Register (or replace) an extractor under `name`.
-    pub fn register(&mut self, name: impl Into<String>, extractor: impl FeatureExtractor + 'static) {
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        extractor: impl FeatureExtractor + 'static,
+    ) {
         self.methods.insert(name.into(), Arc::new(extractor));
     }
 

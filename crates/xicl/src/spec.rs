@@ -253,7 +253,9 @@ fn parse_construct(text: &str, line: usize, spec: &mut XiclSpec) -> Result<(), X
         "operand" => {
             let pos_text = get("position").unwrap_or("1:$");
             let position = parse_position(pos_text).ok_or_else(|| {
-                err(format!("bad position `{pos_text}` (want `2`, `1:3`, `1:$`, `$`)"))
+                err(format!(
+                    "bad position `{pos_text}` (want `2`, `1:3`, `1:$`, `$`)"
+                ))
             })?;
             spec.operands.push(OperandSpec {
                 position,
@@ -271,7 +273,10 @@ fn parse_position(s: &str) -> Option<PositionRange> {
         if t == "$" {
             Some(Position::End)
         } else {
-            t.parse::<u32>().ok().filter(|&n| n >= 1).map(Position::Index)
+            t.parse::<u32>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .map(Position::Index)
         }
     };
     match s.split_once(':') {

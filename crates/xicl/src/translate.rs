@@ -245,7 +245,9 @@ operand {position=1:$; type=file; attr=mNodes:mEdges}
         // "route -n 3 graph" with a 100-node 1000-edge graph must produce
         // the feature vector (3, 0, 100, 1000) — paper §III-A.
         let t = route_translator();
-        let (fv, _) = t.translate(&args(&["-n", "3", "graph"]), &graph_vfs()).unwrap();
+        let (fv, _) = t
+            .translate(&args(&["-n", "3", "graph"]), &graph_vfs())
+            .unwrap();
         let nums: Vec<f64> = fv.iter().filter_map(|(_, v)| v.as_num()).collect();
         assert_eq!(nums, vec![3.0, 0.0, 100.0, 1000.0, 1.0]); // + operand count
         assert_eq!(
@@ -310,10 +312,7 @@ operand {position=1:$; type=file; attr=mNodes:mEdges}
     #[test]
     fn negative_numbers_are_operands_not_options() {
         let spec_text = "operand {position=1; type=num; attr=VAL}";
-        let t = Translator::new(
-            spec::parse(spec_text).unwrap(),
-            Registry::with_predefined(),
-        );
+        let t = Translator::new(spec::parse(spec_text).unwrap(), Registry::with_predefined());
         let (fv, _) = t.translate(&args(&["-5"]), &Vfs::new()).unwrap();
         assert_eq!(fv.get("operand0.VAL"), Some(&FeatureValue::Num(-5.0)));
     }
@@ -330,7 +329,9 @@ operand {position=1:$; type=file; attr=mNodes:mEdges}
     #[test]
     fn stats_count_work() {
         let t = route_translator();
-        let (_, stats) = t.translate(&args(&["-n", "3", "graph"]), &graph_vfs()).unwrap();
+        let (_, stats) = t
+            .translate(&args(&["-n", "3", "graph"]), &graph_vfs())
+            .unwrap();
         assert_eq!(stats.tokens_scanned, 3);
         assert!(stats.extractions >= 4);
         assert!(stats.work_units > 0);

@@ -16,7 +16,10 @@ operand {position=1:$; type=file; attr=SIZE:LINES}
 ";
 
 fn translator() -> Translator {
-    Translator::new(spec::parse(SPEC).expect("valid"), Registry::with_predefined())
+    Translator::new(
+        spec::parse(SPEC).expect("valid"),
+        Registry::with_predefined(),
+    )
 }
 
 /// A legal command line: any subset of options in any order, then 1..3

@@ -30,11 +30,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut summaries = Vec::new();
     for scenario in [Scenario::Default, Scenario::Rep, Scenario::Evolve] {
-        let outcome = Campaign::new(
-            &bench,
-            CampaignConfig::new(scenario).runs(runs).seed(11),
-        )?
-        .run()?;
+        let outcome =
+            Campaign::new(&bench, CampaignConfig::new(scenario).runs(runs).seed(11))?.run()?;
         let speedups = outcome.speedups();
         let stats = BoxStats::from_slice(&speedups).expect("nonempty campaign");
         summaries.push((scenario, stats, outcome));
@@ -58,7 +55,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let (_, _, evolve) = &summaries[2];
     println!("\nEvolve learning curve (confidence / accuracy / speedup):");
-    for r in evolve.records.iter().step_by(evolve.records.len().div_ceil(15).max(1)) {
+    for r in evolve
+        .records
+        .iter()
+        .step_by(evolve.records.len().div_ceil(15).max(1))
+    {
         let bar_len = ((r.confidence * 30.0) as usize).min(30);
         println!(
             "  run {:>3}  conf {:.2} |{:<30}| acc {:.2}  speedup {:.3}{}",

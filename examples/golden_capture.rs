@@ -1,0 +1,33 @@
+//! Golden-record regeneration tool: prints the fixed-seed mtrt RunRecord
+//! stream per scenario as Rust tuples for embedding in
+//! `tests/determinism.rs`. Re-run this (and paste the output over the
+//! `GOLDEN_*` consts) only when a change is *meant* to alter the
+//! fixed-seed trace.
+
+use evolvable_vm::evovm::{Campaign, CampaignConfig, Scenario};
+use evolvable_vm::workloads;
+
+fn main() {
+    for scenario in [Scenario::Default, Scenario::Rep, Scenario::Evolve] {
+        let bench = workloads::by_name("mtrt").expect("bundled workload");
+        let outcome = Campaign::new(&bench, CampaignConfig::new(scenario).runs(12).seed(7))
+            .expect("campaign")
+            .run()
+            .expect("runs");
+        println!("// {scenario}");
+        for r in &outcome.records {
+            println!(
+                "({}, {}, {}, {}, 0x{:016x}, 0x{:016x}, 0x{:016x}, {}, 0x{:016x}),",
+                r.run_index,
+                r.input_index,
+                r.cycles,
+                r.default_cycles,
+                r.speedup.to_bits(),
+                r.confidence.to_bits(),
+                r.accuracy.to_bits(),
+                r.predicted,
+                r.overhead_fraction.to_bits()
+            );
+        }
+    }
+}

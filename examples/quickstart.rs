@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Watch the learning: confidence rises, prediction engages, and
     //    engaged runs beat the default reactive optimizer.
-    println!("\n{:>4} {:>10} {:>8} {:>9} {:>9}", "run", "time(s)", "conf", "speedup", "predicted");
+    println!(
+        "\n{:>4} {:>10} {:>8} {:>9} {:>9}",
+        "run", "time(s)", "conf", "speedup", "predicted"
+    );
     for r in &outcome.records {
         println!(
             "{:>4} {:>10.4} {:>8.3} {:>9.3} {:>9}",

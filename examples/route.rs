@@ -195,7 +195,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         });
     }
 
-    println!("{:>4} {:>8} {:>9} {:>10}", "run", "conf", "accuracy", "predicted");
+    println!(
+        "{:>4} {:>8} {:>9} {:>10}",
+        "run", "conf", "accuracy", "predicted"
+    );
     for round in 0..3 {
         for (i, input) in inputs.iter().enumerate() {
             let record = evolvable.run_once(input)?;

@@ -49,7 +49,10 @@ operand {position=$; type=str; attr=LEN}                          # last operand
 
     let mut vfs = Vfs::new();
     vfs.write("chapter1.tex", "\\section{One}\nHello world.\n");
-    vfs.write("chapter2.tex", "\\section{Two}\nMore text here, three lines.\nLast.\n");
+    vfs.write(
+        "chapter2.tex",
+        "\\section{Two}\nMore text here, three lines.\nLast.\n",
+    );
     vfs.write("book.pdf", "");
 
     // 1. Full command line: options by alias, multiple operands.

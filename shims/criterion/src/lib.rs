@@ -1,0 +1,155 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the harness surface the workspace's microbenchmarks use:
+//! [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Measurement is a
+//! simple warm-up plus a time-budgeted loop reporting the mean
+//! wall-clock time per iteration — no statistics, plots, or baselines.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped; accepted for API compatibility,
+/// every batch size measures one input per timing sample here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Setup output is small; timing overhead per sample is fine.
+    SmallInput,
+    /// Larger setup output.
+    LargeInput,
+    /// Each sample gets exactly one batch.
+    PerIteration,
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Bencher {
+        Bencher {
+            samples: Vec::new(),
+            budget,
+        }
+    }
+
+    /// Time `routine` repeatedly until the budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: fault in code paths before taking samples.
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline && self.samples.len() < 10_000 {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; only the routine is
+    /// measured.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..3 {
+            black_box(routine(setup()));
+        }
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline && self.samples.len() < 10_000 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn mean(&self) -> Option<Duration> {
+        let total: Duration = self.samples.iter().sum();
+        Some(total / u32::try_from(self.samples.len()).ok().filter(|n| *n > 0)?)
+    }
+}
+
+/// Benchmark registry and runner.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            budget: Duration::from_millis(250),
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark and print its mean iteration time.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.budget);
+        f(&mut bencher);
+        match bencher.mean() {
+            Some(mean) => println!(
+                "{name:<40} {mean:>12.2?}/iter  ({} samples)",
+                bencher.samples.len()
+            ),
+            None => println!("{name:<40} (no samples taken)"),
+        }
+        self
+    }
+}
+
+/// Bundle benchmark functions into a single runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(5),
+        };
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_uses_fresh_inputs() {
+        let mut b = Bencher::new(Duration::from_millis(5));
+        b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.mean().is_some());
+    }
+}

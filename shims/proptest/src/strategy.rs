@@ -1,0 +1,397 @@
+//! Core `Strategy` trait and combinators.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::rc::Rc;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike upstream proptest there is no value tree / shrinking: a
+/// strategy is just a deterministic function of the test RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F, O>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map {
+            source: self,
+            f,
+            _out: core::marker::PhantomData,
+        }
+    }
+
+    /// Erase the concrete strategy type (cheaply clonable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+
+    /// Build a recursive strategy: `self` generates leaves and
+    /// `recurse` wraps an inner strategy into one more layer.
+    ///
+    /// `_desired_size` and `_expected_branch_size` are accepted for
+    /// upstream signature compatibility; recursion depth alone bounds
+    /// the output here. At each layer the generator picks the deeper
+    /// strategy three times as often as a bare leaf.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(current).boxed();
+            current = Union::new_weighted(vec![(1, leaf.clone()), (3, deeper)]).boxed();
+        }
+        current
+    }
+}
+
+/// Object-safe inner trait backing [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F, O> {
+    source: S,
+    f: F,
+    _out: core::marker::PhantomData<fn() -> O>,
+}
+
+impl<S, F, O> Strategy for Map<S, F, O>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// Weighted choice among strategies of one value type (see
+/// [`prop_oneof!`](crate::prop_oneof)).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u32,
+}
+
+impl<T: 'static> Union<T> {
+    /// Uniform choice among `arms`.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        Union::new_weighted(arms.into_iter().map(|a| (1, a)).collect())
+    }
+
+    /// Choice among `arms` proportional to their weights.
+    pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total_weight = arms.iter().map(|(w, _)| *w).sum();
+        assert!(
+            total_weight > 0,
+            "prop_oneof! needs a positive total weight"
+        );
+        Union { arms, total_weight }
+    }
+}
+
+impl<T: 'static> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.gen_range(0..self.total_weight);
+        for (weight, arm) in &self.arms {
+            if pick < *weight {
+                return arm.generate(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weighted pick beyond total weight")
+    }
+}
+
+macro_rules! numeric_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+numeric_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+// --- mini-regex string strategy ---
+
+/// String patterns: a `&'static str` is a strategy generating strings
+/// matching a small regex subset — literal characters, character
+/// classes `[a-z 0-9]` (ranges and `\n`/`\t`/`\r` escapes), and `{n}` /
+/// `{m,n}` repetition. This covers the patterns used in this workspace,
+/// e.g. `"[ -~\n]{0,200}"`.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let count = if atom.min >= atom.max {
+                atom.min
+            } else {
+                rng.gen_range(atom.min..=atom.max)
+            };
+            for _ in 0..count {
+                out.push(atom.chars[rng.gen_range(0..atom.chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+struct Atom {
+    chars: Vec<char>,
+    min: u32,
+    max: u32,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let choices = match c {
+            '[' => parse_class(&mut chars, pattern),
+            '\\' => {
+                vec![unescape(chars.next().unwrap_or_else(|| {
+                    panic!("dangling `\\` in pattern `{pattern}`")
+                }))]
+            }
+            other => vec![other],
+        };
+        let (min, max) = parse_quantifier(&mut chars, pattern);
+        atoms.push(Atom {
+            chars: choices,
+            min,
+            max,
+        });
+    }
+    atoms
+}
+
+fn parse_class(chars: &mut core::iter::Peekable<core::str::Chars<'_>>, pattern: &str) -> Vec<char> {
+    let mut choices = Vec::new();
+    loop {
+        let c = match chars.next() {
+            Some(']') => break,
+            Some('\\') => unescape(
+                chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling `\\` in pattern `{pattern}`")),
+            ),
+            Some(c) => c,
+            None => panic!("unterminated `[` class in pattern `{pattern}`"),
+        };
+        // `a-z` is a range unless the `-` is last in the class.
+        if chars.peek() == Some(&'-') {
+            let mut ahead = chars.clone();
+            ahead.next();
+            match ahead.peek() {
+                Some(&']') | None => choices.push(c),
+                Some(_) => {
+                    chars.next();
+                    let hi = match chars.next() {
+                        Some('\\') => unescape(
+                            chars
+                                .next()
+                                .unwrap_or_else(|| panic!("dangling `\\` in pattern `{pattern}`")),
+                        ),
+                        Some(hi) => hi,
+                        None => panic!("unterminated range in pattern `{pattern}`"),
+                    };
+                    assert!(c <= hi, "inverted range `{c}-{hi}` in pattern `{pattern}`");
+                    choices.extend(c..=hi);
+                }
+            }
+        } else {
+            choices.push(c);
+        }
+    }
+    assert!(
+        !choices.is_empty(),
+        "empty `[]` class in pattern `{pattern}`"
+    );
+    choices
+}
+
+fn parse_quantifier(
+    chars: &mut core::iter::Peekable<core::str::Chars<'_>>,
+    pattern: &str,
+) -> (u32, u32) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut body = String::new();
+    for c in chars.by_ref() {
+        if c == '}' {
+            let (lo, hi) = match body.split_once(',') {
+                Some((lo, hi)) => (lo, hi),
+                None => (body.as_str(), body.as_str()),
+            };
+            let lo: u32 = lo
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("bad quantifier in pattern `{pattern}`"));
+            let hi: u32 = hi
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("bad quantifier in pattern `{pattern}`"));
+            assert!(lo <= hi, "inverted quantifier in pattern `{pattern}`");
+            return (lo, hi);
+        }
+        body.push(c);
+    }
+    panic!("unterminated `{{` quantifier in pattern `{pattern}`");
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident)+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A B);
+tuple_strategy!(A B C);
+tuple_strategy!(A B C D);
+tuple_strategy!(A B C D E);
+tuple_strategy!(A B C D E F);
+tuple_strategy!(A B C D E F G);
+tuple_strategy!(A B C D E F G H);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn regex_class_respects_bounds() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = "[a-z ]{0,40}".generate(&mut rng);
+            assert!(s.len() <= 40);
+            assert!(s.chars().all(|c| c == ' ' || c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn regex_handles_escapes_and_wide_ranges() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = "[ -~\n]{1,20}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 20);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        let leaf = crate::prop_oneof![Just(1u32), 5u32..9];
+        let tree = leaf.prop_recursive(3, 24, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| a + b)
+        });
+        let mut rng = rng();
+        for _ in 0..100 {
+            let _ = tree.generate(&mut rng);
+        }
+    }
+
+    #[test]
+    fn union_picks_every_arm() {
+        let u = crate::prop_oneof![Just(0u8), Just(1u8), Just(2u8)];
+        let mut rng = rng();
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[u.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+}

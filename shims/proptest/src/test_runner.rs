@@ -1,0 +1,101 @@
+//! Test execution: configuration, case errors, and the driver loop
+//! behind the `proptest!` macro.
+
+use crate::strategy::Strategy;
+use std::fmt;
+
+/// The RNG strategies draw from. One fresh, deterministically seeded
+/// instance per test case.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Runtime configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to generate per property.
+    pub cases: u32,
+    /// Accepted for upstream compatibility; this shim never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// A failed property case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Build a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Drive one property: generate `config.cases` inputs and run the test
+/// closure on each. Panics (failing the enclosing `#[test]`) on the
+/// first case error, reporting the case index for reproduction.
+pub fn run_proptest<S, F>(config: &ProptestConfig, name: &str, strategy: &S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    use rand::SeedableRng;
+    let name_hash = fnv1a(name.as_bytes());
+    for case in 0..config.cases {
+        let mut rng = TestRng::seed_from_u64(name_hash ^ u64::from(case).rotate_left(17));
+        let value = strategy.generate(&mut rng);
+        if let Err(e) = test(value) {
+            panic!(
+                "property `{name}` failed at case {case}/{}: {e}",
+                config.cases
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_passes_trivial_property() {
+        run_proptest(&ProptestConfig::default(), "trivial", &(0u32..10), |v| {
+            crate::prop_assert!(v < 10);
+            Ok(())
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn runner_reports_failures() {
+        run_proptest(&ProptestConfig::default(), "failing", &(0u32..10), |v| {
+            crate::prop_assert!(v < 1, "saw {v}");
+            Ok(())
+        });
+    }
+}

@@ -45,10 +45,7 @@ fn all_workloads_agree_across_levels() {
         assert!(!baseline_out.is_empty(), "{name} should print something");
         for level in [OptLevel::O0, OptLevel::O1, OptLevel::O2] {
             let (out, cycles) = run_pinned(&input.program, level);
-            assert_eq!(
-                out, baseline_out,
-                "{name}: output diverged at {level}"
-            );
+            assert_eq!(out, baseline_out, "{name}: output diverged at {level}");
             assert!(
                 cycles <= baseline_cycles,
                 "{name}: {level} exec cycles {cycles} exceed baseline {baseline_cycles}"

@@ -9,10 +9,13 @@ use evolvable_vm::workloads;
 #[test]
 fn evolve_learns_the_raytracer() {
     let bench = workloads::by_name("raytracer").expect("bundled workload");
-    let outcome = Campaign::new(&bench, CampaignConfig::new(Scenario::Evolve).runs(16).seed(3))
-        .expect("campaign")
-        .run()
-        .expect("runs succeed");
+    let outcome = Campaign::new(
+        &bench,
+        CampaignConfig::new(Scenario::Evolve).runs(16).seed(3),
+    )
+    .expect("campaign")
+    .run()
+    .expect("runs succeed");
     assert_eq!(outcome.records.len(), 16);
 
     // Confidence starts at zero and must have risen by the end.
@@ -52,10 +55,13 @@ fn evolve_learns_the_raytracer() {
 #[test]
 fn default_scenario_is_the_unit_baseline() {
     let bench = workloads::by_name("search").expect("bundled workload");
-    let outcome = Campaign::new(&bench, CampaignConfig::new(Scenario::Default).runs(6).seed(1))
-        .expect("campaign")
-        .run()
-        .expect("runs succeed");
+    let outcome = Campaign::new(
+        &bench,
+        CampaignConfig::new(Scenario::Default).runs(6).seed(1),
+    )
+    .expect("campaign")
+    .run()
+    .expect("runs succeed");
     assert!(outcome.records.iter().all(|r| r.speedup == 1.0));
 }
 
@@ -75,10 +81,13 @@ fn rep_predicts_from_the_first_run() {
 fn campaigns_are_deterministic() {
     let bench = workloads::by_name("fop").expect("bundled workload");
     let run = || {
-        Campaign::new(&bench, CampaignConfig::new(Scenario::Evolve).runs(8).seed(7))
-            .expect("campaign")
-            .run()
-            .expect("runs succeed")
+        Campaign::new(
+            &bench,
+            CampaignConfig::new(Scenario::Evolve).runs(8).seed(7),
+        )
+        .expect("campaign")
+        .run()
+        .expect("runs succeed")
     };
     let a = run();
     let b = run();

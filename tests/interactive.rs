@@ -141,7 +141,8 @@ fn conditional_publishing_keeps_the_schema_stable() {
     vm.run_once(&make(publishing)).expect("publishing run");
     // A silent run must still be learnable.
     vm.run_once(&make(silent)).expect("silent run");
-    vm.run_once(&make(publishing)).expect("publishing run again");
+    vm.run_once(&make(publishing))
+        .expect("publishing run again");
     assert_eq!(vm.runs_observed(), 3);
 }
 
@@ -153,6 +154,9 @@ fn plain_runs_report_zero_or_one_predictions() {
         let record = vm
             .run_once(&bench.inputs[i % bench.inputs.len()])
             .expect("runs");
-        assert!(record.predictions_made <= 1, "fop has no interactive points");
+        assert!(
+            record.predictions_made <= 1,
+            "fop has no interactive points"
+        );
     }
 }

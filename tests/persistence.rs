@@ -47,7 +47,10 @@ fn restored_vm_continues_predicting() {
     let record = restored
         .run_once(&bench.inputs[0])
         .expect("restored vm runs");
-    assert!(record.predicted, "restored confidence should enable prediction");
+    assert!(
+        record.predicted,
+        "restored confidence should enable prediction"
+    );
     assert!(record.accuracy > 0.5);
 }
 
@@ -55,7 +58,8 @@ fn restored_vm_continues_predicting() {
 fn corrupt_state_degrades_to_fresh_learning() {
     let bench = workloads::by_name("search").expect("bundled workload");
     let mut vm = EvolvableVm::new(bench.translator.clone(), EvolveConfig::default());
-    vm.import_state("this is not json").expect("corrupt state is tolerated");
+    vm.import_state("this is not json")
+        .expect("corrupt state is tolerated");
     assert_eq!(vm.runs_observed(), 0);
     assert_eq!(vm.confidence(), 0.0);
     // And it still learns normally afterwards.

@@ -67,17 +67,28 @@ fn arb_expr(depth: u32) -> BoxedStrategy<String> {
     ];
     leaf.prop_recursive(depth, 24, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just("+"), Just("-"), Just("*"), Just("%"),
-                Just("<"), Just("<="), Just("=="), Just("!="),
-                Just("&"), Just("|"), Just("^"),
-            ])
+            (
+                inner.clone(),
+                inner.clone(),
+                prop_oneof![
+                    Just("+"),
+                    Just("-"),
+                    Just("*"),
+                    Just("%"),
+                    Just("<"),
+                    Just("<="),
+                    Just("=="),
+                    Just("!="),
+                    Just("&"),
+                    Just("|"),
+                    Just("^"),
+                ]
+            )
                 .prop_map(|(l, r, op)| format!("({l} {op} {r})")),
             // Division guarded to a nonzero-or-trap mix: `x / (y | 1)` is
             // never a zero divide for int y; plain `x / y` may trap and
             // the trap must be level-independent.
-            (inner.clone(), inner.clone())
-                .prop_map(|(l, r)| format!("({l} / (({r}) | 1))")),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| format!("({l} / (({r}) | 1))")),
             (inner.clone()).prop_map(|e| format!("(-{e})")),
             (inner.clone()).prop_map(|e| format!("abs({e})")),
             (inner.clone()).prop_map(|e| format!("int(float({e}) * 0.5)")),

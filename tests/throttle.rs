@@ -49,8 +49,12 @@ fn generous_cap_changes_nothing() {
     let mut a = EvolvableVm::new(bench.translator.clone(), generous);
     let mut b = EvolvableVm::new(bench.translator.clone(), EvolveConfig::default());
     for i in 0..6 {
-        let ra = a.run_once(&bench.inputs[i % bench.inputs.len()]).expect("runs");
-        let rb = b.run_once(&bench.inputs[i % bench.inputs.len()]).expect("runs");
+        let ra = a
+            .run_once(&bench.inputs[i % bench.inputs.len()])
+            .expect("runs");
+        let rb = b
+            .run_once(&bench.inputs[i % bench.inputs.len()])
+            .expect("runs");
         assert_eq!(ra.result.total_cycles, rb.result.total_cycles);
         assert_eq!(ra.predicted, rb.predicted);
     }

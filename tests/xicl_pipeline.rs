@@ -105,10 +105,13 @@ fn xicl_vectors_train_trees_that_select_informative_features() {
 fn workload_feature_accounting_matches_table_one_semantics() {
     use evolvable_vm::evovm::{Campaign, CampaignConfig, Scenario};
     let bench = evolvable_vm::workloads::by_name("fop").expect("bundled workload");
-    let outcome = Campaign::new(&bench, CampaignConfig::new(Scenario::Evolve).runs(10).seed(5))
-        .expect("campaign")
-        .run()
-        .expect("runs succeed");
+    let outcome = Campaign::new(
+        &bench,
+        CampaignConfig::new(Scenario::Evolve).runs(10).seed(5),
+    )
+    .expect("campaign")
+    .run()
+    .expect("runs succeed");
     assert!(outcome.raw_features >= outcome.used_features);
     assert!(outcome.raw_features > 0);
     // fop's format option and LINES both matter, so at least one feature
