@@ -4,8 +4,11 @@
 //! Mao & Shen (CGO 2009); this library centralizes campaign running and
 //! table formatting so the targets stay declarative.
 
+use std::sync::Arc;
+
 use evovm::{
-    Bench, CampaignConfig, CampaignEngine, CampaignOutcome, CampaignSpec, EvolveConfig, Scenario,
+    Bench, CampaignConfig, CampaignEngine, CampaignOutcome, CampaignSpec, EvolveConfig, ModelStore,
+    Scenario,
 };
 use evovm_workloads as workloads;
 
@@ -23,6 +26,9 @@ pub struct SessionRequest {
     pub seed: u64,
     /// Evolvable-VM parameters.
     pub evolve: EvolveConfig,
+    /// Key under which learned state is restored/persisted when the
+    /// session runs against a [`ModelStore`] (see [`session_with_store`]).
+    pub model_key: Option<String>,
 }
 
 impl SessionRequest {
@@ -34,12 +40,19 @@ impl SessionRequest {
             runs,
             seed,
             evolve: EvolveConfig::default(),
+            model_key: None,
         }
     }
 
     /// Override the evolvable-VM parameters.
     pub fn evolve(mut self, evolve: EvolveConfig) -> SessionRequest {
         self.evolve = evolve;
+        self
+    }
+
+    /// Set the model-store key for cross-session state persistence.
+    pub fn model_key(mut self, key: impl Into<String>) -> SessionRequest {
+        self.model_key = Some(key.into());
         self
     }
 }
@@ -55,6 +68,29 @@ impl SessionRequest {
 /// Panics on unknown workloads or failed runs — bench targets want loud
 /// failures, not skipped rows.
 pub fn session(requests: &[SessionRequest]) -> Vec<CampaignOutcome> {
+    run_requests(requests, None)
+}
+
+/// Like [`session`], but campaigns whose request names a `model_key`
+/// restore learned state from `store` before running and persist it
+/// after — the cross-engine-session persistence path (e.g. over a
+/// [`ShardedStore`](evovm::ShardedStore) shared between drivers).
+///
+/// # Panics
+///
+/// Panics on unknown workloads or failed runs — bench targets want loud
+/// failures, not skipped rows.
+pub fn session_with_store(
+    requests: &[SessionRequest],
+    store: Arc<dyn ModelStore>,
+) -> Vec<CampaignOutcome> {
+    run_requests(requests, Some(store))
+}
+
+fn run_requests(
+    requests: &[SessionRequest],
+    store: Option<Arc<dyn ModelStore>>,
+) -> Vec<CampaignOutcome> {
     let mut names: Vec<&str> = Vec::new();
     for request in requests {
         if !names.contains(&request.workload.as_str()) {
@@ -72,16 +108,21 @@ pub fn session(requests: &[SessionRequest]) -> Vec<CampaignOutcome> {
                 .iter()
                 .position(|n| *n == request.workload)
                 .expect("interned above");
-            CampaignSpec::new(
-                &benches[bench_index],
-                CampaignConfig::new(request.scenario)
-                    .runs(request.runs)
-                    .seed(request.seed)
-                    .evolve(request.evolve),
-            )
+            let mut config = CampaignConfig::new(request.scenario)
+                .runs(request.runs)
+                .seed(request.seed)
+                .evolve(request.evolve);
+            if let Some(key) = &request.model_key {
+                config = config.model_key(key.clone());
+            }
+            CampaignSpec::new(&benches[bench_index], config)
         })
         .collect();
-    CampaignEngine::new()
+    let mut engine = CampaignEngine::new();
+    if let Some(store) = store {
+        engine = engine.store(store);
+    }
+    engine
         .run(&specs)
         .into_iter()
         .zip(requests)
@@ -170,6 +211,23 @@ mod tests {
     fn tiny_campaign_smoke() {
         let out = campaign("search", Scenario::Default, 3, 1, EvolveConfig::default());
         assert_eq!(out.records.len(), 3);
+    }
+
+    #[test]
+    fn session_with_store_persists_learned_state() {
+        use evovm::MemoryStore;
+        let store = Arc::new(MemoryStore::new());
+        let requests = [
+            SessionRequest::new("search", Scenario::Evolve, 3, 1).model_key("search/evolve"),
+            SessionRequest::new("search", Scenario::Default, 2, 1),
+        ];
+        let outcomes = session_with_store(&requests, store.clone());
+        assert_eq!(outcomes.len(), 2);
+        assert!(
+            store.load("search/evolve").is_some(),
+            "keyed campaign persists its state"
+        );
+        assert_eq!(store.len(), 1, "unkeyed campaign persists nothing");
     }
 
     #[test]

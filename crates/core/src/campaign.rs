@@ -146,6 +146,11 @@ pub struct CampaignOutcome {
     /// Default-run seconds per distinct input index (for Table I's
     /// min/max running times).
     pub default_seconds_per_input: Vec<Option<f64>>,
+    /// Whether stored state for this campaign's `model_key` existed but
+    /// could not be imported, so the campaign fresh-started instead —
+    /// the persistence contract's degraded path (also counted in the
+    /// store's [`StoreMetrics`](crate::metrics::StoreMetrics)).
+    pub state_recovered: bool,
 }
 
 impl CampaignOutcome {
@@ -256,9 +261,24 @@ impl<'a> Campaign<'a> {
         let inputs = &self.bench.inputs;
         let mut optimizer =
             optimizer::for_scenario(self.config.scenario, self.bench, &self.config.evolve);
+        let mut state_recovered = false;
         if let (Some(store), Some(key)) = (store, self.config.model_key.as_deref()) {
             if let Some(state) = store.load(key) {
-                optimizer.import_state(&state)?;
+                if optimizer.import_state(&state).is_err() {
+                    // Persistence is best-effort by contract (see
+                    // `store`): a stored blob that parses but cannot be
+                    // imported (e.g. internally inconsistent history)
+                    // degrades to fresh-start learning rather than
+                    // failing the campaign. Import may have partially
+                    // applied, so rebuild the backend from scratch.
+                    optimizer = optimizer::for_scenario(
+                        self.config.scenario,
+                        self.bench,
+                        &self.config.evolve,
+                    );
+                    state_recovered = true;
+                    store.metrics().record_recovery();
+                }
             }
         }
 
@@ -343,6 +363,7 @@ impl<'a> Campaign<'a> {
             raw_features: optimizer.raw_feature_count(),
             used_features: optimizer.used_feature_indices().len(),
             default_seconds_per_input,
+            state_recovered,
         })
     }
 }

@@ -15,6 +15,7 @@
 //! session instead of once per campaign, and an optional [`ModelStore`]
 //! through which campaigns restore and persist learned state.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -75,14 +76,22 @@ impl CampaignEngine {
     /// bit-identical to running the specs sequentially because each
     /// campaign seeds its own generator and the shared oracles memoize
     /// only deterministic baseline cycle counts.
+    ///
+    /// Specs that persist under the **same `model_key`** (when a store
+    /// is attached) are chained into one sequential unit, executed in
+    /// spec order on a single worker: run concurrently they would load
+    /// stale state and last-writer-wins on save, so the persisted model
+    /// would depend on scheduling. Serialized, the persisted state is
+    /// exactly what sequential execution produces.
     pub fn run(&self, specs: &[CampaignSpec<'_>]) -> Vec<Result<CampaignOutcome, EvolveError>> {
         let oracles = build_oracles(specs);
+        let units = schedule_units(specs, self.store.is_some());
         let workers = self
             .threads
             .unwrap_or_else(|| {
                 thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
             })
-            .min(specs.len())
+            .min(units.len())
             .max(1);
 
         if workers <= 1 {
@@ -101,10 +110,15 @@ impl CampaignEngine {
         thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(spec) = specs.get(index) else { break };
-                    let oracle = &oracles.shared[oracles.assignment[index]];
-                    *slots[index].lock() = Some(run_spec(spec, oracle, self.store.as_deref()));
+                    let unit_index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(unit) = units.get(unit_index) else {
+                        break;
+                    };
+                    for &index in unit {
+                        let oracle = &oracles.shared[oracles.assignment[index]];
+                        *slots[index].lock() =
+                            Some(run_spec(&specs[index], oracle, self.store.as_deref()));
+                    }
                 });
             }
         });
@@ -115,31 +129,86 @@ impl CampaignEngine {
     }
 }
 
+/// Partition spec indices into schedulable units: specs sharing a
+/// `model_key` (state-coupled through the store) form one unit in spec
+/// order; every other spec is its own unit. Without a store attached,
+/// keys couple nothing and every spec is independent.
+fn schedule_units(specs: &[CampaignSpec<'_>], store_attached: bool) -> Vec<Vec<usize>> {
+    let mut units: Vec<Vec<usize>> = Vec::with_capacity(specs.len());
+    let mut unit_by_key: HashMap<&str, usize> = HashMap::new();
+    for (index, spec) in specs.iter().enumerate() {
+        let key = store_attached
+            .then_some(spec.config.model_key.as_deref())
+            .flatten();
+        match key {
+            Some(key) => match unit_by_key.get(key) {
+                Some(&unit) => units[unit].push(index),
+                None => {
+                    unit_by_key.insert(key, units.len());
+                    units.push(vec![index]);
+                }
+            },
+            None => units.push(vec![index]),
+        }
+    }
+    units
+}
+
 /// The session's shared oracles plus, per spec, which oracle it uses.
 struct SessionOracles {
     shared: Vec<DefaultOracle>,
     assignment: Vec<usize>,
 }
 
-/// Group specs by (bench identity, sampling interval): campaigns in one
+/// Group specs by (bench content, sampling interval): campaigns in one
 /// group see the same baseline cycle counts, so they share one memo.
+///
+/// Identity is a *content* fingerprint, not an address: two `Bench`
+/// values loaded separately (e.g. `by_name("mtrt")` called twice) are
+/// equal workloads and must share one oracle, so the expensive baseline
+/// runs execute once per session regardless of who loaded the bench.
 fn build_oracles(specs: &[CampaignSpec<'_>]) -> SessionOracles {
-    let mut keys: Vec<(*const Bench, u64)> = Vec::new();
+    let mut index_by_key: HashMap<(u64, u64), usize> = HashMap::new();
     let mut shared: Vec<DefaultOracle> = Vec::new();
     let mut assignment = Vec::with_capacity(specs.len());
     for spec in specs {
         let key = (
-            std::ptr::from_ref(spec.bench),
+            bench_fingerprint(spec.bench),
             spec.config.evolve.sample_interval_cycles,
         );
-        let index = keys.iter().position(|k| *k == key).unwrap_or_else(|| {
-            keys.push(key);
+        let index = *index_by_key.entry(key).or_insert_with(|| {
             shared.push(DefaultOracle::for_bench(spec.bench, key.1));
-            keys.len() - 1
+            shared.len() - 1
         });
         assignment.push(index);
     }
     SessionOracles { shared, assignment }
+}
+
+/// A stable content identity for a [`Bench`]: name, input count, and
+/// every input's command line, virtual files, and program size. Inputs
+/// are compiled deterministically from (args, vfs), so benches with
+/// equal fingerprints produce equal baseline cycle counts.
+fn bench_fingerprint(bench: &Bench) -> u64 {
+    let mut h = crate::store::Fnv1a::new();
+    h.update(bench.name.as_bytes());
+    h.update(&[0xff]);
+    h.update(&(bench.inputs.len() as u64).to_le_bytes());
+    for input in &bench.inputs {
+        for arg in &input.args {
+            h.update(arg.as_bytes());
+            h.update(&[0xfe]);
+        }
+        let mut paths: Vec<&str> = input.vfs.paths().collect();
+        paths.sort_unstable();
+        for path in paths {
+            h.update(path.as_bytes());
+            h.update(&input.vfs.size(path).unwrap_or(0).to_le_bytes());
+        }
+        h.update(&(input.program.functions().len() as u64).to_le_bytes());
+        h.update(&[0xfd]);
+    }
+    h.finish()
 }
 
 fn run_spec(
@@ -153,6 +222,41 @@ fn run_spec(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn units_serialize_shared_model_keys_only_with_a_store() {
+        use crate::campaign::{CampaignConfig, Scenario};
+        use evovm_xicl::{extract::Registry, Translator, XiclSpec};
+
+        let bench = Bench {
+            name: "unit-test".into(),
+            translator: Translator::new(XiclSpec::default(), Registry::new()),
+            inputs: Vec::new(),
+        };
+        let config = |key: Option<&str>| {
+            let mut c = CampaignConfig::new(Scenario::Default);
+            if let Some(key) = key {
+                c = c.model_key(key);
+            }
+            c
+        };
+        let specs = [
+            CampaignSpec::new(&bench, config(Some("a"))),
+            CampaignSpec::new(&bench, config(None)),
+            CampaignSpec::new(&bench, config(Some("b"))),
+            CampaignSpec::new(&bench, config(Some("a"))),
+        ];
+        // With a store: the two "a" specs chain into one unit, in order.
+        assert_eq!(
+            schedule_units(&specs, true),
+            vec![vec![0, 3], vec![1], vec![2]]
+        );
+        // Without a store, keys couple nothing.
+        assert_eq!(
+            schedule_units(&specs, false),
+            vec![vec![0], vec![1], vec![2], vec![3]]
+        );
+    }
 
     #[test]
     fn engine_types_are_send() {

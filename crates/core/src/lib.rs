@@ -49,8 +49,9 @@ pub use config::EvolveConfig;
 pub use engine::{CampaignEngine, CampaignSpec};
 pub use error::EvolveError;
 pub use evolve::{EvolvableVm, EvolveRunRecord, EvolveState};
+pub use metrics::{StoreMetrics, StoreMetricsSnapshot};
 pub use optimizer::{CrossRunOptimizer, RunPlan, RunReport};
 pub use oracle::DefaultOracle;
 pub use rep::{RepPolicy, RepRepository, RepStrategy};
-pub use store::{DirStore, MemoryStore, ModelStore};
+pub use store::{DirStore, MemoryStore, ModelStore, ShardedStore};
 pub use strategy::{ideal_levels, prediction_accuracy, LevelStrategy, PredictedPolicy};

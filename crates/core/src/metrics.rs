@@ -1,6 +1,83 @@
-//! Summary statistics for the experiment harnesses.
+//! Summary statistics for the experiment harnesses, plus the
+//! persistence-layer activity counters ([`StoreMetrics`]).
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Activity counters for a [`ModelStore`](crate::ModelStore) instance.
+///
+/// Thread-safe and lock-free: stores are written from engine worker
+/// threads. `recoveries` counts every time the persistence layer served
+/// degraded state instead of failing — a corrupt or torn version
+/// skipped at load time, a legacy-named file served by fallback, or a
+/// campaign that fresh-started after an unimportable blob.
+#[derive(Debug, Default)]
+pub struct StoreMetrics {
+    saves: AtomicU64,
+    loads: AtomicU64,
+    recoveries: AtomicU64,
+    compactions: AtomicU64,
+}
+
+impl StoreMetrics {
+    /// Fresh counters, all zero.
+    pub fn new() -> StoreMetrics {
+        StoreMetrics::default()
+    }
+
+    /// Count one `save` call.
+    pub fn record_save(&self) {
+        self.saves.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one `load` call.
+    pub fn record_load(&self) {
+        self.loads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one degraded-but-served recovery event.
+    pub fn record_recovery(&self) {
+        self.recoveries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one compaction pass.
+    pub fn record_compaction(&self) {
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent point-in-time copy of the counters.
+    pub fn snapshot(&self) -> StoreMetricsSnapshot {
+        StoreMetricsSnapshot {
+            saves: self.saves.load(Ordering::Relaxed),
+            loads: self.loads.load(Ordering::Relaxed),
+            recoveries: self.recoveries.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a store's [`StoreMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreMetricsSnapshot {
+    /// `save` calls.
+    pub saves: u64,
+    /// `load` calls.
+    pub loads: u64,
+    /// Degraded-but-served recovery events.
+    pub recoveries: u64,
+    /// Compaction passes.
+    pub compactions: u64,
+}
+
+impl fmt::Display for StoreMetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "saves={} loads={} recoveries={} compactions={}",
+            self.saves, self.loads, self.recoveries, self.compactions
+        )
+    }
+}
 
 /// Five-number summary, as plotted in the paper's Figure 10 boxplots.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -103,6 +180,22 @@ mod tests {
         assert_eq!(s.min, 7.0);
         assert_eq!(s.max, 7.0);
         assert_eq!(s.median, 7.0);
+    }
+
+    #[test]
+    fn store_metrics_count_and_snapshot() {
+        let m = StoreMetrics::new();
+        m.record_save();
+        m.record_save();
+        m.record_load();
+        m.record_recovery();
+        m.record_compaction();
+        let s = m.snapshot();
+        assert_eq!(s.saves, 2);
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.recoveries, 1);
+        assert_eq!(s.compactions, 1);
+        assert_eq!(s.to_string(), "saves=2 loads=1 recoveries=1 compactions=1");
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! The single-directory [`ModelStore`] backend.
+
+use std::path::PathBuf;
+
+use crate::metrics::StoreMetrics;
+
+use super::{file_stem, legacy_stem, write_atomic, ModelStore};
+
+/// A directory-backed store: one file per key, so state survives across
+/// processes.
+///
+/// Filenames are the sanitized key (conservative alphabet, truncated)
+/// plus a hash of the raw key, so keys that sanitize identically —
+/// `mtrt/evolve` and `mtrt_evolve` both used to become
+/// `mtrt_evolve.json` — can no longer clobber each other. Files written
+/// by older builds under the un-hashed legacy name are still readable:
+/// [`DirStore::load`] falls back to the legacy path when the hashed
+/// path is absent, and the next save migrates the state to the hashed
+/// name.
+///
+/// Saves are atomic (temp file + rename in the same directory): a crash
+/// mid-save leaves the previous state intact instead of a truncated
+/// JSON blob.
+#[derive(Debug)]
+pub struct DirStore {
+    dir: PathBuf,
+    metrics: StoreMetrics,
+}
+
+impl DirStore {
+    /// A store rooted at `dir` (created on first save).
+    pub fn new(dir: impl Into<PathBuf>) -> DirStore {
+        DirStore {
+            dir: dir.into(),
+            metrics: StoreMetrics::new(),
+        }
+    }
+
+    fn path_for(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{}.json", file_stem(key)))
+    }
+
+    fn legacy_path_for(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{}.json", legacy_stem(key)))
+    }
+}
+
+impl ModelStore for DirStore {
+    fn save(&self, key: &str, state: &str) {
+        // Persistence is best-effort: an unwritable directory degrades to
+        // fresh-start behaviour on the next load, it does not fail runs.
+        self.metrics.record_save();
+        let _ = std::fs::create_dir_all(&self.dir);
+        let _ = write_atomic(
+            &self.dir,
+            &format!("{}.json", file_stem(key)),
+            state.as_bytes(),
+        );
+    }
+
+    fn load(&self, key: &str) -> Option<String> {
+        self.metrics.record_load();
+        if let Ok(state) = std::fs::read_to_string(self.path_for(key)) {
+            return Some(state);
+        }
+        // Migration-free fallback: a file written by a pre-hash-suffix
+        // build. Reading it counts as a recovery so operators can see
+        // legacy state still being served.
+        let state = std::fs::read_to_string(self.legacy_path_for(key)).ok()?;
+        self.metrics.record_recovery();
+        Some(state)
+    }
+
+    fn metrics(&self) -> &StoreMetrics {
+        &self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("evovm-store-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn dir_store_round_trips_and_sanitizes_keys() {
+        let dir = temp_dir("dir-roundtrip");
+        let store = DirStore::new(&dir);
+        assert_eq!(store.load("mtrt/evolve"), None);
+        store.save("mtrt/evolve", "[1,2]");
+        assert_eq!(store.load("mtrt/evolve").as_deref(), Some("[1,2]"));
+        // The filename carries the raw key's hash, not just the
+        // sanitized stem.
+        let stem = file_stem("mtrt/evolve");
+        assert!(dir.join(format!("{stem}.json")).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn colliding_keys_no_longer_clobber_each_other() {
+        let dir = temp_dir("dir-collide");
+        let store = DirStore::new(&dir);
+        store.save("mtrt/evolve", "slash");
+        store.save("mtrt_evolve", "underscore");
+        assert_eq!(store.load("mtrt/evolve").as_deref(), Some("slash"));
+        assert_eq!(store.load("mtrt_evolve").as_deref(), Some("underscore"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_files_are_still_readable() {
+        let dir = temp_dir("dir-legacy");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Simulate a file written by an old build (no hash suffix).
+        std::fs::write(dir.join("mtrt_evolve.json"), "old-state").unwrap();
+        let store = DirStore::new(&dir);
+        assert_eq!(store.load("mtrt/evolve").as_deref(), Some("old-state"));
+        assert_eq!(store.metrics().snapshot().recoveries, 1);
+        // A save migrates to the hashed name, which then wins.
+        store.save("mtrt/evolve", "new-state");
+        assert_eq!(store.load("mtrt/evolve").as_deref(), Some("new-state"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn saves_leave_no_temp_files() {
+        let dir = temp_dir("dir-tmp");
+        let store = DirStore::new(&dir);
+        store.save("k", "{\"v\":1}");
+        store.save("k", "{\"v\":2}");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files must be renamed away");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

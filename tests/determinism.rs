@@ -16,7 +16,7 @@
 
 use evolvable_vm::evovm::{
     Campaign, CampaignConfig, CampaignEngine, CampaignOutcome, CampaignSpec, MemoryStore,
-    ModelStore, RunRecord, Scenario,
+    ModelStore, RunRecord, Scenario, ShardedStore,
 };
 use evolvable_vm::workloads;
 use std::sync::Arc;
@@ -492,6 +492,7 @@ fn assert_outcomes_identical(a: &CampaignOutcome, b: &CampaignOutcome) {
     assert_eq!(a.scenario, b.scenario);
     assert_eq!(a.raw_features, b.raw_features);
     assert_eq!(a.used_features, b.used_features);
+    assert_eq!(a.state_recovered, b.state_recovered);
     assert_eq!(a.records.len(), b.records.len());
     for (ra, rb) in a.records.iter().zip(&b.records) {
         assert_eq!(ra.run_index, rb.run_index);
@@ -612,4 +613,78 @@ fn model_store_round_trip_is_deterministic() {
         replay_store.load("mtrt-evolve").as_deref(),
         Some(saved_end.as_str())
     );
+}
+
+#[test]
+fn sharded_store_split_sessions_match_single_process_state() {
+    let bench = workloads::by_name("mtrt").expect("bundled workload");
+    let config = || {
+        CampaignConfig::new(Scenario::Evolve)
+            .runs(6)
+            .seed(SEED)
+            .model_key("mtrt/evolve")
+    };
+    let run_session = |store: Arc<dyn ModelStore>| {
+        CampaignEngine::new()
+            .store(store)
+            .run(&[CampaignSpec::new(&bench, config())])
+            .pop()
+            .expect("one spec yields one result")
+            .expect("session succeeds")
+    };
+
+    // Single-process reference: both halves in one process over a
+    // MemoryStore.
+    let memory = Arc::new(MemoryStore::new());
+    run_session(memory.clone());
+    run_session(memory.clone());
+    let reference = memory.load("mtrt/evolve").expect("state persisted");
+
+    // The same split over a ShardedStore, with a *fresh store instance
+    // per session* (separate processes sharing one root directory), a
+    // simulated torn write between the sessions, and a compaction at
+    // the end. Learned state must come out bit-identical.
+    let root =
+        std::env::temp_dir().join(format!("evovm-sharded-determinism-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    let first = Arc::new(ShardedStore::new(&root));
+    run_session(Arc::clone(&first) as Arc<dyn ModelStore>);
+
+    // Kill-mid-write simulation: a later writer crashed leaving a
+    // truncated blob under the next version name.
+    let latest = *first
+        .version_numbers("mtrt/evolve")
+        .last()
+        .expect("first session saved a version");
+    let intact = std::fs::read(first.version_path("mtrt/evolve", latest)).expect("readable");
+    std::fs::write(
+        first.version_path("mtrt/evolve", latest + 1),
+        &intact[..intact.len() / 2],
+    )
+    .expect("plant torn version");
+
+    let second = Arc::new(ShardedStore::new(&root));
+    run_session(Arc::clone(&second) as Arc<dyn ModelStore>);
+    assert!(
+        second.metrics().snapshot().recoveries >= 1,
+        "the torn version must be detected and skipped"
+    );
+    assert_eq!(
+        second.load("mtrt/evolve").as_deref(),
+        Some(reference.as_str()),
+        "split sessions over ShardedStore must reproduce single-process state"
+    );
+
+    // Compaction keeps exactly the newest intact version — and the
+    // state it serves is unchanged.
+    let reopened = ShardedStore::new(&root);
+    reopened.compact();
+    assert_eq!(reopened.version_numbers("mtrt/evolve").len(), 1);
+    assert_eq!(
+        reopened.load("mtrt/evolve").as_deref(),
+        Some(reference.as_str()),
+        "compaction must not change the served state"
+    );
+    let _ = std::fs::remove_dir_all(&root);
 }
