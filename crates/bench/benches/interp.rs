@@ -1,0 +1,160 @@
+#![allow(missing_docs)] // criterion_group! expands undocumented items
+
+//! Dispatch microbenchmarks for the interpreter hot-path overhaul.
+//!
+//! Every `*_fast` / `*_reference` pair runs the *same* program under the
+//! two dispatch loops ([`InterpMode::Fast`] vs [`InterpMode::Reference`]):
+//! identical virtual-clock results (the equivalence suite proves it), so
+//! any wall-clock difference is pure host-side dispatch cost. The
+//! `BENCH_interp.json` trajectory is produced by `examples/perf_sweep.rs`;
+//! these targets are the interactive view of the same comparison.
+//!
+//! Three shapes:
+//!
+//! - **dispatch** — a tight arithmetic loop: the per-instruction path
+//!   (fuel accounting + cost-table load vs division/Option/multiply).
+//! - **calls** — a call-dominated loop: the frame arena vs per-call
+//!   bookkeeping (note the reference loop shares the arena, so this
+//!   understates the win over the old Vec-per-frame interpreter).
+//! - **sampling** — a short sample interval: event-window slow path.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::sync::Arc;
+
+use evovm_bytecode::asm::parse;
+use evovm_bytecode::Program;
+use evovm_vm::{BaselineOnlyPolicy, InterpMode, Outcome, Vm, VmConfig};
+
+/// A dispatch-heavy program: 40k iterations of pure loop arithmetic.
+fn dispatch_program() -> Arc<Program> {
+    let src = "
+entry func main/0 locals=2 {
+  const 0
+  store 0
+  const 0
+  store 1
+top:
+  load 0
+  const 40000
+  icmpge
+  jumpif end
+  load 1
+  load 0
+  const 2654435761
+  imul
+  const 1048575
+  band
+  iadd
+  store 1
+  load 0
+  const 1
+  iadd
+  store 0
+  jump top
+end:
+  load 1
+  print
+  null
+  return
+}";
+    Arc::new(parse(src).expect("valid asm"))
+}
+
+/// A call-dominated program: 20k calls through a tiny helper.
+fn call_program() -> Arc<Program> {
+    let src = "
+entry func main/0 locals=1 {
+  const 0
+  store 0
+top:
+  load 0
+  const 20000
+  icmpge
+  jumpif end
+  load 0
+  call mix
+  pop
+  load 0
+  const 1
+  iadd
+  store 0
+  jump top
+end:
+  null
+  return
+}
+func mix/1 locals=2 {
+  load 0
+  const 2654435761
+  imul
+  store 1
+  load 1
+  load 0
+  iadd
+  return
+}";
+    Arc::new(parse(src).expect("valid asm"))
+}
+
+fn run_under(program: &Arc<Program>, config: &VmConfig) -> u64 {
+    let mut vm = Vm::new(
+        Arc::clone(program),
+        Box::new(BaselineOnlyPolicy),
+        config.clone(),
+    )
+    .expect("verified");
+    match vm.run().expect("runs") {
+        Outcome::Finished(r) => r.instructions,
+        Outcome::FeaturesReady => unreachable!("no done instruction"),
+    }
+}
+
+fn bench_pair(c: &mut Criterion, name: &str, program: &Arc<Program>, config: VmConfig) {
+    for mode in [InterpMode::Fast, InterpMode::Reference] {
+        let suffix = match mode {
+            InterpMode::Fast => "fast",
+            InterpMode::Reference => "reference",
+        };
+        let config = VmConfig {
+            interp: mode,
+            ..config.clone()
+        };
+        c.bench_function(&format!("{name}_{suffix}"), |b| {
+            b.iter_batched(
+                || (),
+                |()| run_under(program, &config),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    bench_pair(
+        c,
+        "dispatch_40k_loop",
+        &dispatch_program(),
+        VmConfig::default(),
+    );
+}
+
+fn bench_calls(c: &mut Criterion) {
+    bench_pair(c, "calls_20k_frames", &call_program(), VmConfig::default());
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    // A 1k-cycle interval makes event windows ~80 instructions long, so
+    // the slow path runs constantly — the worst case for fuel accounting.
+    bench_pair(
+        c,
+        "sampling_1k_interval",
+        &dispatch_program(),
+        VmConfig {
+            sample_interval_cycles: 1_000,
+            ..VmConfig::default()
+        },
+    );
+}
+
+criterion_group!(benches, bench_dispatch, bench_calls, bench_sampling);
+criterion_main!(benches);

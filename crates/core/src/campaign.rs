@@ -12,7 +12,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
-use evovm_vm::{Outcome, Vm, VmConfig, CYCLES_PER_SECOND};
+use evovm_vm::{InterpMode, Outcome, Vm, VmConfig, CYCLES_PER_SECOND};
 
 use crate::app::Bench;
 use crate::config::EvolveConfig;
@@ -57,6 +57,11 @@ pub struct CampaignConfig {
     /// campaign runs against a [`ModelStore`]; `None` keeps the campaign
     /// self-contained.
     pub model_key: Option<String>,
+    /// Which interpreter dispatch loop the campaign's VMs run under.
+    /// Both modes produce bit-identical records (the equivalence suite
+    /// proves it); [`InterpMode::Reference`] exists for differential
+    /// testing and benchmarking.
+    pub interp: InterpMode,
 }
 
 impl CampaignConfig {
@@ -68,6 +73,7 @@ impl CampaignConfig {
             seed: 1,
             evolve: EvolveConfig::default(),
             model_key: None,
+            interp: InterpMode::Fast,
         }
     }
 
@@ -92,6 +98,12 @@ impl CampaignConfig {
     /// Set the model-store key for state persistence.
     pub fn model_key(mut self, key: impl Into<String>) -> CampaignConfig {
         self.model_key = Some(key.into());
+        self
+    }
+
+    /// Set the interpreter dispatch loop (differential-testing hook).
+    pub fn interp(mut self, interp: InterpMode) -> CampaignConfig {
+        self.interp = interp;
         self
     }
 }
@@ -225,7 +237,8 @@ impl<'a> Campaign<'a> {
     /// Propagates VM/XICL/learning errors from individual runs.
     pub fn run(&self) -> Result<CampaignOutcome, EvolveError> {
         let oracle =
-            DefaultOracle::for_bench(self.bench, self.config.evolve.sample_interval_cycles);
+            DefaultOracle::for_bench(self.bench, self.config.evolve.sample_interval_cycles)
+                .with_interp(self.config.interp);
         self.run_session(&oracle, None)
     }
 
@@ -315,6 +328,7 @@ impl<'a> Campaign<'a> {
                         policy,
                         VmConfig {
                             sample_interval_cycles: self.config.evolve.sample_interval_cycles,
+                            interp: self.config.interp,
                             ..VmConfig::default()
                         },
                     )?;

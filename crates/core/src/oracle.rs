@@ -11,7 +11,7 @@
 use parking_lot::Mutex;
 use std::sync::Arc;
 
-use evovm_vm::{CostBenefitPolicy, Outcome, RunResult, Vm, VmConfig};
+use evovm_vm::{CostBenefitPolicy, InterpMode, Outcome, RunResult, Vm, VmConfig};
 
 use crate::app::{AppInput, Bench};
 use crate::error::EvolveError;
@@ -24,6 +24,7 @@ use crate::error::EvolveError;
 pub struct DefaultOracle {
     entries: Vec<Mutex<Option<u64>>>,
     sample_interval_cycles: u64,
+    interp: InterpMode,
 }
 
 impl DefaultOracle {
@@ -32,7 +33,17 @@ impl DefaultOracle {
         DefaultOracle {
             entries: (0..n_inputs).map(|_| Mutex::new(None)).collect(),
             sample_interval_cycles,
+            interp: InterpMode::Fast,
         }
+    }
+
+    /// Select the dispatch loop baseline runs execute under. Both modes
+    /// produce identical cycle counts (`tests/interp_equiv.rs` proves
+    /// it), so this does not affect memo shareability; it exists for the
+    /// differential tests themselves.
+    pub fn with_interp(mut self, interp: InterpMode) -> DefaultOracle {
+        self.interp = interp;
+        self
     }
 
     /// An empty oracle sized for `bench`'s input set.
@@ -72,7 +83,7 @@ impl DefaultOracle {
         if let Some(cycles) = *slot {
             return Ok(cycles);
         }
-        let result = run_default(input, self.sample_interval_cycles)?;
+        let result = run_default(input, self.sample_interval_cycles, self.interp)?;
         *slot = Some(result.total_cycles);
         Ok(result.total_cycles)
     }
@@ -83,12 +94,14 @@ impl DefaultOracle {
 pub(crate) fn run_default(
     input: &AppInput,
     sample_interval_cycles: u64,
+    interp: InterpMode,
 ) -> Result<RunResult, EvolveError> {
     let mut vm = Vm::new(
         Arc::clone(&input.program),
         Box::new(CostBenefitPolicy::new()),
         VmConfig {
             sample_interval_cycles,
+            interp,
             ..VmConfig::default()
         },
     )?;

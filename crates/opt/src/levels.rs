@@ -95,6 +95,16 @@ impl OptLevel {
         }
     }
 
+    /// [`OptLevel::quality_for`] in the integer milli-cycle domain the
+    /// interpreter charges in: the per-executed-instruction multiplier,
+    /// rounded once here so every consumer (the VM's clock, the folded
+    /// cost tables, benefit estimation) agrees on the exact `u64` value.
+    pub fn quality_milli_for(self, method_name: &str) -> u64 {
+        let milli = (self.quality_for(method_name) * 1000.0).round();
+        // Qualities are small positive reals; the cast cannot truncate.
+        milli as u64
+    }
+
     /// Per-method execution quality: the nominal [`OptLevel::quality`]
     /// perturbed deterministically by the method name at O2 (±12%), so
     /// that for a small fraction of methods O2 code is *slower* than O1
@@ -194,6 +204,18 @@ mod tests {
     fn lower_levels_have_stable_quality() {
         for l in [OptLevel::Baseline, OptLevel::O0, OptLevel::O1] {
             assert_eq!(l.quality_for("anything"), l.quality());
+        }
+    }
+
+    #[test]
+    fn quality_milli_matches_the_float_quality_rounded() {
+        for l in OptLevel::ALL {
+            for name in ["main", "work", "trace", "m17"] {
+                assert_eq!(
+                    l.quality_milli_for(name),
+                    (l.quality_for(name) * 1000.0).round() as u64
+                );
+            }
         }
     }
 }

@@ -24,6 +24,15 @@ pub struct CompiledCode {
     /// Per-executed-instruction cycle multiplier (models native code
     /// quality; see [`OptLevel::quality_for`]).
     pub quality: f64,
+    /// [`CompiledCode::quality`] in the VM's integer milli-cycle domain
+    /// (see [`OptLevel::quality_milli_for`]).
+    pub quality_milli: u64,
+    /// Folded per-instruction charge table, parallel to
+    /// [`CompiledCode::code`]: `cost_milli[i]` is exactly
+    /// `code[i].base_cost() * quality_milli`, precomputed here so the
+    /// interpreter's hot loop does one indexed load per instruction
+    /// instead of a multiply through two indirections.
+    pub cost_milli: Arc<Vec<u64>>,
 }
 
 /// The optimizing compiler: applies the pass pipeline for a level.
@@ -66,12 +75,16 @@ impl Optimizer {
             };
             verify_function(program, id, &check).expect("optimizer produced unverifiable code");
         }
+        let quality_milli = level.quality_milli_for(&f.name);
+        let cost_milli = code.iter().map(|i| i.base_cost() * quality_milli).collect();
         CompiledCode {
             level,
             code: Arc::new(code),
             locals,
             compile_cycles,
             quality,
+            quality_milli,
+            cost_milli: Arc::new(cost_milli),
         }
     }
 
@@ -174,6 +187,20 @@ func double/1 {
         let cc = opt.compile(&p, p.entry(), OptLevel::O2);
         assert!(!cc.code.iter().any(|i| matches!(i, Instr::Call(_))));
         assert!(cc.locals > p.function(p.entry()).locals);
+    }
+
+    #[test]
+    fn cost_table_is_the_folded_product() {
+        let p = parse(PROGRAM).unwrap();
+        let opt = Optimizer::new();
+        for level in OptLevel::ALL {
+            let cc = opt.compile(&p, p.entry(), level);
+            assert_eq!(cc.cost_milli.len(), cc.code.len());
+            assert_eq!(cc.quality_milli, (cc.quality * 1000.0).round() as u64);
+            for (instr, cost) in cc.code.iter().zip(cc.cost_milli.iter()) {
+                assert_eq!(*cost, instr.base_cost() * cc.quality_milli);
+            }
+        }
     }
 
     #[test]

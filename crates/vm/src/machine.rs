@@ -20,12 +20,37 @@
 //! - The `Done` instruction (XICL's `done()` call) pauses the machine and
 //!   yields [`Outcome::FeaturesReady`] so the host can run prediction and
 //!   swap the policy before resuming.
+//!
+//! # Host-side performance (the interpreter hot path)
+//!
+//! The virtual clock above defines *what* a run costs; this section is
+//! about how cheaply the host computes it. Three structural choices keep
+//! the per-instruction path tight, all invisible to the virtual clock
+//! (see `DESIGN.md` § "Interpreter internals" and the equivalence suite
+//! `tests/interp_equiv.rs`):
+//!
+//! - **Fuel-based event accounting** — sample delivery and cycle-budget
+//!   exhaustion only matter at clock thresholds, so the dispatch loop
+//!   computes the next event deadline once per window and decrements a
+//!   local fuel counter; the division, `Option` check and sample
+//!   comparison of the naive loop run only at event boundaries.
+//! - **Folded cost tables** — [`CompiledCode::cost_milli`] precomputes
+//!   `base_cost × quality_milli` per instruction at compile time; the hot
+//!   loop does one indexed load.
+//! - **Frame arena** — operand stacks and locals of all active frames
+//!   live in one contiguous [`Vec<Value>`]; calls reuse the caller's
+//!   argument slots in place and allocate nothing.
+//!
+//! [`InterpMode::Reference`] selects a deliberately naive dispatch loop
+//! (per-instruction checks, multiplies and re-borrows) kept as the golden
+//! oracle for differential tests and as the "before" side of the
+//! dispatch microbenchmark.
 
 use std::sync::Arc;
 
 use evovm_bytecode::program::Program;
 use evovm_bytecode::scalar::{self, BinOp, BitOp, CmpOp, Scalar};
-use evovm_bytecode::{FuncId, Instr};
+use evovm_bytecode::{FuncId, Instr, StrId};
 use evovm_opt::{CompiledCode, OptLevel, Optimizer};
 
 use crate::error::{Trap, VmError};
@@ -37,6 +62,23 @@ use crate::value::{Heap, Value};
 /// "running time" figures the experiments report.
 pub const CYCLES_PER_SECOND: u64 = 100_000_000;
 
+/// Which dispatch loop executes the program. Both produce bit-identical
+/// virtual-clock results (cycles, samples, recompilations, output); they
+/// differ only in host-side cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InterpMode {
+    /// The production hot path: fuel-based event windows, folded cost
+    /// tables, arena frames.
+    #[default]
+    Fast,
+    /// The straight-line reference loop: per-instruction budget check
+    /// (with its division), per-instruction sample polling, a
+    /// `base_cost × quality` multiply per instruction and a
+    /// `frames.last_mut()` re-borrow per step. Kept as the differential-
+    /// testing oracle and the microbenchmark baseline.
+    Reference,
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct VmConfig {
@@ -46,6 +88,9 @@ pub struct VmConfig {
     pub max_call_depth: usize,
     /// Optional hard cycle budget (guards against runaway programs).
     pub cycle_budget: Option<u64>,
+    /// Which dispatch loop to run (differential-testing hook; defaults to
+    /// [`InterpMode::Fast`]).
+    pub interp: InterpMode,
 }
 
 impl Default for VmConfig {
@@ -54,6 +99,7 @@ impl Default for VmConfig {
             sample_interval_cycles: 100_000,
             max_call_depth: 2048,
             cycle_budget: None,
+            interp: InterpMode::Fast,
         }
     }
 }
@@ -82,6 +128,9 @@ pub struct RunResult {
     pub exec_cycles: u64,
     /// Cycles spent compiling.
     pub compile_cycles: u64,
+    /// Program instructions retired. A host-throughput denominator (see
+    /// `examples/perf_sweep.rs`); it has no effect on the virtual clock.
+    pub instructions: u64,
     /// What the profiler saw.
     pub profile: RunProfile,
 }
@@ -93,14 +142,46 @@ impl RunResult {
     }
 }
 
+/// One active call: plain metadata into the shared arena. The records
+/// live in a pooled `Vec` (popping keeps capacity), so steady-state calls
+/// allocate nothing.
 #[derive(Debug)]
 struct Frame {
     method: FuncId,
     code: Arc<Vec<Instr>>,
+    cost_milli: Arc<Vec<u64>>,
     quality_milli: u64,
     ip: usize,
-    locals: Vec<Value>,
-    stack: Vec<Value>,
+    /// First arena slot of this frame's locals; the frame's operand
+    /// stack is the arena tail above them. Everything below belongs to
+    /// callers and is untouchable (the verifier bounds stack depth).
+    locals_base: usize,
+}
+
+/// What [`step_op`] asks the dispatch loop to do next.
+enum Step {
+    /// Keep executing the current frame.
+    Next,
+    /// Push a frame for the callee.
+    Call(FuncId),
+    /// Pop the current frame.
+    Return,
+    /// Pause the machine (XICL `done()`).
+    Done,
+}
+
+/// What ended a fuel window.
+enum Pending {
+    /// Fuel exhausted: a sample is due and/or the budget deadline passed.
+    Event,
+    /// A `Call` needs a frame push (and possibly a compilation).
+    Call(FuncId),
+    /// A `Return` needs a frame pop.
+    Return,
+    /// `Done` pauses the machine.
+    Done,
+    /// A trap or runtime error surfaced mid-window.
+    Fault(VmError),
 }
 
 /// The virtual machine.
@@ -114,13 +195,20 @@ pub struct Vm {
     levels: Vec<OptLevel>,
     heap: Heap,
     frames: Vec<Frame>,
+    /// Locals + operand stacks of all active frames, contiguously.
+    arena: Vec<Value>,
     clock_milli: u64,
     exec_milli: u64,
     compile_milli: u64,
     next_sample_milli: u64,
+    instructions: u64,
     profile: RunProfile,
     output: Vec<String>,
     published: Vec<(String, Scalar)>,
+    /// Publishes since the last pause, as interned ids: the hot loop
+    /// never allocates a feature name; ids resolve in [`Vm::flush_published`]
+    /// at the next `Done` pause or at finish.
+    pending_publish: Vec<(StrId, Scalar)>,
     started: bool,
     finished: bool,
 }
@@ -148,12 +236,15 @@ impl Vm {
             levels: vec![OptLevel::Baseline; n],
             heap: Heap::new(),
             frames: Vec::new(),
+            arena: Vec::new(),
             clock_milli: 0,
             exec_milli: 0,
             compile_milli: 0,
+            instructions: 0,
             profile: RunProfile::new(n),
             output: Vec::new(),
             published: Vec::new(),
+            pending_publish: Vec::new(),
             started: false,
             finished: false,
         })
@@ -164,7 +255,9 @@ impl Vm {
         &self.program
     }
 
-    /// Features published so far (available at the `FeaturesReady` pause).
+    /// Features published so far. Complete at every `FeaturesReady` pause
+    /// and after the run finishes (names resolve from the string table at
+    /// those points, not per `Publish`).
     pub fn published(&self) -> &[(String, Scalar)] {
         &self.published
     }
@@ -198,8 +291,15 @@ impl Vm {
     /// Charge extra virtual cycles to the clock (the evolvable VM charges
     /// its feature-extraction and prediction overheads this way, so they
     /// appear in the run's total time exactly as in the paper).
+    ///
+    /// Overhead goes through the same event accounting as execution:
+    /// timer ticks falling inside the charged span are delivered here —
+    /// attributed to the currently-executing method, or skipped when the
+    /// machine is not running (before start, the usual case for launch
+    /// overhead) — rather than being silently deferred or swallowed.
     pub fn charge_overhead(&mut self, cycles: u64) {
         self.clock_milli += cycles * 1000;
+        self.maybe_sample();
     }
 
     /// Run (or resume) the program until it finishes or pauses.
@@ -215,9 +315,12 @@ impl Vm {
         if !self.started {
             self.started = true;
             let entry = self.program.entry();
-            self.invoke(entry, Vec::new())?;
+            self.invoke(entry, 0)?;
         }
-        self.execute()
+        match self.config.interp {
+            InterpMode::Fast => self.execute(),
+            InterpMode::Reference => self.execute_reference(),
+        }
     }
 
     /// Alias of [`Vm::run`] for readability at `FeaturesReady` pauses.
@@ -274,22 +377,28 @@ impl Vm {
         }
     }
 
-    fn invoke(&mut self, method: FuncId, args: Vec<Value>) -> Result<(), VmError> {
+    /// Push a frame for `method`. The callee's `arity` arguments are the
+    /// topmost arena values (the caller's stack tail) and become the
+    /// head of the callee's locals in place — no argument vector, no
+    /// locals vector, no operand-stack vector is allocated.
+    fn invoke(&mut self, method: FuncId, arity: usize) -> Result<(), VmError> {
         if self.frames.len() >= self.config.max_call_depth {
             return Err(VmError::Trap(Trap::StackOverflow));
         }
         self.ensure_compiled(method);
         self.profile.invocations[method.index()] += 1;
         let compiled = self.cache[method.index()].as_ref().expect("just compiled");
-        let mut locals = vec![Value::Null; compiled.locals as usize];
-        locals[..args.len()].copy_from_slice(&args);
+        let locals_base = self.arena.len() - arity;
+        // Zero-fill the non-argument locals.
+        self.arena
+            .resize(locals_base + compiled.locals as usize, Value::Null);
         self.frames.push(Frame {
             method,
             code: Arc::clone(&compiled.code),
-            quality_milli: (compiled.quality * 1000.0).round() as u64,
+            cost_milli: Arc::clone(&compiled.cost_milli),
+            quality_milli: compiled.quality_milli,
             ip: 0,
-            locals,
-            stack: Vec::with_capacity(8),
+            locals_base,
         });
         Ok(())
     }
@@ -315,186 +424,52 @@ impl Vm {
         }
     }
 
+    /// Resolve the pending publish ids against the string table. Runs at
+    /// `Done` pauses and at finish, keeping the name allocation out of
+    /// the dispatch loop.
+    fn flush_published(&mut self) {
+        for (id, value) in self.pending_publish.drain(..) {
+            self.published
+                .push((self.program.string(id).to_owned(), value));
+        }
+    }
+
     fn finish(&mut self) -> RunResult {
         self.finished = true;
+        self.flush_published();
         self.profile.final_levels = self.levels.clone();
         RunResult {
             output: std::mem::take(&mut self.output),
-            published: self.published.clone(),
+            published: std::mem::take(&mut self.published),
             total_cycles: self.clock_milli / 1000,
             exec_cycles: self.exec_milli / 1000,
             compile_cycles: self.compile_milli / 1000,
+            instructions: self.instructions,
             profile: std::mem::take(&mut self.profile),
         }
     }
 
-    // --- the interpreter ---
+    // --- event accounting ---
 
-    #[allow(clippy::too_many_lines)]
-    fn execute(&mut self) -> Result<Outcome, VmError> {
-        macro_rules! trap {
-            ($t:expr) => {
-                return Err(VmError::Trap($t))
-            };
-        }
-        loop {
-            if let Some(budget) = self.config.cycle_budget {
-                if self.clock_milli / 1000 > budget {
-                    return Err(VmError::CycleBudgetExceeded { budget });
-                }
+    /// First clock reading (in milli-cycles) at which the slow path must
+    /// run: the next sample tick or the budget deadline, whichever comes
+    /// first. The budget trips when `cycles() > budget`, i.e. at
+    /// `(budget + 1) * 1000` milli.
+    fn event_deadline_milli(&self) -> u64 {
+        let budget_deadline = self
+            .config
+            .cycle_budget
+            .map_or(u64::MAX, |b| b.saturating_add(1).saturating_mul(1000));
+        self.next_sample_milli.min(budget_deadline)
+    }
+
+    fn check_budget(&self) -> Result<(), VmError> {
+        if let Some(budget) = self.config.cycle_budget {
+            if self.clock_milli / 1000 > budget {
+                return Err(VmError::CycleBudgetExceeded { budget });
             }
-            let frame = self.frames.last_mut().expect("running without a frame");
-            let instr = frame.code[frame.ip];
-            frame.ip += 1;
-            let cost = instr.base_cost() * frame.quality_milli;
-            self.clock_milli += cost;
-            self.exec_milli += cost;
-
-            // A pending Call/Return mutates `frames`, so decode first.
-            match instr {
-                Instr::Const(v) => frame.stack.push(Value::Int(v)),
-                Instr::FConst(v) => frame.stack.push(Value::Float(v)),
-                Instr::Null => frame.stack.push(Value::Null),
-                Instr::Load(n) => {
-                    let v = frame.locals[n as usize];
-                    frame.stack.push(v);
-                }
-                Instr::Store(n) => {
-                    let v = frame.stack.pop().expect("verified");
-                    frame.locals[n as usize] = v;
-                }
-                Instr::Dup => {
-                    let v = *frame.stack.last().expect("verified");
-                    frame.stack.push(v);
-                }
-                Instr::Pop => {
-                    frame.stack.pop();
-                }
-                Instr::Swap => {
-                    let n = frame.stack.len();
-                    frame.stack.swap(n - 1, n - 2);
-                }
-
-                Instr::Add | Instr::IAdd | Instr::FAdd => binary(frame, BinOp::Add)?,
-                Instr::Sub | Instr::ISub | Instr::FSub => binary(frame, BinOp::Sub)?,
-                Instr::Mul | Instr::IMul | Instr::FMul => binary(frame, BinOp::Mul)?,
-                Instr::Div | Instr::IDiv | Instr::FDiv => binary(frame, BinOp::Div)?,
-                Instr::Rem | Instr::IRem => binary(frame, BinOp::Rem)?,
-                Instr::Neg | Instr::INeg | Instr::FNeg => {
-                    let a = frame.stack.pop().expect("verified").as_scalar()?;
-                    frame.stack.push(scalar::neg(a).into());
-                }
-
-                Instr::Shl => bitwise(frame, BitOp::Shl)?,
-                Instr::Shr => bitwise(frame, BitOp::Shr)?,
-                Instr::BitAnd => bitwise(frame, BitOp::And)?,
-                Instr::BitOr => bitwise(frame, BitOp::Or)?,
-                Instr::BitXor => bitwise(frame, BitOp::Xor)?,
-
-                Instr::CmpEq | Instr::ICmpEq | Instr::FCmpEq => compare(frame, CmpOp::Eq)?,
-                Instr::CmpNe | Instr::ICmpNe | Instr::FCmpNe => compare(frame, CmpOp::Ne)?,
-                Instr::CmpLt | Instr::ICmpLt | Instr::FCmpLt => compare(frame, CmpOp::Lt)?,
-                Instr::CmpLe | Instr::ICmpLe | Instr::FCmpLe => compare(frame, CmpOp::Le)?,
-                Instr::CmpGt | Instr::ICmpGt | Instr::FCmpGt => compare(frame, CmpOp::Gt)?,
-                Instr::CmpGe | Instr::ICmpGe | Instr::FCmpGe => compare(frame, CmpOp::Ge)?,
-
-                Instr::ToFloat => {
-                    let a = frame.stack.pop().expect("verified").as_scalar()?;
-                    frame.stack.push(scalar::to_float(a).into());
-                }
-                Instr::ToInt => {
-                    let a = frame.stack.pop().expect("verified").as_scalar()?;
-                    frame.stack.push(scalar::to_int(a).into());
-                }
-
-                Instr::Jump(t) => frame.ip = t as usize,
-                Instr::JumpIf(t) => {
-                    if frame.stack.pop().expect("verified").truthy() {
-                        frame.ip = t as usize;
-                    }
-                }
-                Instr::JumpIfNot(t) => {
-                    if !frame.stack.pop().expect("verified").truthy() {
-                        frame.ip = t as usize;
-                    }
-                }
-
-                Instr::Call(callee) => {
-                    let arity = self.program.function(callee).arity as usize;
-                    let split = frame.stack.len() - arity;
-                    let args = frame.stack.split_off(split);
-                    self.invoke(callee, args)?;
-                }
-                Instr::Return => {
-                    let value = frame.stack.pop().expect("verified");
-                    self.frames.pop();
-                    match self.frames.last_mut() {
-                        Some(caller) => caller.stack.push(value),
-                        None => return Ok(Outcome::Finished(self.finish())),
-                    }
-                }
-
-                Instr::NewArray => {
-                    let len = frame.stack.pop().expect("verified").as_int()?;
-                    let r = self.heap.alloc(len)?;
-                    // Frame borrow ended at `self.heap`; re-borrow.
-                    self.frames.last_mut().expect("frame").stack.push(r);
-                }
-                Instr::ALoad => {
-                    let index = frame.stack.pop().expect("verified").as_int()?;
-                    let array = frame.stack.pop().expect("verified");
-                    let v = self.heap.load(array, index)?;
-                    self.frames.last_mut().expect("frame").stack.push(v);
-                }
-                Instr::AStore => {
-                    let value = frame.stack.pop().expect("verified");
-                    let index = frame.stack.pop().expect("verified").as_int()?;
-                    let array = frame.stack.pop().expect("verified");
-                    self.heap.store(array, index, value)?;
-                }
-                Instr::ALen => {
-                    let array = frame.stack.pop().expect("verified");
-                    let len = self.heap.len(array)?;
-                    self.frames
-                        .last_mut()
-                        .expect("frame")
-                        .stack
-                        .push(Value::Int(len));
-                }
-
-                Instr::Math(m) => {
-                    if m.arity() == 1 {
-                        let a = frame.stack.pop().expect("verified").as_scalar()?;
-                        frame.stack.push(scalar::math1(m, a).into());
-                    } else {
-                        let b = frame.stack.pop().expect("verified").as_scalar()?;
-                        let a = frame.stack.pop().expect("verified").as_scalar()?;
-                        frame.stack.push(scalar::math2(m, a, b).into());
-                    }
-                }
-
-                Instr::Print => {
-                    let v = frame.stack.pop().expect("verified");
-                    self.output.push(v.to_string());
-                }
-                Instr::Publish(s) => {
-                    let v = frame.stack.pop().expect("verified");
-                    let name = self.program.string(s).to_owned();
-                    match v.as_scalar() {
-                        Ok(scalar) => self.published.push((name, scalar)),
-                        Err(_) => trap!(Trap::TypeError),
-                    }
-                }
-                Instr::Done => {
-                    // Pause *after* advancing ip, then give the host control.
-                    self.maybe_sample();
-                    return Ok(Outcome::FeaturesReady);
-                }
-                Instr::Nop => {}
-            }
-
-            self.maybe_sample();
         }
+        Ok(())
     }
 
     fn maybe_sample(&mut self) {
@@ -505,26 +480,350 @@ impl Vm {
             }
         }
     }
+
+    // --- the interpreters ---
+
+    /// The production dispatch loop: executes fuel windows of
+    /// straight-line work and falls into the slow path only at event
+    /// boundaries (sample ticks, budget deadline) and frame switches.
+    fn execute(&mut self) -> Result<Outcome, VmError> {
+        self.check_budget()?;
+        loop {
+            // One event window: no sample can become due and the budget
+            // cannot trip while `fuel` stays positive, because only
+            // instruction costs move the clock inside the window (calls,
+            // which also charge compilation, break out of it).
+            let fuel0 = i64::try_from(self.event_deadline_milli().saturating_sub(self.clock_milli))
+                .unwrap_or(i64::MAX);
+            let mut fuel = fuel0;
+            let mut retired: u64 = 0;
+            let ip_after;
+            let pending = {
+                // A shared borrow of the frame alongside mutable borrows
+                // of the disjoint execution state — no `Arc` clones and
+                // no `last_mut()` re-borrow per instruction.
+                let frame = self.frames.last().expect("running without a frame");
+                let code: &[Instr] = &frame.code;
+                // Equal-length reslice so the optimizer can fold the two
+                // per-instruction bounds checks into one (the compiler
+                // emits the tables in lockstep).
+                let costs: &[u64] = &frame.cost_milli[..code.len()];
+                let locals_base = frame.locals_base;
+                let mut ip = frame.ip;
+                let pending = loop {
+                    let instr = code[ip];
+                    let cost = costs[ip];
+                    ip += 1;
+                    fuel -= cost as i64;
+                    retired += 1;
+                    match step_op(
+                        &mut self.arena,
+                        &mut self.heap,
+                        &mut self.output,
+                        &mut self.pending_publish,
+                        instr,
+                        &mut ip,
+                        locals_base,
+                    ) {
+                        Ok(Step::Next) => {
+                            // Events fire *after* the instruction that
+                            // crosses the deadline, exactly like the
+                            // per-instruction reference loop.
+                            if fuel <= 0 {
+                                break Pending::Event;
+                            }
+                        }
+                        Ok(Step::Call(callee)) => break Pending::Call(callee),
+                        Ok(Step::Return) => break Pending::Return,
+                        Ok(Step::Done) => break Pending::Done,
+                        Err(e) => break Pending::Fault(e),
+                    }
+                };
+                ip_after = ip;
+                pending
+            };
+            let spent = (fuel0 - fuel) as u64;
+            self.clock_milli += spent;
+            self.exec_milli += spent;
+            self.instructions += retired;
+            match pending {
+                Pending::Event => {
+                    self.frames.last_mut().expect("frame").ip = ip_after;
+                    self.maybe_sample();
+                    self.check_budget()?;
+                }
+                Pending::Call(callee) => {
+                    self.frames.last_mut().expect("frame").ip = ip_after;
+                    let arity = self.program.function(callee).arity as usize;
+                    self.invoke(callee, arity)?;
+                    self.maybe_sample();
+                    self.check_budget()?;
+                }
+                Pending::Return => {
+                    let value = self.arena.pop().expect("verified");
+                    let locals_base = self.frames.last().expect("frame").locals_base;
+                    self.arena.truncate(locals_base);
+                    self.frames.pop();
+                    if self.frames.is_empty() {
+                        return Ok(Outcome::Finished(self.finish()));
+                    }
+                    self.arena.push(value);
+                    self.maybe_sample();
+                    self.check_budget()?;
+                }
+                Pending::Done => {
+                    // Pause *after* advancing ip, then give the host
+                    // control with resolved feature names.
+                    self.frames.last_mut().expect("frame").ip = ip_after;
+                    self.flush_published();
+                    self.maybe_sample();
+                    return Ok(Outcome::FeaturesReady);
+                }
+                Pending::Fault(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The naive per-instruction loop: the "old accounting" structure
+    /// (division + `Option` budget check, sample poll and
+    /// `frames.last_mut()` re-borrow on every instruction, cost
+    /// recomputed as a multiply). Semantically bit-identical to
+    /// [`Vm::execute`]; kept as the differential-testing oracle and the
+    /// dispatch microbenchmark baseline.
+    fn execute_reference(&mut self) -> Result<Outcome, VmError> {
+        loop {
+            if let Some(budget) = self.config.cycle_budget {
+                if self.clock_milli / 1000 > budget {
+                    return Err(VmError::CycleBudgetExceeded { budget });
+                }
+            }
+            let frame = self.frames.last().expect("running without a frame");
+            let ip = frame.ip;
+            let instr = frame.code[ip];
+            let locals_base = frame.locals_base;
+            let cost = instr.base_cost() * frame.quality_milli;
+            self.frames.last_mut().expect("frame").ip = ip + 1;
+            self.clock_milli += cost;
+            self.exec_milli += cost;
+            self.instructions += 1;
+            let mut next_ip = ip + 1;
+            match step_op(
+                &mut self.arena,
+                &mut self.heap,
+                &mut self.output,
+                &mut self.pending_publish,
+                instr,
+                &mut next_ip,
+                locals_base,
+            )? {
+                Step::Next => self.frames.last_mut().expect("frame").ip = next_ip,
+                Step::Call(callee) => {
+                    let arity = self.program.function(callee).arity as usize;
+                    self.invoke(callee, arity)?;
+                }
+                Step::Return => {
+                    let value = self.arena.pop().expect("verified");
+                    self.arena.truncate(locals_base);
+                    self.frames.pop();
+                    match self.frames.last() {
+                        Some(_) => self.arena.push(value),
+                        None => return Ok(Outcome::Finished(self.finish())),
+                    }
+                }
+                Step::Done => {
+                    self.flush_published();
+                    self.maybe_sample();
+                    return Ok(Outcome::FeaturesReady);
+                }
+            }
+            self.maybe_sample();
+        }
+    }
 }
 
-fn binary(frame: &mut Frame, op: BinOp) -> Result<(), VmError> {
-    let b = frame.stack.pop().expect("verified").as_scalar()?;
-    let a = frame.stack.pop().expect("verified").as_scalar()?;
-    frame.stack.push(scalar::binop(op, a, b)?.into());
+/// Execute one instruction against the arena and tell the dispatch loop
+/// what to do next. A free function over the *disjoint* pieces of VM
+/// state it touches, so callers can keep a shared borrow of the current
+/// frame (code, cost table, locals base) alive across the call — no
+/// `Arc` clone or `frames.last_mut()` re-borrow per instruction.
+#[inline(always)]
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+fn step_op(
+    stack: &mut Vec<Value>,
+    heap: &mut Heap,
+    output: &mut Vec<String>,
+    pending_publish: &mut Vec<(StrId, Scalar)>,
+    instr: Instr,
+    ip: &mut usize,
+    locals_base: usize,
+) -> Result<Step, VmError> {
+    match instr {
+        Instr::Const(v) => stack.push(Value::Int(v)),
+        Instr::FConst(v) => stack.push(Value::Float(v)),
+        Instr::Null => stack.push(Value::Null),
+        Instr::Load(n) => {
+            let v = stack[locals_base + n as usize];
+            stack.push(v);
+        }
+        Instr::Store(n) => {
+            let v = stack.pop().expect("verified");
+            stack[locals_base + n as usize] = v;
+        }
+        Instr::Dup => {
+            let v = *stack.last().expect("verified");
+            stack.push(v);
+        }
+        Instr::Pop => {
+            stack.pop();
+        }
+        Instr::Swap => {
+            let n = stack.len();
+            stack.swap(n - 1, n - 2);
+        }
+
+        Instr::Add | Instr::IAdd | Instr::FAdd => binary(stack, BinOp::Add)?,
+        Instr::Sub | Instr::ISub | Instr::FSub => binary(stack, BinOp::Sub)?,
+        Instr::Mul | Instr::IMul | Instr::FMul => binary(stack, BinOp::Mul)?,
+        Instr::Div | Instr::IDiv | Instr::FDiv => binary(stack, BinOp::Div)?,
+        Instr::Rem | Instr::IRem => binary(stack, BinOp::Rem)?,
+        Instr::Neg | Instr::INeg | Instr::FNeg => {
+            let slot = stack.last_mut().expect("verified");
+            let a = (*slot).as_scalar()?;
+            *slot = scalar::neg(a).into();
+        }
+
+        Instr::Shl => bitwise(stack, BitOp::Shl)?,
+        Instr::Shr => bitwise(stack, BitOp::Shr)?,
+        Instr::BitAnd => bitwise(stack, BitOp::And)?,
+        Instr::BitOr => bitwise(stack, BitOp::Or)?,
+        Instr::BitXor => bitwise(stack, BitOp::Xor)?,
+
+        Instr::CmpEq | Instr::ICmpEq | Instr::FCmpEq => compare(stack, CmpOp::Eq)?,
+        Instr::CmpNe | Instr::ICmpNe | Instr::FCmpNe => compare(stack, CmpOp::Ne)?,
+        Instr::CmpLt | Instr::ICmpLt | Instr::FCmpLt => compare(stack, CmpOp::Lt)?,
+        Instr::CmpLe | Instr::ICmpLe | Instr::FCmpLe => compare(stack, CmpOp::Le)?,
+        Instr::CmpGt | Instr::ICmpGt | Instr::FCmpGt => compare(stack, CmpOp::Gt)?,
+        Instr::CmpGe | Instr::ICmpGe | Instr::FCmpGe => compare(stack, CmpOp::Ge)?,
+
+        Instr::ToFloat => {
+            let slot = stack.last_mut().expect("verified");
+            let a = (*slot).as_scalar()?;
+            *slot = scalar::to_float(a).into();
+        }
+        Instr::ToInt => {
+            let slot = stack.last_mut().expect("verified");
+            let a = (*slot).as_scalar()?;
+            *slot = scalar::to_int(a).into();
+        }
+
+        Instr::Jump(t) => *ip = t as usize,
+        Instr::JumpIf(t) => {
+            if stack.pop().expect("verified").truthy() {
+                *ip = t as usize;
+            }
+        }
+        Instr::JumpIfNot(t) => {
+            if !stack.pop().expect("verified").truthy() {
+                *ip = t as usize;
+            }
+        }
+
+        Instr::NewArray => {
+            let len = stack.pop().expect("verified").as_int()?;
+            let r = heap.alloc(len)?;
+            stack.push(r);
+        }
+        Instr::ALoad => {
+            let index = stack.pop().expect("verified").as_int()?;
+            let array = stack.pop().expect("verified");
+            let v = heap.load(array, index)?;
+            stack.push(v);
+        }
+        Instr::AStore => {
+            let value = stack.pop().expect("verified");
+            let index = stack.pop().expect("verified").as_int()?;
+            let array = stack.pop().expect("verified");
+            heap.store(array, index, value)?;
+        }
+        Instr::ALen => {
+            let array = stack.pop().expect("verified");
+            let len = heap.len(array)?;
+            stack.push(Value::Int(len));
+        }
+
+        Instr::Math(m) => {
+            if m.arity() == 1 {
+                let slot = stack.last_mut().expect("verified");
+                let a = (*slot).as_scalar()?;
+                *slot = scalar::math1(m, a).into();
+            } else {
+                let b = stack.pop().expect("verified").as_scalar()?;
+                let slot = stack.last_mut().expect("verified");
+                let a = (*slot).as_scalar()?;
+                *slot = scalar::math2(m, a, b).into();
+            }
+        }
+
+        Instr::Print => {
+            let v = stack.pop().expect("verified");
+            output.push(v.to_string());
+        }
+        Instr::Publish(s) => {
+            let v = stack.pop().expect("verified");
+            match v.as_scalar() {
+                Ok(value) => pending_publish.push((s, value)),
+                Err(_) => return Err(VmError::Trap(Trap::TypeError)),
+            }
+        }
+        Instr::Nop => {}
+
+        Instr::Call(callee) => return Ok(Step::Call(callee)),
+        Instr::Return => return Ok(Step::Return),
+        Instr::Done => return Ok(Step::Done),
+    }
+    Ok(Step::Next)
+}
+
+// The two-operand helpers pop the right operand and overwrite the left
+// operand's slot in place: one length decrement and one store instead of
+// a second pop plus a (capacity-checked) push.
+
+#[inline(always)]
+fn binary(stack: &mut Vec<Value>, op: BinOp) -> Result<(), VmError> {
+    let b = stack.pop().expect("verified");
+    let slot = stack.last_mut().expect("verified");
+    // Int×int first, skipping the Value↔Scalar round-trips; `scalar::binop`
+    // stays the single source of the arithmetic semantics either way.
+    if let (Value::Int(x), Value::Int(y)) = (*slot, b) {
+        *slot = scalar::binop(op, x.into(), y.into())?.into();
+        return Ok(());
+    }
+    let b = b.as_scalar()?;
+    let a = (*slot).as_scalar()?;
+    *slot = scalar::binop(op, a, b)?.into();
     Ok(())
 }
 
-fn bitwise(frame: &mut Frame, op: BitOp) -> Result<(), VmError> {
-    let b = frame.stack.pop().expect("verified").as_scalar()?;
-    let a = frame.stack.pop().expect("verified").as_scalar()?;
-    frame.stack.push(scalar::bitop(op, a, b)?.into());
+#[inline(always)]
+fn bitwise(stack: &mut Vec<Value>, op: BitOp) -> Result<(), VmError> {
+    let b = stack.pop().expect("verified");
+    let slot = stack.last_mut().expect("verified");
+    if let (Value::Int(x), Value::Int(y)) = (*slot, b) {
+        *slot = scalar::bitop(op, x.into(), y.into())?.into();
+        return Ok(());
+    }
+    let b = b.as_scalar()?;
+    let a = (*slot).as_scalar()?;
+    *slot = scalar::bitop(op, a, b)?.into();
     Ok(())
 }
 
-fn compare(frame: &mut Frame, op: CmpOp) -> Result<(), VmError> {
-    let b = frame.stack.pop().expect("verified");
-    let a = frame.stack.pop().expect("verified");
+#[inline(always)]
+fn compare(stack: &mut Vec<Value>, op: CmpOp) -> Result<(), VmError> {
+    let b = stack.pop().expect("verified");
+    let a = *stack.last().expect("verified");
     let result = match (a, b) {
+        (Value::Int(x), Value::Int(y)) => scalar::cmp(op, x.into(), y.into()).into(),
         // Reference/null equality is identity; ordering is a type error.
         (Value::Null, Value::Null) => match op {
             CmpOp::Eq => Value::Int(1),
@@ -543,6 +842,6 @@ fn compare(frame: &mut Frame, op: CmpOp) -> Result<(), VmError> {
         },
         _ => scalar::cmp(op, a.as_scalar()?, b.as_scalar()?).into(),
     };
-    frame.stack.push(result);
+    *stack.last_mut().expect("verified") = result;
     Ok(())
 }

@@ -7,7 +7,9 @@ use evovm_bytecode::asm::parse;
 use evovm_bytecode::scalar::Scalar;
 use evovm_opt::OptLevel;
 
-use crate::{BaselineOnlyPolicy, CostBenefitPolicy, Outcome, Trap, Vm, VmConfig, VmError};
+use crate::{
+    BaselineOnlyPolicy, CostBenefitPolicy, InterpMode, Outcome, Trap, Vm, VmConfig, VmError,
+};
 
 fn run_src(src: &str) -> crate::RunResult {
     run_src_with(src, VmConfig::default())
@@ -452,4 +454,123 @@ fn seconds_conversion() {
     let r = run_src("entry func main/0 {\n  null\n  return\n}");
     assert!(r.seconds() > 0.0);
     assert!(r.seconds() < 1.0);
+}
+
+#[test]
+fn fast_and_reference_interpreters_agree_bit_for_bit() {
+    let src = hot_program(2_000);
+    let mut results = Vec::new();
+    for mode in [InterpMode::Fast, InterpMode::Reference] {
+        let program = Arc::new(parse(&src).unwrap());
+        let mut vm = Vm::new(
+            program,
+            Box::new(CostBenefitPolicy::new()),
+            VmConfig {
+                sample_interval_cycles: 10_000,
+                interp: mode,
+                ..VmConfig::default()
+            },
+        )
+        .unwrap();
+        let Outcome::Finished(r) = vm.run().unwrap() else {
+            panic!("expected completion");
+        };
+        results.push(r);
+    }
+    let (a, b) = (&results[0], &results[1]);
+    assert_eq!(a.output, b.output);
+    assert_eq!(a.total_cycles, b.total_cycles);
+    assert_eq!(a.exec_cycles, b.exec_cycles);
+    assert_eq!(a.compile_cycles, b.compile_cycles);
+    assert_eq!(a.instructions, b.instructions);
+    assert_eq!(a.profile.samples, b.profile.samples);
+    assert_eq!(a.profile.invocations, b.profile.invocations);
+    assert_eq!(a.profile.final_levels, b.profile.final_levels);
+    assert_eq!(a.profile.recompilations, b.profile.recompilations);
+    // The comparison only means something if the run exercised sampling
+    // and recompilation.
+    assert!(a.profile.total_samples() > 0);
+    assert!(!a.profile.recompilations.is_empty());
+}
+
+#[test]
+fn budget_trips_at_the_same_cycle_in_both_modes() {
+    let src = hot_program(50_000);
+    let mut stops = Vec::new();
+    for mode in [InterpMode::Fast, InterpMode::Reference] {
+        let program = Arc::new(parse(&src).unwrap());
+        let mut vm = Vm::new(
+            program,
+            Box::new(BaselineOnlyPolicy),
+            VmConfig {
+                cycle_budget: Some(500_000),
+                interp: mode,
+                ..VmConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            vm.run().unwrap_err(),
+            VmError::CycleBudgetExceeded { .. }
+        ));
+        stops.push(vm.cycles());
+    }
+    assert_eq!(stops[0], stops[1]);
+}
+
+#[test]
+fn launch_overhead_skips_ticks_instead_of_deferring_them() {
+    let program = Arc::new(parse("entry func main/0 {\n  null\n  return\n}").unwrap());
+    let mut vm = Vm::new(
+        program,
+        Box::new(BaselineOnlyPolicy),
+        VmConfig {
+            sample_interval_cycles: 1_000,
+            ..VmConfig::default()
+        },
+    )
+    .unwrap();
+    // Ten intervals of prediction overhead before launch: nothing is
+    // running, so the ticks are dropped (like a timer firing in an idle
+    // VM), not delivered to the entry method's first instruction.
+    vm.charge_overhead(10_000);
+    let Outcome::Finished(r) = vm.run().unwrap() else {
+        panic!("expected completion");
+    };
+    assert_eq!(r.profile.total_samples(), 0);
+    assert_eq!(r.total_cycles - r.exec_cycles - r.compile_cycles, 10_000);
+}
+
+#[test]
+fn pause_overhead_delivers_ticks_to_the_paused_method() {
+    let src = "entry func main/0 {\n  const 1\n  publish \"x\"\n  done\n  null\n  return\n}";
+    let program = Arc::new(parse(src).unwrap());
+    let mut vm = Vm::new(
+        program,
+        Box::new(BaselineOnlyPolicy),
+        VmConfig {
+            sample_interval_cycles: 1_000,
+            ..VmConfig::default()
+        },
+    )
+    .unwrap();
+    let Outcome::FeaturesReady = vm.run().unwrap() else {
+        panic!("expected pause");
+    };
+    // Five intervals of prediction overhead while main is paused
+    // mid-method: an equal amount of executed cycles would have delivered
+    // five samples, and so does the overhead.
+    vm.charge_overhead(5_000);
+    let Outcome::Finished(r) = vm.resume().unwrap() else {
+        panic!("expected completion");
+    };
+    assert_eq!(r.profile.total_samples(), 5);
+    assert_eq!(r.profile.samples[0], 5);
+}
+
+#[test]
+fn run_result_counts_retired_instructions() {
+    let r =
+        run_src("entry func main/0 {\n  const 6\n  const 7\n  mul\n  print\n  null\n  return\n}");
+    assert_eq!(r.instructions, 6);
 }

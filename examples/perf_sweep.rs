@@ -1,0 +1,350 @@
+//! Host-side interpreter throughput sweep: the `BENCH_interp.json`
+//! trajectory.
+//!
+//! Runs the full Table I workload suite end-to-end under both dispatch
+//! loops ([`InterpMode::Fast`] and [`InterpMode::Reference`]) plus the
+//! three dispatch microbenchmark programs from
+//! `crates/bench/benches/interp.rs`, and reports host nanoseconds per
+//! simulated instruction and runs per second for each. Both modes produce
+//! bit-identical virtual-clock results (`tests/interp_equiv.rs` proves
+//! it), so every wall-clock difference here is pure host-side dispatch
+//! cost.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release --example perf_sweep [-- --out BENCH_interp.json] [--reps N]
+//! ```
+//!
+//! If the output file already exists (the committed baseline), the sweep
+//! prints the delta of aggregate ns/instruction against it before
+//! overwriting — that is what the CI perf-smoke job surfaces.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use evolvable_vm::bytecode::{asm::parse, Program};
+use evolvable_vm::vm::{
+    BaselineOnlyPolicy, CostBenefitPolicy, InterpMode, Outcome, RunResult, Vm, VmConfig,
+};
+use evolvable_vm::workloads;
+
+/// The Table I benchmark order (kept in sync with `evovm-bench`, which
+/// the façade crate deliberately does not depend on).
+const TABLE1: [&str; 11] = [
+    "mtrt",
+    "compress",
+    "db",
+    "antlr",
+    "bloat",
+    "fop",
+    "euler",
+    "moldyn",
+    "montecarlo",
+    "search",
+    "raytracer",
+];
+
+/// One microbenchmark program comparison.
+#[derive(Debug, Serialize, Deserialize)]
+struct MicroRow {
+    name: String,
+    fast_ms_per_iter: f64,
+    reference_ms_per_iter: f64,
+    speedup: f64,
+}
+
+/// One Table I workload, timed end-to-end under both dispatch loops.
+#[derive(Debug, Serialize, Deserialize)]
+struct WorkloadRow {
+    workload: String,
+    instructions: u64,
+    simulated_cycles: u64,
+    fast_ns_per_instr: f64,
+    reference_ns_per_instr: f64,
+    speedup: f64,
+    fast_runs_per_sec: f64,
+    reference_runs_per_sec: f64,
+}
+
+/// Suite-wide totals (instruction-weighted).
+#[derive(Debug, Serialize, Deserialize)]
+struct Aggregate {
+    fast_ns_per_instr: f64,
+    reference_ns_per_instr: f64,
+    speedup: f64,
+}
+
+/// The whole report, as committed to `BENCH_interp.json`.
+#[derive(Debug, Serialize, Deserialize)]
+struct Report {
+    generated_by: String,
+    reps: u64,
+    microbench: Vec<MicroRow>,
+    table1: Vec<WorkloadRow>,
+    aggregate: Aggregate,
+    notes: Vec<String>,
+}
+
+/// The dispatch-heavy microbench program (see benches/interp.rs).
+const DISPATCH_SRC: &str = "
+entry func main/0 locals=2 {
+  const 0
+  store 0
+  const 0
+  store 1
+top:
+  load 0
+  const 40000
+  icmpge
+  jumpif end
+  load 1
+  load 0
+  const 2654435761
+  imul
+  const 1048575
+  band
+  iadd
+  store 1
+  load 0
+  const 1
+  iadd
+  store 0
+  jump top
+end:
+  load 1
+  print
+  null
+  return
+}";
+
+/// The call-dominated microbench program (see benches/interp.rs).
+const CALLS_SRC: &str = "
+entry func main/0 locals=1 {
+  const 0
+  store 0
+top:
+  load 0
+  const 20000
+  icmpge
+  jumpif end
+  load 0
+  call mix
+  pop
+  load 0
+  const 1
+  iadd
+  store 0
+  jump top
+end:
+  null
+  return
+}
+func mix/1 locals=2 {
+  load 0
+  const 2654435761
+  imul
+  store 1
+  load 1
+  load 0
+  iadd
+  return
+}";
+
+/// Run one program to completion under `mode`, resuming through feature
+/// pauses like the campaign loop does.
+fn adaptive_run(program: &Arc<Program>, mode: InterpMode) -> RunResult {
+    let mut vm = Vm::new(
+        Arc::clone(program),
+        Box::new(CostBenefitPolicy::new()),
+        VmConfig {
+            interp: mode,
+            ..VmConfig::default()
+        },
+    )
+    .expect("workload programs verify");
+    loop {
+        match vm.run().expect("workload programs do not trap") {
+            Outcome::Finished(result) => return result,
+            Outcome::FeaturesReady => continue,
+        }
+    }
+}
+
+/// Wall-clock seconds for `reps` runs of `f` (after one warm-up run).
+fn time_reps(reps: u64, mut f: impl FnMut()) -> f64 {
+    f();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+fn micro_row(name: &str, src: &str, config: &VmConfig, reps: u64) -> MicroRow {
+    let program = Arc::new(parse(src).expect("valid asm"));
+    let mut times = [0.0f64; 2];
+    for (slot, mode) in [InterpMode::Fast, InterpMode::Reference]
+        .into_iter()
+        .enumerate()
+    {
+        let config = VmConfig {
+            interp: mode,
+            ..config.clone()
+        };
+        times[slot] = time_reps(reps, || {
+            let mut vm = Vm::new(
+                Arc::clone(&program),
+                Box::new(BaselineOnlyPolicy),
+                config.clone(),
+            )
+            .expect("verified");
+            vm.run().expect("runs");
+        });
+    }
+    MicroRow {
+        name: name.to_string(),
+        fast_ms_per_iter: times[0] * 1e3 / reps as f64,
+        reference_ms_per_iter: times[1] * 1e3 / reps as f64,
+        speedup: times[1] / times[0],
+    }
+}
+
+fn workload_row(name: &str, reps: u64) -> WorkloadRow {
+    let bench = workloads::by_name(name).expect("bundled workload");
+    let program = &bench.inputs[0].program;
+    // Both modes retire the same instruction stream (the equivalence
+    // suite proves it bit for bit); take the counts from one fast run.
+    let probe = adaptive_run(program, InterpMode::Fast);
+    let fast_secs = time_reps(reps, || {
+        adaptive_run(program, InterpMode::Fast);
+    });
+    let reference_secs = time_reps(reps, || {
+        adaptive_run(program, InterpMode::Reference);
+    });
+    let per_run_instr = probe.instructions as f64;
+    WorkloadRow {
+        workload: name.to_string(),
+        instructions: probe.instructions,
+        simulated_cycles: probe.total_cycles,
+        fast_ns_per_instr: fast_secs * 1e9 / (reps as f64 * per_run_instr),
+        reference_ns_per_instr: reference_secs * 1e9 / (reps as f64 * per_run_instr),
+        speedup: reference_secs / fast_secs,
+        fast_runs_per_sec: reps as f64 / fast_secs,
+        reference_runs_per_sec: reps as f64 / reference_secs,
+    }
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_interp.json");
+    let mut reps: u64 = 5;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--reps" => {
+                reps = args
+                    .next()
+                    .expect("--reps needs a number")
+                    .parse()
+                    .expect("--reps needs a number");
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+
+    let baseline: Option<Report> = std::fs::read_to_string(&out_path)
+        .ok()
+        .and_then(|text| serde_json::from_str(&text).ok());
+
+    println!("microbenchmarks ({reps} reps, fast vs reference):");
+    let micro = vec![
+        micro_row(
+            "dispatch_40k_loop",
+            DISPATCH_SRC,
+            &VmConfig::default(),
+            reps,
+        ),
+        micro_row("calls_20k_frames", CALLS_SRC, &VmConfig::default(), reps),
+        micro_row(
+            "sampling_1k_interval",
+            DISPATCH_SRC,
+            &VmConfig {
+                sample_interval_cycles: 1_000,
+                ..VmConfig::default()
+            },
+            reps,
+        ),
+    ];
+    for row in &micro {
+        println!(
+            "  {:24} {:>7.2}ms vs {:>7.2}ms  ({:.2}x)",
+            row.name, row.fast_ms_per_iter, row.reference_ms_per_iter, row.speedup
+        );
+    }
+
+    println!("Table I suite ({reps} reps, adaptive runs, fast vs reference):");
+    let table1: Vec<WorkloadRow> = TABLE1.iter().map(|w| workload_row(w, reps)).collect();
+    let mut fast_secs = 0.0;
+    let mut reference_secs = 0.0;
+    let mut instr_total = 0.0;
+    for row in &table1 {
+        println!(
+            "  {:12} {:>9} instrs  {:>6.2} vs {:>6.2} ns/instr  ({:.2}x, {:.0} runs/s)",
+            row.workload,
+            row.instructions,
+            row.fast_ns_per_instr,
+            row.reference_ns_per_instr,
+            row.speedup,
+            row.fast_runs_per_sec,
+        );
+        let per_run = row.instructions as f64 * reps as f64;
+        fast_secs += row.fast_ns_per_instr * per_run / 1e9;
+        reference_secs += row.reference_ns_per_instr * per_run / 1e9;
+        instr_total += per_run;
+    }
+    let aggregate = Aggregate {
+        fast_ns_per_instr: fast_secs * 1e9 / instr_total,
+        reference_ns_per_instr: reference_secs * 1e9 / instr_total,
+        speedup: reference_secs / fast_secs,
+    };
+    println!(
+        "aggregate: {:.2} vs {:.2} ns/instr ({:.2}x)",
+        aggregate.fast_ns_per_instr, aggregate.reference_ns_per_instr, aggregate.speedup
+    );
+
+    match &baseline {
+        Some(prev) => {
+            let delta = 100.0 * (aggregate.fast_ns_per_instr - prev.aggregate.fast_ns_per_instr)
+                / prev.aggregate.fast_ns_per_instr;
+            println!(
+                "delta vs committed baseline ({out_path}): {delta:+.1}% ns/instr \
+                 (baseline {:.2}, now {:.2})",
+                prev.aggregate.fast_ns_per_instr, aggregate.fast_ns_per_instr
+            );
+        }
+        None => println!("no committed baseline at {out_path}; writing a fresh one"),
+    }
+
+    let report = Report {
+        generated_by: "cargo run --release --example perf_sweep".to_string(),
+        reps,
+        microbench: micro,
+        table1,
+        aggregate,
+        notes: vec![
+            "fast and reference produce bit-identical virtual-clock results; \
+             wall-clock deltas are pure host-side dispatch cost (tests/interp_equiv.rs)"
+                .to_string(),
+            "the reference loop shares the arena-based call path, so speedups \
+             understate the win over the seed interpreter's Vec-per-frame calls"
+                .to_string(),
+            "numbers are host-dependent; regenerate on the machine being compared".to_string(),
+        ],
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, json + "\n").expect("write report");
+    println!("wrote {out_path}");
+}

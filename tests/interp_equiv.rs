@@ -1,0 +1,148 @@
+//! Differential equivalence suite for the interpreter hot-path overhaul.
+//!
+//! The VM carries two dispatch loops: the production fast path (fuel-based
+//! event windows, folded cost tables, arena frames) and the naive
+//! per-instruction reference loop it replaced
+//! (`InterpMode::Reference`). The virtual clock is the reproduction's
+//! measurement instrument, so the two must agree **bit for bit** — total,
+//! exec and compile cycles, per-method sample attribution, every
+//! recompilation event (method, timestamp, from/to level), and program
+//! output — across every Table I workload and every campaign scenario.
+//!
+//! Two layers of comparison:
+//!
+//! 1. **VM level** — one adaptive run per workload under each mode,
+//!    resuming through `FeaturesReady` pauses, comparing the full
+//!    `RunResult` including the profile.
+//! 2. **Campaign level** — Default, Rep and Evolve campaigns per workload
+//!    under each mode, comparing the complete `RunRecord` streams with
+//!    floats compared via `to_bits`.
+
+use std::sync::Arc;
+
+use evolvable_vm::evovm::{Campaign, CampaignConfig, RunRecord, Scenario};
+use evolvable_vm::vm::{CostBenefitPolicy, InterpMode, Outcome, RunResult, Vm, VmConfig};
+use evolvable_vm::workloads;
+
+/// The Table I benchmark order (kept in sync with `evovm-bench`, which the
+/// façade crate deliberately does not depend on).
+const TABLE1: [&str; 11] = [
+    "mtrt",
+    "compress",
+    "db",
+    "antlr",
+    "bloat",
+    "fop",
+    "euler",
+    "moldyn",
+    "montecarlo",
+    "search",
+    "raytracer",
+];
+
+/// Run one input's program to completion under `mode`, resuming through
+/// feature pauses like the campaign loop does.
+fn adaptive_run(program: &Arc<evolvable_vm::bytecode::Program>, mode: InterpMode) -> RunResult {
+    let mut vm = Vm::new(
+        Arc::clone(program),
+        Box::new(CostBenefitPolicy::new()),
+        VmConfig {
+            sample_interval_cycles: 10_000,
+            interp: mode,
+            ..VmConfig::default()
+        },
+    )
+    .expect("workload programs verify");
+    loop {
+        match vm.run().expect("workload programs do not trap") {
+            Outcome::Finished(result) => return result,
+            Outcome::FeaturesReady => continue,
+        }
+    }
+}
+
+fn assert_results_identical(workload: &str, fast: &RunResult, reference: &RunResult) {
+    assert_eq!(fast.output, reference.output, "{workload}: output");
+    assert_eq!(fast.published, reference.published, "{workload}: published");
+    assert_eq!(
+        fast.total_cycles, reference.total_cycles,
+        "{workload}: total_cycles"
+    );
+    assert_eq!(
+        fast.exec_cycles, reference.exec_cycles,
+        "{workload}: exec_cycles"
+    );
+    assert_eq!(
+        fast.compile_cycles, reference.compile_cycles,
+        "{workload}: compile_cycles"
+    );
+    assert_eq!(
+        fast.instructions, reference.instructions,
+        "{workload}: instructions"
+    );
+    assert_eq!(
+        fast.profile.samples, reference.profile.samples,
+        "{workload}: sample attribution"
+    );
+    assert_eq!(
+        fast.profile.invocations, reference.profile.invocations,
+        "{workload}: invocations"
+    );
+    assert_eq!(
+        fast.profile.final_levels, reference.profile.final_levels,
+        "{workload}: final levels"
+    );
+    assert_eq!(
+        fast.profile.recompilations, reference.profile.recompilations,
+        "{workload}: recompilation events"
+    );
+}
+
+#[test]
+fn vm_level_fast_matches_reference_on_every_workload() {
+    for name in TABLE1 {
+        let bench = workloads::by_name(name).expect("bundled workload");
+        let input = &bench.inputs[0];
+        let fast = adaptive_run(&input.program, InterpMode::Fast);
+        let reference = adaptive_run(&input.program, InterpMode::Reference);
+        assert_results_identical(name, &fast, &reference);
+        assert!(fast.instructions > 0, "{name}: retired nothing");
+    }
+}
+
+/// Bit-pattern view of a record (floats via `to_bits`).
+fn record_bits(r: &RunRecord) -> (usize, usize, u64, u64, u64, u64, u64, bool, u64) {
+    (
+        r.run_index,
+        r.input_index,
+        r.cycles,
+        r.default_cycles,
+        r.speedup.to_bits(),
+        r.confidence.to_bits(),
+        r.accuracy.to_bits(),
+        r.predicted,
+        r.overhead_fraction.to_bits(),
+    )
+}
+
+#[test]
+fn campaign_level_fast_matches_reference_across_scenarios() {
+    for name in TABLE1 {
+        for scenario in [Scenario::Default, Scenario::Rep, Scenario::Evolve] {
+            let mut streams = Vec::new();
+            for mode in [InterpMode::Fast, InterpMode::Reference] {
+                let bench = workloads::by_name(name).expect("bundled workload");
+                let config = CampaignConfig::new(scenario).runs(4).seed(7).interp(mode);
+                let outcome = Campaign::new(&bench, config)
+                    .expect("workload programs verify")
+                    .run()
+                    .expect("campaign runs");
+                streams.push(outcome.records.iter().map(record_bits).collect::<Vec<_>>());
+            }
+            assert_eq!(
+                streams[0], streams[1],
+                "{name}/{scenario:?}: record streams diverged between interpreter modes"
+            );
+        }
+    }
+}
