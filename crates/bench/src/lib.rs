@@ -7,8 +7,8 @@
 use std::sync::Arc;
 
 use evovm::{
-    Bench, CampaignConfig, CampaignEngine, CampaignOutcome, CampaignSpec, EvolveConfig, ModelStore,
-    Scenario,
+    Bench, CampaignConfig, CampaignOutcome, CampaignService, EvolveConfig, ModelStore, RunEvent,
+    RunRecord, Scenario, ShutdownMode,
 };
 use evovm_workloads as workloads;
 
@@ -57,7 +57,7 @@ impl SessionRequest {
     }
 }
 
-/// Run a batch of campaigns through the parallel [`CampaignEngine`],
+/// Run a batch of campaigns through a [`CampaignService`] worker pool,
 /// returning outcomes in request order. Campaigns on the same workload
 /// share one loaded [`Bench`] — and therefore one memoized default-run
 /// oracle, so each (input, sampling-interval) baseline executes once per
@@ -68,7 +68,7 @@ impl SessionRequest {
 /// Panics on unknown workloads or failed runs — bench targets want loud
 /// failures, not skipped rows.
 pub fn session(requests: &[SessionRequest]) -> Vec<CampaignOutcome> {
-    run_requests(requests, None)
+    run_requests(requests, None, |_, _| {})
 }
 
 /// Like [`session`], but campaigns whose request names a `model_key`
@@ -84,24 +84,56 @@ pub fn session_with_store(
     requests: &[SessionRequest],
     store: Arc<dyn ModelStore>,
 ) -> Vec<CampaignOutcome> {
-    run_requests(requests, Some(store))
+    run_requests(requests, Some(store), |_, _| {})
+}
+
+/// Like [`session_with_store`] (pass `None` for no persistence), but
+/// streams per-run records through `on_record(request_index, record)`
+/// while campaigns execute, instead of only returning finished
+/// outcomes. Handles are drained in request order, so records arrive
+/// grouped by request — within a request they stream in run order as
+/// the campaign produces them.
+///
+/// # Panics
+///
+/// Panics on unknown workloads or failed runs — bench targets want loud
+/// failures, not skipped rows.
+pub fn session_streamed(
+    requests: &[SessionRequest],
+    store: Option<Arc<dyn ModelStore>>,
+    on_record: impl FnMut(usize, &RunRecord),
+) -> Vec<CampaignOutcome> {
+    run_requests(requests, store, on_record)
 }
 
 fn run_requests(
     requests: &[SessionRequest],
     store: Option<Arc<dyn ModelStore>>,
+    mut on_record: impl FnMut(usize, &RunRecord),
 ) -> Vec<CampaignOutcome> {
+    // One loaded bench per distinct workload name, shared by reference
+    // with the service (no per-request reload or copy).
     let mut names: Vec<&str> = Vec::new();
     for request in requests {
         if !names.contains(&request.workload.as_str()) {
             names.push(&request.workload);
         }
     }
-    let benches: Vec<Bench> = names
+    let benches: Vec<Arc<Bench>> = names
         .iter()
-        .map(|name| workloads::by_name(name).unwrap_or_else(|| panic!("unknown workload `{name}`")))
+        .map(|name| {
+            workloads::by_name(name)
+                .map(Arc::new)
+                .unwrap_or_else(|| panic!("unknown workload `{name}`"))
+        })
         .collect();
-    let specs: Vec<CampaignSpec<'_>> = requests
+
+    let mut builder = CampaignService::builder().queue_bound(requests.len().max(1));
+    if let Some(store) = store {
+        builder = builder.store(store);
+    }
+    let service = builder.spawn();
+    let handles: Vec<_> = requests
         .iter()
         .map(|request| {
             let bench_index = names
@@ -115,21 +147,30 @@ fn run_requests(
             if let Some(key) = &request.model_key {
                 config = config.model_key(key.clone());
             }
-            CampaignSpec::new(&benches[bench_index], config)
+            service
+                .submit(Arc::clone(&benches[bench_index]), config)
+                .expect("a fresh service accepts submissions")
         })
         .collect();
-    let mut engine = CampaignEngine::new();
-    if let Some(store) = store {
-        engine = engine.store(store);
-    }
-    engine
-        .run(&specs)
+
+    let outcomes = handles
         .into_iter()
         .zip(requests)
-        .map(|(result, request)| {
-            result.unwrap_or_else(|e| panic!("campaign failed for {}: {e}", request.workload))
+        .enumerate()
+        .map(|(index, (handle, request))| loop {
+            match handle.next_event() {
+                Some(RunEvent::Record(record)) => on_record(index, &record),
+                Some(RunEvent::Finished(result)) => {
+                    break result.unwrap_or_else(|e| {
+                        panic!("campaign failed for {}: {e}", request.workload)
+                    });
+                }
+                None => panic!("campaign stream for {} ended early", request.workload),
+            }
         })
-        .collect()
+        .collect();
+    service.shutdown(ShutdownMode::Drain);
+    outcomes
 }
 
 /// Run one scenario campaign over a named workload (a session of one).
@@ -228,6 +269,25 @@ mod tests {
             "keyed campaign persists its state"
         );
         assert_eq!(store.len(), 1, "unkeyed campaign persists nothing");
+    }
+
+    #[test]
+    fn session_streamed_delivers_every_record_in_run_order() {
+        let requests = [
+            SessionRequest::new("search", Scenario::Default, 3, 1),
+            SessionRequest::new("search", Scenario::Rep, 2, 1),
+        ];
+        let mut seen: Vec<(usize, usize)> = Vec::new();
+        let outcomes = session_streamed(&requests, None, |request_index, record| {
+            seen.push((request_index, record.run_index));
+        });
+        assert_eq!(
+            seen,
+            vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1)],
+            "records stream grouped by request, in run order"
+        );
+        assert_eq!(outcomes[0].records.len(), 3);
+        assert_eq!(outcomes[1].records.len(), 2);
     }
 
     #[test]

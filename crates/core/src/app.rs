@@ -25,7 +25,12 @@ pub struct AppInput {
 
 /// A prepared application: its name, its XICL translator, and its input
 /// set.
-#[derive(Debug)]
+///
+/// Cloning is shallow where it matters — each input's compiled program
+/// is behind an `Arc` — so a clone (e.g. to hand an owned copy to the
+/// long-lived [`CampaignService`](crate::CampaignService)) duplicates
+/// only the metadata, not the compiled code.
+#[derive(Debug, Clone)]
 pub struct Bench {
     /// Application name (e.g. `mtrt`).
     pub name: String,

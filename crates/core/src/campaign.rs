@@ -62,6 +62,13 @@ pub struct CampaignConfig {
     /// proves it); [`InterpMode::Reference`] exists for differential
     /// testing and benchmarking.
     pub interp: InterpMode,
+    /// Whether the outcome buffers every [`RunRecord`] in
+    /// [`CampaignOutcome::records`] (the default). Callers that consume
+    /// records incrementally through a [`RunSink`] — or that only need
+    /// the final aggregates — can turn this off so long campaigns stop
+    /// growing memory linearly with `runs`; the outcome's `records` then
+    /// stays empty and its record-derived summaries report no data.
+    pub retain_records: bool,
 }
 
 impl CampaignConfig {
@@ -74,6 +81,7 @@ impl CampaignConfig {
             evolve: EvolveConfig::default(),
             model_key: None,
             interp: InterpMode::Fast,
+            retain_records: true,
         }
     }
 
@@ -105,6 +113,34 @@ impl CampaignConfig {
     pub fn interp(mut self, interp: InterpMode) -> CampaignConfig {
         self.interp = interp;
         self
+    }
+
+    /// Set whether the outcome buffers every run record (see
+    /// [`CampaignConfig::retain_records`]).
+    pub fn retain_records(mut self, retain: bool) -> CampaignConfig {
+        self.retain_records = retain;
+        self
+    }
+}
+
+/// Observer of a campaign's per-run records as they are produced.
+///
+/// [`Campaign::run_with_sink`] invokes the sink after every production
+/// run, before the next one starts — this is how records escape a
+/// running campaign incrementally (the
+/// [`CampaignService`](crate::CampaignService) streams them to
+/// submission handles through exactly this hook) instead of being
+/// visible only in the finished [`CampaignOutcome`].
+pub trait RunSink {
+    /// Called once per production run, in run order, with that run's
+    /// record.
+    fn on_record(&mut self, record: &RunRecord);
+}
+
+/// Any `FnMut(&RunRecord)` closure is a sink.
+impl<F: FnMut(&RunRecord)> RunSink for F {
+    fn on_record(&mut self, record: &RunRecord) {
+        self(record);
     }
 }
 
@@ -149,7 +185,9 @@ impl RunRecord {
 pub struct CampaignOutcome {
     /// The scenario that ran.
     pub scenario: Scenario,
-    /// Per-run records, in arrival order.
+    /// Per-run records, in arrival order. Empty when the campaign ran
+    /// with [`CampaignConfig::retain_records`] off (streaming callers
+    /// observe the records through a [`RunSink`] instead).
     pub records: Vec<RunRecord>,
     /// Raw feature count of the training schema (Evolve only).
     pub raw_features: usize,
@@ -270,6 +308,25 @@ impl<'a> Campaign<'a> {
         oracle: &DefaultOracle,
         store: Option<&dyn ModelStore>,
     ) -> Result<CampaignOutcome, EvolveError> {
+        self.run_with_sink(oracle, store, &mut |_: &RunRecord| {})
+    }
+
+    /// Like [`Campaign::run_session`], but additionally hands every
+    /// [`RunRecord`] to `sink` as it is produced — one call per run, in
+    /// run order, before the next run starts. Combined with
+    /// [`CampaignConfig::retain_records`]`(false)` this is the
+    /// constant-memory streaming path: records escape through the sink
+    /// and the outcome carries only the aggregates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates VM/XICL/learning errors from individual runs.
+    pub fn run_with_sink(
+        &self,
+        oracle: &DefaultOracle,
+        store: Option<&dyn ModelStore>,
+        sink: &mut dyn RunSink,
+    ) -> Result<CampaignOutcome, EvolveError> {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let inputs = &self.bench.inputs;
         let mut optimizer =
@@ -299,7 +356,13 @@ impl<'a> Campaign<'a> {
         // default_seconds_per_input must not leak arrivals memoized by
         // sibling campaigns sharing the oracle).
         let mut arrived: Vec<Option<u64>> = vec![None; inputs.len()];
-        let mut records = Vec::with_capacity(self.config.runs);
+        // Retention is opt-out: without it the record buffer never
+        // allocates and a campaign's memory stays flat in `runs`.
+        let mut records = Vec::with_capacity(if self.config.retain_records {
+            self.config.runs
+        } else {
+            0
+        });
 
         for run_index in 0..self.config.runs {
             let input_index = rng.gen_range(0..inputs.len());
@@ -358,7 +421,10 @@ impl<'a> Campaign<'a> {
                     }
                 }
             };
-            records.push(record);
+            sink.on_record(&record);
+            if self.config.retain_records {
+                records.push(record);
+            }
         }
 
         if let (Some(store), Some(key)) = (store, self.config.model_key.as_deref()) {

@@ -1,31 +1,33 @@
-//! The session-based campaign engine: fan independent campaigns out
-//! across threads.
+//! The batch campaign engine — now a thin compatibility wrapper over
+//! the streaming [`CampaignService`].
 //!
 //! A figure or table in the paper is a *session*: many (workload ×
 //! scenario × seed) campaigns whose outcomes are mutually independent —
 //! each campaign's record stream is a pure function of its bench and
 //! config, with all randomness drawn from the campaign's own seeded
-//! generator. That makes the fan-out embarrassingly parallel **and**
-//! bit-identical to sequential execution, which
-//! `tests/determinism.rs` locks in.
+//! generator. [`CampaignEngine::run`] keeps the original batch-barrier
+//! shape for those callers: hand it every spec up front, block, get
+//! outcomes back in spec order.
 //!
-//! The engine also owns the cross-campaign sharing that makes sessions
-//! cheap: one memoized [`DefaultOracle`] per (bench, sampling-interval)
-//! group, so the expensive baseline runs of a workload execute once per
-//! session instead of once per campaign, and an optional [`ModelStore`]
-//! through which campaigns restore and persist learned state.
+//! Since the service refactor the engine no longer schedules anything
+//! itself: it sizes a worker pool from the batch (using the scheduler's
+//! unit planning), submits every spec to a private [`CampaignService`],
+//! and waits on the handles. All sharing and ordering contracts —
+//! one memoized [`DefaultOracle`](crate::DefaultOracle) per bench
+//! content, same-`model_key` specs serialized in spec order, parallel
+//! execution bit-identical to sequential (`tests/determinism.rs`) —
+//! are the service's contracts, inherited verbatim. Worker panics
+//! surface as [`EvolveError::CampaignPanicked`] in the panicking spec's
+//! result slot instead of aborting the batch.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
 
-use parking_lot::Mutex;
-
 use crate::app::Bench;
-use crate::campaign::{Campaign, CampaignConfig, CampaignOutcome};
+use crate::campaign::{CampaignConfig, CampaignOutcome};
 use crate::error::EvolveError;
-use crate::oracle::DefaultOracle;
+use crate::scheduler::schedule_units;
+use crate::service::{CampaignHandle, CampaignService, ShutdownMode};
 use crate::store::ModelStore;
 
 /// One campaign to run within an engine session.
@@ -45,7 +47,9 @@ impl<'a> CampaignSpec<'a> {
 }
 
 /// Runs batches of independent campaigns, in parallel, with shared
-/// default-run oracles and optional model persistence.
+/// default-run oracles and optional model persistence. A blocking
+/// facade over [`CampaignService`] for callers that have their whole
+/// session up front.
 #[derive(Debug, Default)]
 pub struct CampaignEngine {
     threads: Option<usize>,
@@ -72,20 +76,30 @@ impl CampaignEngine {
     }
 
     /// Run every spec, returning outcomes in spec order. Campaigns are
-    /// scheduled across worker threads; results are deterministic and
-    /// bit-identical to running the specs sequentially because each
-    /// campaign seeds its own generator and the shared oracles memoize
-    /// only deterministic baseline cycle counts.
+    /// scheduled across a service worker pool; results are
+    /// deterministic and bit-identical to running the specs
+    /// sequentially because each campaign seeds its own generator and
+    /// the shared oracles memoize only deterministic baseline cycle
+    /// counts.
     ///
     /// Specs that persist under the **same `model_key`** (when a store
-    /// is attached) are chained into one sequential unit, executed in
-    /// spec order on a single worker: run concurrently they would load
-    /// stale state and last-writer-wins on save, so the persisted model
-    /// would depend on scheduling. Serialized, the persisted state is
-    /// exactly what sequential execution produces.
+    /// is attached) serialize in spec order: run concurrently they
+    /// would load stale state and last-writer-wins on save, so the
+    /// persisted model would depend on scheduling. Serialized, the
+    /// persisted state is exactly what sequential execution produces.
+    ///
+    /// A panicking campaign yields
+    /// [`EvolveError::CampaignPanicked`] in its own result slot; the
+    /// remaining specs still run.
     pub fn run(&self, specs: &[CampaignSpec<'_>]) -> Vec<Result<CampaignOutcome, EvolveError>> {
-        let oracles = build_oracles(specs);
-        let units = schedule_units(specs, self.store.is_some());
+        // Size the pool as the batch engine always has: no wider than
+        // the number of schedulable units (same-key chains count once).
+        let units = schedule_units(specs.iter().map(|spec| {
+            self.store
+                .is_some()
+                .then_some(spec.config.model_key.as_deref())
+                .flatten()
+        }));
         let workers = self
             .threads
             .unwrap_or_else(|| {
@@ -94,169 +108,46 @@ impl CampaignEngine {
             .min(units.len())
             .max(1);
 
-        if workers <= 1 {
-            return specs
-                .iter()
-                .zip(&oracles.assignment)
-                .map(|(spec, &oracle_index)| {
-                    run_spec(spec, &oracles.shared[oracle_index], self.store.as_deref())
-                })
-                .collect();
+        let mut builder = CampaignService::builder()
+            .workers(workers)
+            // The whole batch is submitted before anything is awaited,
+            // so the queue must hold it without backpressure.
+            .queue_bound(specs.len().max(1));
+        if let Some(store) = &self.store {
+            builder = builder.store(Arc::clone(store));
         }
+        let service = builder.spawn();
 
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<Result<CampaignOutcome, EvolveError>>>> =
-            specs.iter().map(|_| Mutex::new(None)).collect();
-        thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let unit_index = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(unit) = units.get(unit_index) else {
-                        break;
-                    };
-                    for &index in unit {
-                        let oracle = &oracles.shared[oracles.assignment[index]];
-                        *slots[index].lock() =
-                            Some(run_spec(&specs[index], oracle, self.store.as_deref()));
+        // The service needs owned benches; clone each distinct borrowed
+        // bench once (clones share the compiled programs via `Arc`).
+        let mut owned: Vec<(*const Bench, Arc<Bench>)> = Vec::new();
+        let handles: Vec<CampaignHandle> = specs
+            .iter()
+            .map(|spec| {
+                let addr: *const Bench = spec.bench;
+                let bench = match owned.iter().find(|(seen, _)| *seen == addr) {
+                    Some((_, bench)) => Arc::clone(bench),
+                    None => {
+                        let bench = Arc::new(spec.bench.clone());
+                        owned.push((addr, Arc::clone(&bench)));
+                        bench
                     }
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|slot| slot.into_inner().expect("every spec index was claimed"))
-            .collect()
+                };
+                service
+                    .submit(bench, spec.config.clone())
+                    .expect("a fresh service accepts submissions")
+            })
+            .collect();
+
+        let results = handles.into_iter().map(CampaignHandle::wait).collect();
+        service.shutdown(ShutdownMode::Drain);
+        results
     }
-}
-
-/// Partition spec indices into schedulable units: specs sharing a
-/// `model_key` (state-coupled through the store) form one unit in spec
-/// order; every other spec is its own unit. Without a store attached,
-/// keys couple nothing and every spec is independent.
-fn schedule_units(specs: &[CampaignSpec<'_>], store_attached: bool) -> Vec<Vec<usize>> {
-    let mut units: Vec<Vec<usize>> = Vec::with_capacity(specs.len());
-    let mut unit_by_key: HashMap<&str, usize> = HashMap::new();
-    for (index, spec) in specs.iter().enumerate() {
-        let key = store_attached
-            .then_some(spec.config.model_key.as_deref())
-            .flatten();
-        match key {
-            Some(key) => match unit_by_key.get(key) {
-                Some(&unit) => units[unit].push(index),
-                None => {
-                    unit_by_key.insert(key, units.len());
-                    units.push(vec![index]);
-                }
-            },
-            None => units.push(vec![index]),
-        }
-    }
-    units
-}
-
-/// The session's shared oracles plus, per spec, which oracle it uses.
-struct SessionOracles {
-    shared: Vec<DefaultOracle>,
-    assignment: Vec<usize>,
-}
-
-/// Group specs by (bench content, sampling interval): campaigns in one
-/// group see the same baseline cycle counts, so they share one memo.
-///
-/// Identity is a *content* fingerprint, not an address: two `Bench`
-/// values loaded separately (e.g. `by_name("mtrt")` called twice) are
-/// equal workloads and must share one oracle, so the expensive baseline
-/// runs execute once per session regardless of who loaded the bench.
-fn build_oracles(specs: &[CampaignSpec<'_>]) -> SessionOracles {
-    let mut index_by_key: HashMap<(u64, u64), usize> = HashMap::new();
-    let mut shared: Vec<DefaultOracle> = Vec::new();
-    let mut assignment = Vec::with_capacity(specs.len());
-    for spec in specs {
-        let key = (
-            bench_fingerprint(spec.bench),
-            spec.config.evolve.sample_interval_cycles,
-        );
-        let index = *index_by_key.entry(key).or_insert_with(|| {
-            shared.push(DefaultOracle::for_bench(spec.bench, key.1));
-            shared.len() - 1
-        });
-        assignment.push(index);
-    }
-    SessionOracles { shared, assignment }
-}
-
-/// A stable content identity for a [`Bench`]: name, input count, and
-/// every input's command line, virtual files, and program size. Inputs
-/// are compiled deterministically from (args, vfs), so benches with
-/// equal fingerprints produce equal baseline cycle counts.
-fn bench_fingerprint(bench: &Bench) -> u64 {
-    let mut h = crate::store::Fnv1a::new();
-    h.update(bench.name.as_bytes());
-    h.update(&[0xff]);
-    h.update(&(bench.inputs.len() as u64).to_le_bytes());
-    for input in &bench.inputs {
-        for arg in &input.args {
-            h.update(arg.as_bytes());
-            h.update(&[0xfe]);
-        }
-        let mut paths: Vec<&str> = input.vfs.paths().collect();
-        paths.sort_unstable();
-        for path in paths {
-            h.update(path.as_bytes());
-            h.update(&input.vfs.size(path).unwrap_or(0).to_le_bytes());
-        }
-        h.update(&(input.program.functions().len() as u64).to_le_bytes());
-        h.update(&[0xfd]);
-    }
-    h.finish()
-}
-
-fn run_spec(
-    spec: &CampaignSpec<'_>,
-    oracle: &DefaultOracle,
-    store: Option<&dyn ModelStore>,
-) -> Result<CampaignOutcome, EvolveError> {
-    Campaign::new(spec.bench, spec.config.clone())?.run_session(oracle, store)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn units_serialize_shared_model_keys_only_with_a_store() {
-        use crate::campaign::{CampaignConfig, Scenario};
-        use evovm_xicl::{extract::Registry, Translator, XiclSpec};
-
-        let bench = Bench {
-            name: "unit-test".into(),
-            translator: Translator::new(XiclSpec::default(), Registry::new()),
-            inputs: Vec::new(),
-        };
-        let config = |key: Option<&str>| {
-            let mut c = CampaignConfig::new(Scenario::Default);
-            if let Some(key) = key {
-                c = c.model_key(key);
-            }
-            c
-        };
-        let specs = [
-            CampaignSpec::new(&bench, config(Some("a"))),
-            CampaignSpec::new(&bench, config(None)),
-            CampaignSpec::new(&bench, config(Some("b"))),
-            CampaignSpec::new(&bench, config(Some("a"))),
-        ];
-        // With a store: the two "a" specs chain into one unit, in order.
-        assert_eq!(
-            schedule_units(&specs, true),
-            vec![vec![0, 3], vec![1], vec![2]]
-        );
-        // Without a store, keys couple nothing.
-        assert_eq!(
-            schedule_units(&specs, false),
-            vec![vec![0], vec![1], vec![2], vec![3]]
-        );
-    }
 
     #[test]
     fn engine_types_are_send() {
@@ -267,5 +158,29 @@ mod tests {
         assert_sync::<Bench>();
         assert_send::<EvolveError>();
         assert_send::<CampaignOutcome>();
+    }
+
+    #[test]
+    fn worker_sizing_counts_units_not_specs() {
+        use crate::campaign::{CampaignConfig, Scenario};
+        // Mirrors the pre-service sizing rule: chained same-key specs
+        // occupy one unit, so they never inflate the pool.
+        let config = |key: Option<&str>| {
+            let mut c = CampaignConfig::new(Scenario::Default);
+            if let Some(key) = key {
+                c = c.model_key(key);
+            }
+            c
+        };
+        let configs = [
+            config(Some("a")),
+            config(None),
+            config(Some("b")),
+            config(Some("a")),
+        ];
+        let with_store = schedule_units(configs.iter().map(|c| c.model_key.as_deref()));
+        assert_eq!(with_store, vec![vec![0, 3], vec![1], vec![2]]);
+        let without_store = schedule_units(configs.iter().map(|_| None));
+        assert_eq!(without_store.len(), 4);
     }
 }

@@ -19,6 +19,23 @@ pub enum EvolveError {
     InconsistentPrograms,
     /// A campaign was configured with an empty input set.
     NoInputs,
+    /// A campaign panicked on its worker. The panic is contained —
+    /// surfaced on the submission's handle (or result slot) while the
+    /// pool keeps serving other campaigns.
+    CampaignPanicked {
+        /// Submission index of the campaign that panicked (its position
+        /// in the batch for [`CampaignEngine::run`](crate::CampaignEngine),
+        /// its submission id for a [`CampaignService`](crate::CampaignService)).
+        spec_index: usize,
+        /// Best-effort rendering of the panic payload.
+        message: String,
+    },
+    /// A queued campaign was cancelled by an abort-mode service
+    /// shutdown before it started.
+    CampaignCancelled,
+    /// The campaign service is shutting down (or stopped) and no longer
+    /// accepts submissions.
+    ServiceStopped,
 }
 
 impl fmt::Display for EvolveError {
@@ -31,6 +48,24 @@ impl fmt::Display for EvolveError {
                 write!(f, "inputs compile to inconsistent program layouts")
             }
             EvolveError::NoInputs => write!(f, "the application has no inputs"),
+            EvolveError::CampaignPanicked {
+                spec_index,
+                message,
+            } => {
+                write!(f, "campaign {spec_index} panicked: {message}")
+            }
+            EvolveError::CampaignCancelled => {
+                write!(
+                    f,
+                    "campaign cancelled by service shutdown before it started"
+                )
+            }
+            EvolveError::ServiceStopped => {
+                write!(
+                    f,
+                    "campaign service is stopped and not accepting submissions"
+                )
+            }
         }
     }
 }

@@ -14,6 +14,9 @@
 //!   et al.), reimplemented from the paper's description.
 //! - [`campaign`] — the three-scenario experiment runner used by every
 //!   table and figure.
+//! - [`service`] — the long-lived streaming campaign service (with
+//!   [`scheduler`] holding its pure scheduling/oracle-sharing logic and
+//!   [`engine`] as the batch-shaped facade).
 //! - [`metrics`] — boxplot summaries and means.
 //!
 //! # Example
@@ -40,18 +43,23 @@ pub mod metrics;
 pub mod optimizer;
 pub mod oracle;
 pub mod rep;
+pub mod scheduler;
+pub mod service;
 pub mod store;
 pub mod strategy;
 
 pub use app::{AppInput, Bench};
-pub use campaign::{Campaign, CampaignConfig, CampaignOutcome, RunRecord, Scenario};
+pub use campaign::{Campaign, CampaignConfig, CampaignOutcome, RunRecord, RunSink, Scenario};
 pub use config::EvolveConfig;
 pub use engine::{CampaignEngine, CampaignSpec};
 pub use error::EvolveError;
 pub use evolve::{EvolvableVm, EvolveRunRecord, EvolveState};
-pub use metrics::{StoreMetrics, StoreMetricsSnapshot};
+pub use metrics::{ServiceMetrics, ServiceMetricsSnapshot, StoreMetrics, StoreMetricsSnapshot};
 pub use optimizer::{CrossRunOptimizer, RunPlan, RunReport};
 pub use oracle::DefaultOracle;
 pub use rep::{RepPolicy, RepRepository, RepStrategy};
+pub use service::{
+    CampaignHandle, CampaignService, CampaignServiceBuilder, RunEvent, ShutdownMode,
+};
 pub use store::{DirStore, MemoryStore, ModelStore, ShardedStore};
 pub use strategy::{ideal_levels, prediction_accuracy, LevelStrategy, PredictedPolicy};

@@ -1,5 +1,6 @@
 //! Summary statistics for the experiment harnesses, plus the
-//! persistence-layer activity counters ([`StoreMetrics`]).
+//! persistence-layer activity counters ([`StoreMetrics`]) and the
+//! campaign-service activity counters ([`ServiceMetrics`]).
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -76,6 +77,138 @@ impl fmt::Display for StoreMetricsSnapshot {
             "saves={} loads={} recoveries={} compactions={}",
             self.saves, self.loads, self.recoveries, self.compactions
         )
+    }
+}
+
+/// Activity counters and gauges for a
+/// [`CampaignService`](crate::CampaignService).
+///
+/// Thread-safe and lock-free on the read side: counters are updated by
+/// submitters and worker threads while the queue lock is held (so the
+/// gauges track the queue state machine exactly), and
+/// [`snapshot`](ServiceMetrics::snapshot) can be taken from any thread
+/// at any time without stalling the pool.
+#[derive(Debug)]
+pub struct ServiceMetrics {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    panicked: AtomicU64,
+    cancelled: AtomicU64,
+    queue_depth: AtomicU64,
+    in_flight: AtomicU64,
+    per_worker_busy: Vec<AtomicU64>,
+}
+
+impl ServiceMetrics {
+    /// Fresh counters for a pool of `workers` threads, all zero.
+    pub fn for_workers(workers: usize) -> ServiceMetrics {
+        ServiceMetrics {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            per_worker_busy: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Count one accepted submission.
+    pub fn record_submit(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one completed campaign, attributed to `worker`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `worker` is out of range for the pool size this was
+    /// created with.
+    pub fn record_completed(&self, worker: usize) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.per_worker_busy[worker].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one contained campaign panic.
+    pub fn record_panic(&self) {
+        self.panicked.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one queued campaign cancelled by an abort shutdown.
+    pub fn record_cancelled(&self) {
+        self.cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Publish the current number of queued (not yet started) campaigns.
+    pub fn set_queue_depth(&self, depth: u64) {
+        self.queue_depth.store(depth, Ordering::Relaxed);
+    }
+
+    /// Publish the current number of in-flight (executing) campaigns.
+    pub fn set_in_flight(&self, in_flight: u64) {
+        self.in_flight.store(in_flight, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters and gauges.
+    pub fn snapshot(&self) -> ServiceMetricsSnapshot {
+        ServiceMetricsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            panicked: self.panicked.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            per_worker_busy: self
+                .per_worker_busy
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a service's [`ServiceMetrics`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServiceMetricsSnapshot {
+    /// Submissions accepted (probes included).
+    pub submitted: u64,
+    /// Campaigns that ran to completion (successes, errors, and
+    /// contained panics — everything that produced a terminal event
+    /// after starting).
+    pub completed: u64,
+    /// Contained worker panics (a subset of `completed`).
+    pub panicked: u64,
+    /// Queued campaigns cancelled by an abort shutdown (never started,
+    /// so disjoint from `completed`).
+    pub cancelled: u64,
+    /// Campaigns queued (ready or parked behind a model key) but not
+    /// yet started, at snapshot time.
+    pub queue_depth: u64,
+    /// Campaigns executing at snapshot time.
+    pub in_flight: u64,
+    /// Campaigns completed per worker thread, indexed by worker.
+    pub per_worker_busy: Vec<u64>,
+}
+
+impl fmt::Display for ServiceMetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "queued={} in_flight={} submitted={} completed={} panicked={} cancelled={} per_worker=[",
+            self.queue_depth,
+            self.in_flight,
+            self.submitted,
+            self.completed,
+            self.panicked,
+            self.cancelled,
+        )?;
+        for (i, busy) in self.per_worker_busy.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{busy}")?;
+        }
+        write!(f, "]")
     }
 }
 
@@ -196,6 +329,32 @@ mod tests {
         assert_eq!(s.recoveries, 1);
         assert_eq!(s.compactions, 1);
         assert_eq!(s.to_string(), "saves=2 loads=1 recoveries=1 compactions=1");
+    }
+
+    #[test]
+    fn service_metrics_count_and_snapshot() {
+        let m = ServiceMetrics::for_workers(2);
+        m.record_submit();
+        m.record_submit();
+        m.record_submit();
+        m.set_queue_depth(1);
+        m.set_in_flight(1);
+        m.record_completed(0);
+        m.record_completed(1);
+        m.record_panic();
+        m.record_cancelled();
+        let s = m.snapshot();
+        assert_eq!(s.submitted, 3);
+        assert_eq!(s.completed, 2);
+        assert_eq!(s.panicked, 1);
+        assert_eq!(s.cancelled, 1);
+        assert_eq!(s.queue_depth, 1);
+        assert_eq!(s.in_flight, 1);
+        assert_eq!(s.per_worker_busy, vec![1, 1]);
+        assert_eq!(
+            s.to_string(),
+            "queued=1 in_flight=1 submitted=3 completed=2 panicked=1 cancelled=1 per_worker=[1 1]"
+        );
     }
 
     #[test]

@@ -1,0 +1,459 @@
+//! Integration tests for the streaming [`CampaignService`].
+//!
+//! What the batch-shaped `tests/determinism.rs` locks for
+//! [`CampaignEngine`], this suite locks for the long-lived service:
+//!
+//! - every handle streams its per-run records in run order, all of them
+//!   **before** the terminal outcome, bit-identical to sequential
+//!   [`Campaign::run`];
+//! - a service-driven session — including a shared-`model_key` chain
+//!   through a [`ShardedStore`] — is bit-identical to
+//!   [`CampaignEngine::run`] over the same specs;
+//! - submissions block at the configured queue bound and wake when a
+//!   slot frees;
+//! - shutdown-drain completes queued campaigns while shutdown-abort
+//!   cancels them and rejects blocked submitters;
+//! - a panicking campaign resolves to
+//!   [`EvolveError::CampaignPanicked`] on its own handle and the pool
+//!   keeps serving.
+//!
+//! The worker-pool width is `EVOVM_SERVICE_TEST_WORKERS` (default 2) so
+//! CI can sweep narrow and wide pools over the same assertions.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use evolvable_vm::evovm::service::Probe;
+use evolvable_vm::evovm::{
+    Bench, Campaign, CampaignConfig, CampaignEngine, CampaignHandle, CampaignOutcome,
+    CampaignService, CampaignSpec, DefaultOracle, EvolveError, ModelStore, RunEvent, RunRecord,
+    Scenario, ShardedStore, ShutdownMode,
+};
+use evolvable_vm::workloads;
+
+/// Worker-pool width under test (CI sweeps this via the environment).
+fn test_workers() -> usize {
+    std::env::var("EVOVM_SERVICE_TEST_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2)
+}
+
+fn bench(name: &str) -> Arc<Bench> {
+    Arc::new(workloads::by_name(name).expect("bundled workload"))
+}
+
+/// Poll `ready` until it holds, panicking after a generous deadline so
+/// a scheduling bug fails the test instead of hanging it.
+fn wait_until(what: &str, mut ready: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !ready() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn temp_root(tag: &str) -> std::path::PathBuf {
+    let root = std::env::temp_dir().join(format!("evovm-service-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    root
+}
+
+/// Drain a handle: streamed records in arrival order plus the final
+/// outcome.
+fn collect(handle: CampaignHandle) -> (Vec<RunRecord>, Result<CampaignOutcome, EvolveError>) {
+    let mut records = Vec::new();
+    loop {
+        match handle
+            .next_event()
+            .expect("the stream must end with a terminal event")
+        {
+            RunEvent::Record(record) => records.push(record),
+            RunEvent::Finished(result) => return (records, result),
+        }
+    }
+}
+
+fn assert_records_identical(streamed: &[RunRecord], reference: &[RunRecord]) {
+    assert_eq!(streamed.len(), reference.len(), "record count");
+    for (a, b) in streamed.iter().zip(reference) {
+        assert_eq!(a.run_index, b.run_index);
+        assert_eq!(a.input_index, b.input_index);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.default_cycles, b.default_cycles);
+        assert_eq!(a.speedup.to_bits(), b.speedup.to_bits());
+        assert_eq!(a.confidence.to_bits(), b.confidence.to_bits());
+        assert_eq!(a.accuracy.to_bits(), b.accuracy.to_bits());
+        assert_eq!(a.predicted, b.predicted);
+        assert_eq!(a.overhead_fraction.to_bits(), b.overhead_fraction.to_bits());
+    }
+}
+
+fn assert_outcomes_identical(a: &CampaignOutcome, b: &CampaignOutcome) {
+    assert_eq!(a.scenario, b.scenario);
+    assert_eq!(a.raw_features, b.raw_features);
+    assert_eq!(a.used_features, b.used_features);
+    assert_eq!(a.state_recovered, b.state_recovered);
+    assert_records_identical(&a.records, &b.records);
+    let seconds = |o: &CampaignOutcome| {
+        o.default_seconds_per_input
+            .iter()
+            .map(|s| s.map(f64::to_bits))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(seconds(a), seconds(b));
+}
+
+#[test]
+fn handle_streams_records_in_run_order_before_the_outcome() {
+    let bench = bench("search");
+    let config = CampaignConfig::new(Scenario::Evolve).runs(5).seed(3);
+    let reference = Campaign::new(&bench, config.clone())
+        .expect("campaign")
+        .run()
+        .expect("reference run succeeds");
+
+    let service = CampaignService::builder().workers(test_workers()).spawn();
+    let handle = service
+        .submit(Arc::clone(&bench), config)
+        .expect("fresh service accepts submissions");
+    assert_eq!(handle.spec_index(), 0, "indices start at 0 per service");
+
+    let (streamed, result) = collect(handle);
+    let outcome = result.expect("campaign succeeds");
+
+    // Every run produced exactly one record, in run order, and the
+    // channel ordering guarantees all of them arrived before Finished.
+    assert_eq!(streamed.len(), 5);
+    for (i, record) in streamed.iter().enumerate() {
+        assert_eq!(record.run_index, i, "records stream in run order");
+    }
+    assert_records_identical(&streamed, &reference.records);
+    assert_outcomes_identical(&outcome, &reference);
+    service.shutdown(ShutdownMode::Drain);
+}
+
+#[test]
+fn service_session_is_bit_identical_to_the_batch_engine() {
+    let mtrt = bench("mtrt");
+    let compress = bench("compress");
+    let chain = |seed: u64| {
+        CampaignConfig::new(Scenario::Evolve)
+            .runs(4)
+            .seed(seed)
+            .model_key("mtrt/chain")
+    };
+    let mut session: Vec<(Arc<Bench>, CampaignConfig)> = Vec::new();
+    for scenario in [Scenario::Default, Scenario::Rep, Scenario::Evolve] {
+        session.push((
+            Arc::clone(&mtrt),
+            CampaignConfig::new(scenario).runs(6).seed(7),
+        ));
+    }
+    session.push((
+        Arc::clone(&compress),
+        CampaignConfig::new(Scenario::Default).runs(4).seed(3),
+    ));
+    // Two campaigns persisting under one key: the service must
+    // serialize them in submission order, exactly as the engine does.
+    session.push((Arc::clone(&mtrt), chain(9)));
+    session.push((Arc::clone(&mtrt), chain(10)));
+
+    // Batch-engine reference over its own store root.
+    let engine_root = temp_root("engine-golden");
+    let engine_store = Arc::new(ShardedStore::new(&engine_root));
+    let specs: Vec<CampaignSpec<'_>> = session
+        .iter()
+        .map(|(bench, config)| CampaignSpec::new(bench, config.clone()))
+        .collect();
+    let engine_outcomes: Vec<CampaignOutcome> = CampaignEngine::new()
+        .store(Arc::clone(&engine_store) as Arc<dyn ModelStore>)
+        .run(&specs)
+        .into_iter()
+        .map(|r| r.expect("engine campaign succeeds"))
+        .collect();
+
+    // The same session submitted to a live service over a second root.
+    let service_root = temp_root("service-golden");
+    let service_store = Arc::new(ShardedStore::new(&service_root));
+    let service = CampaignService::builder()
+        .workers(test_workers())
+        .store(Arc::clone(&service_store) as Arc<dyn ModelStore>)
+        .spawn();
+    let handles: Vec<CampaignHandle> = session
+        .iter()
+        .map(|(bench, config)| {
+            service
+                .submit(Arc::clone(bench), config.clone())
+                .expect("fresh service accepts submissions")
+        })
+        .collect();
+    for (handle, expected) in handles.into_iter().zip(&engine_outcomes) {
+        let (streamed, result) = collect(handle);
+        let outcome = result.expect("service campaign succeeds");
+        // The streamed records ARE the engine's records, bit for bit —
+        // streaming changes delivery, not content.
+        assert_records_identical(&streamed, &expected.records);
+        assert_outcomes_identical(&outcome, expected);
+    }
+    service.shutdown(ShutdownMode::Drain);
+
+    // The chained key's persisted state must be identical across the
+    // two roots: submission-order serialization reproduces the batch
+    // engine's (and therefore sequential) store state.
+    let chained = engine_store.load("mtrt/chain");
+    assert!(chained.is_some(), "chained campaigns persisted state");
+    assert_eq!(service_store.load("mtrt/chain"), chained);
+
+    let _ = std::fs::remove_dir_all(&engine_root);
+    let _ = std::fs::remove_dir_all(&service_root);
+}
+
+#[test]
+fn retention_opt_out_streams_records_without_buffering() {
+    let bench = bench("search");
+    let retained = CampaignConfig::new(Scenario::Rep).runs(4).seed(2);
+    let reference = Campaign::new(&bench, retained.clone())
+        .expect("campaign")
+        .run()
+        .expect("reference run succeeds");
+
+    let service = CampaignService::builder().workers(test_workers()).spawn();
+    let handle = service
+        .submit(Arc::clone(&bench), retained.retain_records(false))
+        .expect("fresh service accepts submissions");
+    let (streamed, result) = collect(handle);
+    let outcome = result.expect("campaign succeeds");
+
+    assert!(
+        outcome.records.is_empty(),
+        "retention off: the outcome carries no record buffer"
+    );
+    assert_records_identical(&streamed, &reference.records);
+    service.shutdown(ShutdownMode::Drain);
+}
+
+#[test]
+fn backpressure_blocks_submit_at_the_configured_bound() {
+    let service = CampaignService::builder().workers(1).queue_bound(1).spawn();
+    let (gate_tx, gate_rx) = mpsc::channel();
+    let gate = service
+        .submit_probe(Probe::Gate(gate_rx))
+        .expect("fresh service accepts submissions");
+    wait_until("the gate probe to occupy the worker", || {
+        service.metrics().in_flight == 1
+    });
+
+    let bench = bench("search");
+    let config = CampaignConfig::new(Scenario::Default).runs(2).seed(1);
+    let queued = service
+        .submit(Arc::clone(&bench), config.clone())
+        .expect("one campaign fits the bound");
+    assert_eq!(service.metrics().queue_depth, 1, "queue is now full");
+
+    let unblocked = AtomicBool::new(false);
+    let overflow = thread::scope(|s| {
+        let submitter = s.spawn(|| {
+            let handle = service
+                .submit(Arc::clone(&bench), config.clone())
+                .expect("submit succeeds once a slot frees");
+            unblocked.store(true, Ordering::SeqCst);
+            handle
+        });
+        thread::sleep(Duration::from_millis(150));
+        assert!(
+            !unblocked.load(Ordering::SeqCst),
+            "submit must block while the queue is at its bound"
+        );
+        gate_tx.send(()).expect("gate probe is waiting");
+        submitter.join().expect("submitter thread")
+    });
+    assert!(unblocked.load(Ordering::SeqCst));
+
+    gate.wait().expect("gate probe completes");
+    queued.wait().expect("queued campaign completes");
+    overflow.wait().expect("unblocked campaign completes");
+    service.shutdown(ShutdownMode::Drain);
+}
+
+#[test]
+fn shutdown_drain_completes_queued_campaigns() {
+    let service = CampaignService::builder()
+        .workers(1)
+        .queue_bound(16)
+        .spawn();
+    let (gate_tx, gate_rx) = mpsc::channel();
+    let gate = service
+        .submit_probe(Probe::Gate(gate_rx))
+        .expect("fresh service accepts submissions");
+    wait_until("the gate probe to occupy the worker", || {
+        service.metrics().in_flight == 1
+    });
+
+    let bench = bench("search");
+    let config = CampaignConfig::new(Scenario::Default).runs(2).seed(1);
+    let first = service
+        .submit(Arc::clone(&bench), config.clone())
+        .expect("submission accepted");
+    let second = service
+        .submit(Arc::clone(&bench), config)
+        .expect("submission accepted");
+
+    // Initiate a draining shutdown while both campaigns are still
+    // queued behind the gate; they must run to completion anyway.
+    let joiner = thread::spawn(move || service.shutdown(ShutdownMode::Drain));
+    thread::sleep(Duration::from_millis(50));
+    gate_tx.send(()).expect("gate probe is waiting");
+    joiner.join().expect("shutdown thread");
+
+    gate.wait().expect("gate probe completes");
+    let first = first.wait().expect("drained campaign completes");
+    let second = second.wait().expect("drained campaign completes");
+    assert_eq!(first.records.len(), 2);
+    assert_eq!(second.records.len(), 2);
+}
+
+#[test]
+fn shutdown_abort_cancels_queued_campaigns_and_rejects_submitters() {
+    let service = CampaignService::builder().workers(1).queue_bound(1).spawn();
+    let (gate_tx, gate_rx) = mpsc::channel();
+    let gate = service
+        .submit_probe(Probe::Gate(gate_rx))
+        .expect("fresh service accepts submissions");
+    wait_until("the gate probe to occupy the worker", || {
+        service.metrics().in_flight == 1
+    });
+
+    let bench = bench("search");
+    let config = CampaignConfig::new(Scenario::Default).runs(2).seed(1);
+    let queued = service
+        .submit(Arc::clone(&bench), config.clone())
+        .expect("one campaign fits the bound");
+
+    // A second submitter blocks on backpressure; the abort must wake it
+    // with ServiceStopped rather than leaving it parked forever.
+    let blocked_result = thread::scope(|s| {
+        let submitter = s.spawn(|| service.submit(Arc::clone(&bench), config.clone()));
+        thread::sleep(Duration::from_millis(100));
+        service.begin_shutdown(ShutdownMode::Abort);
+        submitter.join().expect("submitter thread")
+    });
+    assert!(
+        matches!(blocked_result, Err(EvolveError::ServiceStopped)),
+        "backpressure-blocked submitter is rejected: {blocked_result:?}"
+    );
+
+    // The queued campaign resolves cancelled immediately — before the
+    // in-flight gate probe has even finished.
+    let cancelled = queued.wait();
+    assert!(
+        matches!(cancelled, Err(EvolveError::CampaignCancelled)),
+        "queued campaign is cancelled: {cancelled:?}"
+    );
+    assert!(
+        matches!(
+            service.submit(Arc::clone(&bench), CampaignConfig::new(Scenario::Default)),
+            Err(EvolveError::ServiceStopped)
+        ),
+        "new submissions are rejected after shutdown begins"
+    );
+    assert_eq!(service.metrics().cancelled, 1);
+
+    gate_tx.send(()).expect("gate probe is waiting");
+    service.shutdown(ShutdownMode::Abort);
+    gate.wait()
+        .expect("the in-flight probe still ran to completion");
+}
+
+#[test]
+fn worker_panic_is_contained_and_the_pool_keeps_serving() {
+    let service = CampaignService::builder().workers(test_workers()).spawn();
+    let panicker = service
+        .submit_probe(Probe::Panic)
+        .expect("fresh service accepts submissions");
+    match panicker.wait() {
+        Err(EvolveError::CampaignPanicked {
+            spec_index,
+            message,
+        }) => {
+            assert_eq!(spec_index, 0);
+            assert!(
+                message.contains("injected panic probe"),
+                "panic payload is preserved: {message}"
+            );
+        }
+        other => panic!("expected a contained panic, got {other:?}"),
+    }
+
+    // The pool survives: the very next submission runs normally.
+    let outcome = service
+        .submit(
+            bench("search"),
+            CampaignConfig::new(Scenario::Default).runs(3).seed(1),
+        )
+        .expect("pool accepts work after a panic")
+        .wait()
+        .expect("campaign after a panic succeeds");
+    assert_eq!(outcome.records.len(), 3);
+
+    let metrics = service.metrics();
+    assert_eq!(metrics.panicked, 1);
+    assert_eq!(metrics.completed, 2, "the panic still counts as served");
+    assert_eq!(metrics.per_worker_busy.iter().sum::<u64>(), 2);
+    service.shutdown(ShutdownMode::Drain);
+}
+
+#[test]
+fn same_model_key_chain_reproduces_sequential_store_state() {
+    let bench = bench("search");
+    let config = |seed: u64| {
+        CampaignConfig::new(Scenario::Evolve)
+            .runs(4)
+            .seed(seed)
+            .model_key("search/chain")
+    };
+
+    // Sequential reference: two plain campaigns, one after the other,
+    // over their own ShardedStore root.
+    let reference_root = temp_root("chain-reference");
+    let reference_store = ShardedStore::new(&reference_root);
+    let oracle = DefaultOracle::for_bench(&bench, config(0).evolve.sample_interval_cycles);
+    let mut reference_outcomes = Vec::new();
+    for seed in [5, 6] {
+        reference_outcomes.push(
+            Campaign::new(&bench, config(seed))
+                .expect("campaign")
+                .run_session(&oracle, Some(&reference_store))
+                .expect("sequential campaign succeeds"),
+        );
+    }
+
+    // Service path: both campaigns submitted up front to a multi-worker
+    // pool sharing one key — the lane discipline must serialize them.
+    let service_root = temp_root("chain-service");
+    let service_store = Arc::new(ShardedStore::new(&service_root));
+    let service = CampaignService::builder()
+        .workers(test_workers().max(2))
+        .store(Arc::clone(&service_store) as Arc<dyn ModelStore>)
+        .spawn();
+    let first = service
+        .submit(Arc::clone(&bench), config(5))
+        .expect("submission accepted");
+    let second = service
+        .submit(Arc::clone(&bench), config(6))
+        .expect("submission accepted");
+    let first = first.wait().expect("first chained campaign succeeds");
+    let second = second.wait().expect("second chained campaign succeeds");
+    service.shutdown(ShutdownMode::Drain);
+
+    assert_outcomes_identical(&first, &reference_outcomes[0]);
+    assert_outcomes_identical(&second, &reference_outcomes[1]);
+    let reference_state = reference_store.load("search/chain");
+    assert!(reference_state.is_some(), "the chain persisted state");
+    assert_eq!(service_store.load("search/chain"), reference_state);
+
+    let _ = std::fs::remove_dir_all(&reference_root);
+    let _ = std::fs::remove_dir_all(&service_root);
+}
