@@ -200,6 +200,22 @@ impl Cfg {
         }
         loops
     }
+
+    /// Per-block loop-nesting depth: how many natural loops contain each
+    /// block. Straight-line blocks are depth 0; a block inside two nested
+    /// loops is depth 2. Back edges to the same header each contribute a
+    /// distinct natural loop, so depths from irreducible-looking multi-
+    /// latch loops over-count rather than under-count — the conservative
+    /// direction for the static cost weighting in [`crate::analysis`].
+    pub fn loop_depths(&self) -> Vec<usize> {
+        let mut depths = vec![0usize; self.blocks.len()];
+        for l in self.natural_loops() {
+            for &b in &l.body {
+                depths[b] += 1;
+            }
+        }
+        depths
+    }
 }
 
 #[cfg(test)]
@@ -252,6 +268,45 @@ end:
         assert_eq!(loops.len(), 1);
         assert_eq!(loops[0].header, 1);
         assert_eq!(loops[0].body, BTreeSet::from([1, 2]));
+    }
+
+    #[test]
+    fn loop_depths_count_nesting() {
+        let cfg = cfg_of(
+            "entry func main/0 locals=2 {
+  const 0
+  store 0
+outer:
+  load 0
+  const 3
+  icmpge
+  jumpif end
+  const 0
+  store 1
+inner:
+  load 1
+  const 3
+  icmpge
+  jumpif step
+  load 1
+  const 1
+  iadd
+  store 1
+  jump inner
+step:
+  load 0
+  const 1
+  iadd
+  store 0
+  jump outer
+end:
+  null
+  return
+}",
+        );
+        let depths = cfg.loop_depths();
+        assert_eq!(depths.iter().max(), Some(&2), "{depths:?}");
+        assert_eq!(depths[0], 0, "entry block is outside all loops");
     }
 
     #[test]

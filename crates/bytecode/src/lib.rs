@@ -17,6 +17,10 @@
 //!   target/local/callee bounds) run before any program is executed.
 //! - [`cfg`](mod@cfg) — control-flow graphs, dominators and natural-loop detection
 //!   used by the optimizer.
+//! - [`analysis`] — whole-program static analysis on top of the verifier
+//!   and CFG layers: interprocedural call graph, per-function
+//!   [`analysis::StaticProfile`]s, lint diagnostics and sound frame
+//!   bounds.
 //!
 //! # Example
 //!
@@ -40,6 +44,7 @@
 //! # }
 //! ```
 
+pub mod analysis;
 pub mod asm;
 pub mod builder;
 pub mod cfg;

@@ -14,11 +14,46 @@
 //! The depth-consistency rule is the same discipline the JVM's verifier
 //! enforces; it is what lets the optimizer reason about stack shapes
 //! block-locally.
+//!
+//! Beyond the accept/reject answer, the same dataflow pass yields *facts*
+//! the rest of the system consumes ([`verify_with_facts`]): the maximum
+//! operand-stack depth any execution of a function can reach, which
+//! instruction offsets are reachable at all, and the reachable call
+//! sites. [`crate::analysis`] composes these per-function facts into
+//! whole-program bounds (call depth, frame-arena size) that the VM uses
+//! to pre-size its frame arena and that `vmlint` checks statically.
 
 use std::fmt;
 
 use crate::instr::Instr;
 use crate::program::{FuncId, Function, Program};
+
+/// Facts the dataflow pass proves about one function, beyond the
+/// accept/reject verification answer. All bounds are *sound*: no
+/// execution of verified code can exceed them (asserted dynamically by
+/// `tests/analysis_soundness.rs` at the workspace root).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionFacts {
+    /// Maximum operand-stack depth any execution can reach, including
+    /// mid-instruction growth (the depth after an instruction's pushes).
+    pub max_stack: usize,
+    /// Per instruction offset: is it reachable from entry? Offsets the
+    /// dataflow never visited can only be reached by falling through
+    /// from dead code, i.e. not at all.
+    pub reachable: Vec<bool>,
+    /// Reachable `Call` sites as `(offset, callee)`, in code order.
+    /// Unreachable calls are excluded so dead code cannot keep a callee
+    /// alive in the call graph.
+    pub calls: Vec<(u32, FuncId)>,
+}
+
+/// Per-function [`FunctionFacts`] for a whole verified program, indexed
+/// by [`FuncId::index`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramFacts {
+    /// One fact record per function.
+    pub functions: Vec<FunctionFacts>,
+}
 
 /// A verification failure, locating the offending function/instruction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -123,10 +158,21 @@ impl std::error::Error for VerifyError {}
 ///
 /// Returns the first [`VerifyError`] found, checking functions in id order.
 pub fn verify(program: &Program) -> Result<(), VerifyError> {
+    verify_with_facts(program).map(|_| ())
+}
+
+/// Verify a whole program, returning the per-function facts the dataflow
+/// pass proves along the way (stack bounds, reachability, call sites).
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] found, checking functions in id order.
+pub fn verify_with_facts(program: &Program) -> Result<ProgramFacts, VerifyError> {
+    let mut functions = Vec::with_capacity(program.functions().len());
     for (i, f) in program.functions().iter().enumerate() {
-        verify_function(program, FuncId(i as u32), f)?;
+        functions.push(verify_function_facts(program, FuncId(i as u32), f)?);
     }
-    Ok(())
+    Ok(ProgramFacts { functions })
 }
 
 /// Verify a single function against its program context.
@@ -134,7 +180,20 @@ pub fn verify(program: &Program) -> Result<(), VerifyError> {
 /// # Errors
 ///
 /// Returns the first rule violation encountered during the dataflow pass.
-pub fn verify_function(program: &Program, _id: FuncId, f: &Function) -> Result<(), VerifyError> {
+pub fn verify_function(program: &Program, id: FuncId, f: &Function) -> Result<(), VerifyError> {
+    verify_function_facts(program, id, f).map(|_| ())
+}
+
+/// Verify a single function, returning its [`FunctionFacts`].
+///
+/// # Errors
+///
+/// Returns the first rule violation encountered during the dataflow pass.
+pub fn verify_function_facts(
+    program: &Program,
+    _id: FuncId,
+    f: &Function,
+) -> Result<FunctionFacts, VerifyError> {
     let fail = |at: Option<u32>, kind: VerifyErrorKind| VerifyError {
         function: f.name.clone(),
         at,
@@ -182,6 +241,8 @@ pub fn verify_function(program: &Program, _id: FuncId, f: &Function) -> Result<(
     // Depth dataflow: worklist of (pc, depth).
     let mut depth_at: Vec<Option<usize>> = vec![None; f.code.len()];
     let mut work: Vec<(u32, usize)> = vec![(0, 0)];
+    let mut max_stack = 0usize;
+    let mut calls: Vec<(u32, FuncId)> = Vec::new();
     let arity_of = |id: FuncId| program.function(id).arity as usize;
     while let Some((pc, depth)) = work.pop() {
         match depth_at[pc as usize] {
@@ -198,6 +259,9 @@ pub fn verify_function(program: &Program, _id: FuncId, f: &Function) -> Result<(
             None => depth_at[pc as usize] = Some(depth),
         }
         let instr = &f.code[pc as usize];
+        if let Instr::Call(callee) = instr {
+            calls.push((pc, *callee));
+        }
         let (pops, pushes) = instr.stack_effect(arity_of);
         if depth < pops {
             return Err(fail(
@@ -206,6 +270,10 @@ pub fn verify_function(program: &Program, _id: FuncId, f: &Function) -> Result<(
             ));
         }
         let next = depth - pops + pushes;
+        // The stack's momentary peak is the depth after the pushes of the
+        // deepest-entered instruction; tracking `next` alongside the entry
+        // depth makes the bound cover mid-instruction growth.
+        max_stack = max_stack.max(depth).max(next);
         if matches!(instr, Instr::Return) {
             // `Return` pops its value; the stack must then be empty so the
             // frame can be discarded deterministically.
@@ -224,7 +292,12 @@ pub fn verify_function(program: &Program, _id: FuncId, f: &Function) -> Result<(
             work.push((pc + 1, next));
         }
     }
-    Ok(())
+    calls.sort_unstable_by_key(|&(pc, _)| pc);
+    Ok(FunctionFacts {
+        max_stack,
+        reachable: depth_at.iter().map(Option::is_some).collect(),
+        calls,
+    })
 }
 
 #[cfg(test)]
@@ -337,6 +410,62 @@ join:
             e.kind,
             VerifyErrorKind::BranchOutOfRange { target: 9, len: 3 }
         ));
+    }
+
+    #[test]
+    fn facts_report_stack_bound_reachability_and_calls() {
+        let p = parse(
+            "entry func main/0 {
+  const 1
+  const 2
+  call add2
+  print
+  null
+  return
+}
+func add2/2 {
+  load 0
+  load 1
+  iadd
+  return
+}",
+        )
+        .unwrap();
+        let facts = verify_with_facts(&p).unwrap();
+        // main peaks at the two call arguments on the stack.
+        assert_eq!(facts.functions[0].max_stack, 2);
+        assert_eq!(facts.functions[0].calls, vec![(2, FuncId(1))]);
+        assert!(facts.functions[0].reachable.iter().all(|&r| r));
+        // add2 peaks at its two reloaded locals.
+        assert_eq!(facts.functions[1].max_stack, 2);
+        assert!(facts.functions[1].calls.is_empty());
+    }
+
+    #[test]
+    fn facts_exclude_unreachable_calls() {
+        let p = parse(
+            "entry func main/0 {
+  null
+  return
+  const 1
+  call f
+  return
+}
+func f/1 {
+  load 0
+  return
+}",
+        )
+        .unwrap();
+        let facts = verify_with_facts(&p).unwrap();
+        assert!(
+            facts.functions[0].calls.is_empty(),
+            "dead call site must not appear"
+        );
+        assert_eq!(
+            facts.functions[0].reachable,
+            vec![true, true, false, false, false]
+        );
     }
 
     #[test]

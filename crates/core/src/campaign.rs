@@ -395,11 +395,11 @@ impl<'a> Campaign<'a> {
                             ..VmConfig::default()
                         },
                     )?;
-                    vm.charge_overhead(overhead_cycles);
+                    vm.charge_overhead(overhead_cycles)?;
                     let result = loop {
                         match vm.run()? {
                             Outcome::Finished(result) => break result,
-                            Outcome::FeaturesReady => optimizer.features_ready(&mut vm),
+                            Outcome::FeaturesReady => optimizer.features_ready(&mut vm)?,
                         }
                     };
                     let cycles = result.total_cycles;

@@ -36,6 +36,12 @@ pub enum EvolveError {
     /// The campaign service is shutting down (or stopped) and no longer
     /// accepts submissions.
     ServiceStopped,
+    /// An internal planning invariant was violated — e.g. a strategy
+    /// search produced a plan exceeding its compilation bound. Checked
+    /// in every build profile (not just `debug_assert!`) because a
+    /// violated bound would silently distort the cost model the paper's
+    /// comparisons rest on.
+    InvariantViolated(String),
 }
 
 impl fmt::Display for EvolveError {
@@ -65,6 +71,9 @@ impl fmt::Display for EvolveError {
                     f,
                     "campaign service is stopped and not accepting submissions"
                 )
+            }
+            EvolveError::InvariantViolated(what) => {
+                write!(f, "internal invariant violated: {what}")
             }
         }
     }

@@ -208,12 +208,12 @@ impl EvolvableVm {
                 ..VmConfig::default()
             },
         )?;
-        vm.charge_overhead(pending.launch_overhead_cycles());
+        vm.charge_overhead(pending.launch_overhead_cycles())?;
 
         let result = loop {
             match vm.run()? {
                 Outcome::Finished(result) => break result,
-                Outcome::FeaturesReady => self.on_features_ready(&mut pending, &mut vm),
+                Outcome::FeaturesReady => self.on_features_ready(&mut pending, &mut vm)?,
             }
         };
         self.finish_run(pending, input, result)
@@ -273,24 +273,34 @@ impl EvolvableVm {
     /// may have arrived via updateV; re-predict when they change the
     /// answer. Levels only move upward (`apply_strategy` never downgrades
     /// installed code).
-    pub(crate) fn on_features_ready(&self, pending: &mut PendingRun, vm: &mut Vm) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates VM errors from charging overhead or recompiling to the
+    /// predicted strategy (e.g. a pipeline miscompilation).
+    pub(crate) fn on_features_ready(
+        &self,
+        pending: &mut PendingRun,
+        vm: &mut Vm,
+    ) -> Result<(), EvolveError> {
         merge_published(&mut pending.vector, vm.published());
         if !pending.confident {
-            return;
+            return Ok(());
         }
         let Some(strategy) = self.predict(&pending.vector, pending.n_methods) else {
-            return;
+            return Ok(());
         };
         if pending.applied.as_ref() == Some(&strategy) {
-            return;
+            return Ok(());
         }
         let cost = self.prediction_cost(&strategy);
         pending.prediction_cycles += cost;
-        vm.charge_overhead(cost);
-        vm.apply_strategy(&strategy.levels);
+        vm.charge_overhead(cost)?;
+        vm.apply_strategy(&strategy.levels)?;
         vm.replace_policy(Box::new(PredictedPolicy::new(strategy.clone())));
         pending.applied = Some(strategy);
         pending.predictions_made += 1;
+        Ok(())
     }
 
     /// Phase 3, posterior learning (paper Fig. 7): ideal strategy,

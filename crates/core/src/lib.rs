@@ -63,3 +63,9 @@ pub use service::{
 };
 pub use store::{DirStore, MemoryStore, ModelStore, ShardedStore};
 pub use strategy::{ideal_levels, prediction_accuracy, LevelStrategy, PredictedPolicy};
+
+/// Bytecode-shape features from whole-program static analysis — the
+/// cold-start complement to XICL input features. Re-exported so
+/// [`CrossRunOptimizer`] implementations can consume them on run 1
+/// without depending on `evovm_xicl` directly.
+pub use evovm_xicl::StaticFeatures;

@@ -47,10 +47,11 @@ impl CrossRunOptimizer for EvolveOptimizer {
         })
     }
 
-    fn features_ready(&mut self, vm: &mut Vm) {
+    fn features_ready(&mut self, vm: &mut Vm) -> Result<(), EvolveError> {
         if let Some(pending) = self.pending.as_mut() {
-            self.vm.on_features_ready(pending, vm);
+            self.vm.on_features_ready(pending, vm)?;
         }
+        Ok(())
     }
 
     fn observe(&mut self, input: &AppInput, result: RunResult) -> Result<RunReport, EvolveError> {

@@ -74,8 +74,14 @@ pub trait CrossRunOptimizer: std::fmt::Debug + Send {
     /// React to an interactive pause: the VM stopped at a `done()` point
     /// with freshly published features. Baseline-style backends ignore
     /// the pause; Evolve re-predicts.
-    fn features_ready(&mut self, vm: &mut Vm) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates VM errors raised while applying a new strategy (e.g. a
+    /// pipeline miscompilation surfaced by re-verification).
+    fn features_ready(&mut self, vm: &mut Vm) -> Result<(), EvolveError> {
         let _ = vm;
+        Ok(())
     }
 
     /// Learn from the finished run and report its record fields. Called

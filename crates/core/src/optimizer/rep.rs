@@ -32,7 +32,7 @@ impl RepOptimizer {
 
 impl CrossRunOptimizer for RepOptimizer {
     fn prepare(&mut self, input: &AppInput) -> Result<RunPlan, EvolveError> {
-        let strategy = self.repo.strategy(&input.program);
+        let strategy = self.repo.strategy(&input.program)?;
         self.current_predicted = strategy.predicted_count() > 0;
         Ok(RunPlan::Execute {
             policy: Box::new(RepPolicy::new(strategy)),

@@ -11,6 +11,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::EvolveError;
 use evovm_bytecode::program::Program;
 use evovm_bytecode::FuncId;
 use evovm_opt::OptLevel;
@@ -72,11 +73,18 @@ impl RepRepository {
     /// strategies ("O1 at the 4th sample, O2 at the 64th") hedge between
     /// the short and long runs in the history, exactly the shape Arnold
     /// et al.'s repository produces.
-    pub fn strategy(&self, program: &Program) -> RepStrategy {
+    ///
+    /// # Errors
+    ///
+    /// [`EvolveError::InvariantViolated`] if the search ever produces a
+    /// plan exceeding [`COMPILATION_BOUND`] — a bug in the candidate
+    /// enumeration, checked in every build profile because an oversized
+    /// plan would silently skew Rep's modelled compile costs.
+    pub fn strategy(&self, program: &Program) -> Result<RepStrategy, EvolveError> {
         let n = program.functions().len();
         let mut pairs: Vec<Vec<(u64, OptLevel)>> = vec![Vec::new(); n];
         if self.observations.is_empty() {
-            return RepStrategy { pairs };
+            return Ok(RepStrategy { pairs });
         }
         let interval = self.sample_interval_cycles as f64;
         for (m, method_pairs) in pairs.iter_mut().enumerate() {
@@ -132,10 +140,16 @@ impl RepRepository {
                     }
                 }
             }
-            debug_assert!(best_plan.len() <= COMPILATION_BOUND);
+            if best_plan.len() > COMPILATION_BOUND {
+                return Err(EvolveError::InvariantViolated(format!(
+                    "rep strategy for `{}` has {} stages, compilation bound is {COMPILATION_BOUND}",
+                    f.name,
+                    best_plan.len()
+                )));
+            }
             *method_pairs = best_plan;
         }
-        RepStrategy { pairs }
+        Ok(RepStrategy { pairs })
     }
 }
 
@@ -256,7 +270,7 @@ mod tests {
     fn empty_repository_produces_no_pairs() {
         let p = program();
         let repo = RepRepository::new(100_000);
-        let s = repo.strategy(&p);
+        let s = repo.strategy(&p).unwrap();
         assert_eq!(s.covered_methods(), 0);
     }
 
@@ -267,7 +281,7 @@ mod tests {
         for _ in 0..5 {
             repo.observe(&p, &profile(vec![3_000, 2]));
         }
-        let s = repo.strategy(&p);
+        let s = repo.strategy(&p).unwrap();
         assert!(!s.pairs[0].is_empty(), "hot method should have a pair");
         let (k, o) = s.pairs[0][0];
         assert!(o >= OptLevel::O1, "expected an optimizing level, got {o}");
@@ -284,7 +298,7 @@ mod tests {
         for _ in 0..5 {
             repo.observe(&p, &profile(vec![0, 0]));
         }
-        let s = repo.strategy(&p);
+        let s = repo.strategy(&p).unwrap();
         assert_eq!(s.covered_methods(), 0);
     }
 
@@ -309,7 +323,7 @@ mod tests {
             repo.observe(&p, &profile(vec![1, 0]));
         }
         repo.observe(&p, &profile(vec![10_000, 0]));
-        let s = repo.strategy(&p);
+        let s = repo.strategy(&p).unwrap();
         assert!(!s.pairs[0].is_empty());
         let (k, _) = s.pairs[0][0];
         assert!(k >= 1, "k=0 would charge the nine short runs for nothing");
@@ -323,7 +337,7 @@ mod tests {
             repo.observe(&p, &profile(vec![2, 0]));
         }
         repo.observe(&p, &profile(vec![10_000, 0]));
-        let s = repo.strategy(&p);
+        let s = repo.strategy(&p).unwrap();
         assert!(!s.pairs[0].is_empty());
         let (_, o) = s.pairs[0][0];
         assert!(o >= OptLevel::O1);

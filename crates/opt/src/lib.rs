@@ -42,4 +42,4 @@ pub mod pipeline;
 mod util;
 
 pub use levels::OptLevel;
-pub use pipeline::{CompiledCode, Optimizer};
+pub use pipeline::{optimize_program, CompileError, CompiledCode, Optimizer};

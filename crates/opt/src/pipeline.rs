@@ -1,13 +1,44 @@
 //! The per-level compilation pipelines and the compiled-code artifact.
 
+use std::fmt;
 use std::sync::Arc;
 
 use evovm_bytecode::program::{Function, Program};
 use evovm_bytecode::verify::verify_function;
-use evovm_bytecode::{FuncId, Instr};
+use evovm_bytecode::{FuncId, Instr, VerifyError};
 
 use crate::levels::OptLevel;
 use crate::passes::{dce, dse, fold, inline, peephole, quicken};
+
+/// A pass pipeline emitted code that fails re-verification — a
+/// miscompilation caught before the bad code could reach the interpreter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileError {
+    /// Name of the miscompiled function.
+    pub function: String,
+    /// Its id in the program.
+    pub id: FuncId,
+    /// The level whose pipeline produced the bad code.
+    pub level: OptLevel,
+    /// What the verifier rejected about the emitted code.
+    pub source: VerifyError,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} pipeline miscompiled `{}` ({}): {}",
+            self.level, self.function, self.id, self.source
+        )
+    }
+}
+
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
 
 /// The result of compiling one function at one level: executable code plus
 /// the cost accounting the VM charges for producing it.
@@ -50,12 +81,36 @@ impl Optimizer {
     /// Compile `id` at `level`, transforming the original bytecode.
     ///
     /// The output is re-verified in debug builds; all passes preserve the
-    /// verified invariants.
+    /// verified invariants. Use [`Optimizer::compile_checked`] where a
+    /// structured error is preferable to a debug-only panic.
     pub fn compile(&self, program: &Program, id: FuncId, level: OptLevel) -> CompiledCode {
+        let (code, locals) = self.run_pipeline(program, id, level);
+        if cfg!(debug_assertions) {
+            Self::reverify(program, id, level, &code, locals)
+                .expect("optimizer produced unverifiable code");
+        }
+        self.package(program, id, level, code, locals)
+    }
+
+    /// Compile `id` at `level` and re-verify the emitted code in *every*
+    /// build profile, returning a structured [`CompileError`] instead of
+    /// letting a miscompiled function reach the interpreter.
+    pub fn compile_checked(
+        &self,
+        program: &Program,
+        id: FuncId,
+        level: OptLevel,
+    ) -> Result<CompiledCode, CompileError> {
+        let (code, locals) = self.run_pipeline(program, id, level);
+        Self::reverify(program, id, level, &code, locals)?;
+        Ok(self.package(program, id, level, code, locals))
+    }
+
+    /// Run the level's pass pipeline, producing transformed code and the
+    /// (possibly inlining-grown) locals count.
+    fn run_pipeline(&self, program: &Program, id: FuncId, level: OptLevel) -> (Vec<Instr>, u16) {
         let f = program.function(id);
-        let compile_cycles = level.compile_cost_per_instr() * f.code.len() as u64;
-        let quality = level.quality_for(&f.name);
-        let (code, locals) = match level {
+        match level {
             OptLevel::Baseline | OptLevel::O0 => (f.code.clone(), f.locals),
             OptLevel::O1 => (
                 self.o1_pipeline(program, f, f.code.clone(), f.locals),
@@ -65,16 +120,44 @@ impl Optimizer {
                 let (code, locals) = inline::run(program, id, f, self.inline_budget);
                 (self.o1_pipeline(program, f, code, locals), locals)
             }
-        };
-        if cfg!(debug_assertions) {
-            let check = Function {
-                name: f.name.clone(),
-                arity: f.arity,
-                locals,
-                code: code.clone(),
-            };
-            verify_function(program, id, &check).expect("optimizer produced unverifiable code");
         }
+    }
+
+    /// Verify pipeline output against the surrounding program.
+    fn reverify(
+        program: &Program,
+        id: FuncId,
+        level: OptLevel,
+        code: &[Instr],
+        locals: u16,
+    ) -> Result<(), CompileError> {
+        let f = program.function(id);
+        let check = Function {
+            name: f.name.clone(),
+            arity: f.arity,
+            locals,
+            code: code.to_vec(),
+        };
+        verify_function(program, id, &check).map_err(|source| CompileError {
+            function: f.name.clone(),
+            id,
+            level,
+            source,
+        })
+    }
+
+    /// Wrap pipeline output in the [`CompiledCode`] cost accounting.
+    fn package(
+        &self,
+        program: &Program,
+        id: FuncId,
+        level: OptLevel,
+        code: Vec<Instr>,
+        locals: u16,
+    ) -> CompiledCode {
+        let f = program.function(id);
+        let compile_cycles = level.compile_cost_per_instr() * f.code.len() as u64;
+        let quality = level.quality_for(&f.name);
         let quality_milli = level.quality_milli_for(&f.name);
         let cost_milli = code.iter().map(|i| i.base_cost() * quality_milli).collect();
         CompiledCode {
@@ -119,6 +202,39 @@ impl Optimizer {
         }
         code
     }
+}
+
+/// Transform a whole program through the `level` pipeline: every function
+/// is compiled at `level`, re-verified, and reassembled into a new
+/// [`Program`] with the same strings and entry.
+///
+/// Because [`Optimizer::compile`] is deterministic, the result is exactly
+/// the code a VM executes when its policy pins every method at `level` —
+/// which makes this the program a linter or static analyzer should look at
+/// to police the optimizer's output.
+///
+/// # Errors
+///
+/// Returns the first [`CompileError`] if any function's emitted code fails
+/// re-verification.
+pub fn optimize_program(program: &Program, level: OptLevel) -> Result<Program, CompileError> {
+    let optimizer = Optimizer::new();
+    let mut functions = Vec::with_capacity(program.functions().len());
+    for (i, f) in program.functions().iter().enumerate() {
+        let id = FuncId(i as u32);
+        let cc = optimizer.compile_checked(program, id, level)?;
+        functions.push(Function {
+            name: f.name.clone(),
+            arity: f.arity,
+            locals: cc.locals,
+            code: cc.code.to_vec(),
+        });
+    }
+    Ok(Program::from_parts(
+        functions,
+        program.strings().to_vec(),
+        program.entry(),
+    ))
 }
 
 #[cfg(test)]
@@ -212,6 +328,40 @@ func double/1 {
             .map(|&l| opt.compile(&p, p.entry(), l).compile_cycles)
             .collect();
         assert!(costs.windows(2).all(|w| w[0] < w[1]), "{costs:?}");
+    }
+
+    #[test]
+    fn compile_checked_matches_compile_on_good_code() {
+        let p = parse(PROGRAM).unwrap();
+        let opt = Optimizer::new();
+        for level in OptLevel::ALL {
+            let checked = opt.compile_checked(&p, p.entry(), level).unwrap();
+            let plain = opt.compile(&p, p.entry(), level);
+            assert_eq!(*checked.code, *plain.code);
+            assert_eq!(checked.locals, plain.locals);
+            assert_eq!(checked.compile_cycles, plain.compile_cycles);
+        }
+    }
+
+    #[test]
+    fn optimize_program_reassembles_every_function_verified() {
+        let p = parse(PROGRAM).unwrap();
+        for level in OptLevel::ALL {
+            let out = optimize_program(&p, level).unwrap();
+            assert_eq!(out.functions().len(), p.functions().len());
+            assert_eq!(out.entry(), p.entry());
+            assert_eq!(out.strings(), p.strings());
+            evovm_bytecode::verify::verify(&out).expect("transformed program verifies whole");
+            let opt = Optimizer::new();
+            for (i, f) in out.functions().iter().enumerate() {
+                let cc = opt.compile(&p, FuncId(i as u32), level);
+                assert_eq!(
+                    f.code, *cc.code,
+                    "optimize_program must equal compile at {level}"
+                );
+                assert_eq!(f.locals, cc.locals);
+            }
+        }
     }
 
     #[test]

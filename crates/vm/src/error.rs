@@ -4,6 +4,7 @@ use std::fmt;
 
 use evovm_bytecode::scalar::ArithError;
 use evovm_bytecode::VerifyError;
+use evovm_opt::CompileError;
 
 /// A runtime trap: a condition the executed program caused.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,6 +52,9 @@ impl fmt::Display for Trap {
 pub enum VmError {
     /// The program failed the bytecode verifier before execution.
     Verify(VerifyError),
+    /// A JIT pipeline emitted code that failed re-verification; the bad
+    /// code was rejected before it could execute.
+    Miscompile(CompileError),
     /// The program trapped at runtime.
     Trap(Trap),
     /// The run exceeded the configured cycle budget.
@@ -66,6 +70,7 @@ impl fmt::Display for VmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VmError::Verify(e) => write!(f, "{e}"),
+            VmError::Miscompile(e) => write!(f, "{e}"),
             VmError::Trap(t) => write!(f, "runtime trap: {t}"),
             VmError::CycleBudgetExceeded { budget } => {
                 write!(f, "run exceeded the cycle budget of {budget}")
@@ -79,6 +84,7 @@ impl std::error::Error for VmError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             VmError::Verify(e) => Some(e),
+            VmError::Miscompile(e) => Some(e),
             _ => None,
         }
     }
@@ -87,6 +93,12 @@ impl std::error::Error for VmError {
 impl From<VerifyError> for VmError {
     fn from(e: VerifyError) -> VmError {
         VmError::Verify(e)
+    }
+}
+
+impl From<CompileError> for VmError {
+    fn from(e: CompileError) -> VmError {
+        VmError::Miscompile(e)
     }
 }
 

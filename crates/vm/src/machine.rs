@@ -48,6 +48,7 @@
 
 use std::sync::Arc;
 
+use evovm_bytecode::analysis::{frame_bounds, FrameBounds};
 use evovm_bytecode::program::Program;
 use evovm_bytecode::scalar::{self, BinOp, BitOp, CmpOp, Scalar};
 use evovm_bytecode::{FuncId, Instr, StrId};
@@ -61,6 +62,12 @@ use crate::value::{Heap, Value};
 /// Virtual cycles per simulated second; converts clock readings into the
 /// "running time" figures the experiments report.
 pub const CYCLES_PER_SECOND: u64 = 100_000_000;
+
+/// Cap on how many arena slots [`Vm::new`] preallocates from the static
+/// bound, so a deep-but-bounded call chain cannot make construction
+/// reserve absurd memory up front (the arena still grows on demand past
+/// the cap, exactly as before pre-sizing existed).
+const ARENA_PRESIZE_CAP_SLOTS: usize = 1 << 16;
 
 /// Which dispatch loop executes the program. Both produce bit-identical
 /// virtual-clock results (cycles, samples, recompilations, output); they
@@ -197,6 +204,9 @@ pub struct Vm {
     frames: Vec<Frame>,
     /// Locals + operand stacks of all active frames, contiguously.
     arena: Vec<Value>,
+    /// Static call-depth/arena bounds proven at construction; used to
+    /// pre-size `frames` and `arena` and exposed for soundness checks.
+    static_bounds: FrameBounds,
     clock_milli: u64,
     exec_milli: u64,
     compile_milli: u64,
@@ -216,6 +226,14 @@ pub struct Vm {
 impl Vm {
     /// Create a machine for `program` under `policy`.
     ///
+    /// Verification also yields the whole-program frame bounds
+    /// ([`evovm_bytecode::analysis::frame_bounds`]); when the program's
+    /// call graph is recursion-free, the frame arena and the frame stack
+    /// are preallocated to the proven maxima of the verified bytecode, so
+    /// execution at levels that preserve locals counts performs no arena
+    /// growth at all (O2 inlining may add locals and grow past the hint;
+    /// recursion falls back to on-demand growth as before).
+    ///
     /// # Errors
     ///
     /// Returns [`VmError::Verify`] if the program fails verification.
@@ -224,7 +242,16 @@ impl Vm {
         policy: Box<dyn AosPolicy>,
         config: VmConfig,
     ) -> Result<Vm, VmError> {
-        evovm_bytecode::verify::verify(&program)?;
+        let facts = evovm_bytecode::verify::verify_with_facts(&program)?;
+        let static_bounds = frame_bounds(&program, &facts);
+        let arena_capacity = static_bounds
+            .arena_slots
+            .unwrap_or(0)
+            .min(ARENA_PRESIZE_CAP_SLOTS);
+        let frame_capacity = static_bounds
+            .call_depth
+            .unwrap_or(0)
+            .min(config.max_call_depth);
         let n = program.functions().len();
         Ok(Vm {
             program,
@@ -235,8 +262,9 @@ impl Vm {
             cache: (0..n).map(|_| None).collect(),
             levels: vec![OptLevel::Baseline; n],
             heap: Heap::new(),
-            frames: Vec::new(),
-            arena: Vec::new(),
+            frames: Vec::with_capacity(frame_capacity),
+            arena: Vec::with_capacity(arena_capacity),
+            static_bounds,
             clock_milli: 0,
             exec_milli: 0,
             compile_milli: 0,
@@ -253,6 +281,12 @@ impl Vm {
     /// The program being executed.
     pub fn program(&self) -> &Arc<Program> {
         &self.program
+    }
+
+    /// The static call-depth/arena bounds proven at construction. `None`
+    /// fields mean recursion makes the quantity statically unbounded.
+    pub fn static_bounds(&self) -> FrameBounds {
+        self.static_bounds
     }
 
     /// Features published so far. Complete at every `FeaturesReady` pause
@@ -279,13 +313,19 @@ impl Vm {
     /// level. Methods not yet compiled are unaffected (the active policy's
     /// `on_first_compile` covers them). Used by the evolvable VM when a
     /// prediction arrives at a `FeaturesReady` pause.
-    pub fn apply_strategy(&mut self, levels: &[Option<OptLevel>]) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::Miscompile`] if a pipeline emits unverifiable
+    /// code for one of the recompiled methods.
+    pub fn apply_strategy(&mut self, levels: &[Option<OptLevel>]) -> Result<(), VmError> {
         for (i, target) in levels.iter().enumerate() {
             let (Some(level), true) = (target, self.cache[i].is_some()) else {
                 continue;
             };
-            self.recompile(FuncId(i as u32), *level);
+            self.recompile(FuncId(i as u32), *level)?;
         }
+        Ok(())
     }
 
     /// Charge extra virtual cycles to the clock (the evolvable VM charges
@@ -297,9 +337,15 @@ impl Vm {
     /// attributed to the currently-executing method, or skipped when the
     /// machine is not running (before start, the usual case for launch
     /// overhead) — rather than being silently deferred or swallowed.
-    pub fn charge_overhead(&mut self, cycles: u64) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::Miscompile`] if a sample delivered inside the
+    /// charged span triggers a recompilation whose pipeline emits
+    /// unverifiable code.
+    pub fn charge_overhead(&mut self, cycles: u64) -> Result<(), VmError> {
         self.clock_milli += cycles * 1000;
-        self.maybe_sample();
+        self.maybe_sample()
     }
 
     /// Run (or resume) the program until it finishes or pauses.
@@ -334,35 +380,42 @@ impl Vm {
 
     // --- compilation management ---
 
-    fn compile_to(&mut self, method: FuncId, level: OptLevel) {
-        let compiled = self.optimizer.compile(&self.program, method, level);
+    /// Compile `method` at `level` and install the result. The pipeline's
+    /// output is re-verified in every build profile; unverifiable code is
+    /// rejected as [`VmError::Miscompile`] before it can execute.
+    fn compile_to(&mut self, method: FuncId, level: OptLevel) -> Result<(), VmError> {
+        let compiled = self
+            .optimizer
+            .compile_checked(&self.program, method, level)?;
         self.clock_milli += compiled.compile_cycles * 1000;
         self.compile_milli += compiled.compile_cycles * 1000;
         self.levels[method.index()] = level;
         self.cache[method.index()] = Some(compiled);
+        Ok(())
     }
 
-    fn recompile(&mut self, method: FuncId, to: OptLevel) {
+    fn recompile(&mut self, method: FuncId, to: OptLevel) -> Result<(), VmError> {
         let from = self.levels[method.index()];
         if to <= from {
-            return;
+            return Ok(());
         }
-        self.compile_to(method, to);
+        self.compile_to(method, to)?;
         self.profile.recompilations.push(RecompileEvent {
             at_cycles: self.clock_milli / 1000,
             method,
             from,
             to,
         });
+        Ok(())
     }
 
-    fn ensure_compiled(&mut self, method: FuncId) {
+    fn ensure_compiled(&mut self, method: FuncId) -> Result<(), VmError> {
         if self.cache[method.index()].is_some() {
-            return;
+            return Ok(());
         }
         // First invocation: baseline-compile, then give the policy its
         // proactive chance.
-        self.compile_to(method, OptLevel::Baseline);
+        self.compile_to(method, OptLevel::Baseline)?;
         let target = self.policy.on_first_compile(
             method,
             AosContext {
@@ -373,8 +426,9 @@ impl Vm {
             },
         );
         if let Some(level) = target {
-            self.recompile(method, level);
+            self.recompile(method, level)?;
         }
+        Ok(())
     }
 
     /// Push a frame for `method`. The callee's `arity` arguments are the
@@ -385,7 +439,7 @@ impl Vm {
         if self.frames.len() >= self.config.max_call_depth {
             return Err(VmError::Trap(Trap::StackOverflow));
         }
-        self.ensure_compiled(method);
+        self.ensure_compiled(method)?;
         self.profile.invocations[method.index()] += 1;
         let compiled = self.cache[method.index()].as_ref().expect("just compiled");
         let locals_base = self.arena.len() - arity;
@@ -400,10 +454,12 @@ impl Vm {
             ip: 0,
             locals_base,
         });
+        self.profile.peak_call_depth = self.profile.peak_call_depth.max(self.frames.len());
+        self.profile.peak_arena_slots = self.profile.peak_arena_slots.max(self.arena.len());
         Ok(())
     }
 
-    fn take_sample(&mut self) {
+    fn take_sample(&mut self) -> Result<(), VmError> {
         let method = self
             .frames
             .last()
@@ -420,8 +476,9 @@ impl Vm {
             },
         );
         if let Some(level) = target {
-            self.recompile(method, level);
+            self.recompile(method, level)?;
         }
+        Ok(())
     }
 
     /// Resolve the pending publish ids against the string table. Runs at
@@ -472,13 +529,14 @@ impl Vm {
         Ok(())
     }
 
-    fn maybe_sample(&mut self) {
+    fn maybe_sample(&mut self) -> Result<(), VmError> {
         while self.clock_milli >= self.next_sample_milli {
             self.next_sample_milli += self.config.sample_interval_cycles * 1000;
             if !self.frames.is_empty() {
-                self.take_sample();
+                self.take_sample()?;
             }
         }
+        Ok(())
     }
 
     // --- the interpreters ---
@@ -549,14 +607,14 @@ impl Vm {
             match pending {
                 Pending::Event => {
                     self.frames.last_mut().expect("frame").ip = ip_after;
-                    self.maybe_sample();
+                    self.maybe_sample()?;
                     self.check_budget()?;
                 }
                 Pending::Call(callee) => {
                     self.frames.last_mut().expect("frame").ip = ip_after;
                     let arity = self.program.function(callee).arity as usize;
                     self.invoke(callee, arity)?;
-                    self.maybe_sample();
+                    self.maybe_sample()?;
                     self.check_budget()?;
                 }
                 Pending::Return => {
@@ -568,7 +626,7 @@ impl Vm {
                         return Ok(Outcome::Finished(self.finish()));
                     }
                     self.arena.push(value);
-                    self.maybe_sample();
+                    self.maybe_sample()?;
                     self.check_budget()?;
                 }
                 Pending::Done => {
@@ -576,7 +634,7 @@ impl Vm {
                     // control with resolved feature names.
                     self.frames.last_mut().expect("frame").ip = ip_after;
                     self.flush_published();
-                    self.maybe_sample();
+                    self.maybe_sample()?;
                     return Ok(Outcome::FeaturesReady);
                 }
                 Pending::Fault(e) => return Err(e),
@@ -632,11 +690,15 @@ impl Vm {
                 }
                 Step::Done => {
                     self.flush_published();
-                    self.maybe_sample();
+                    self.maybe_sample()?;
                     return Ok(Outcome::FeaturesReady);
                 }
             }
-            self.maybe_sample();
+            // Exact arena-peak tracking: the reference loop pays one max
+            // per instruction so the soundness suite can compare the true
+            // dynamic peak against the static bound.
+            self.profile.peak_arena_slots = self.profile.peak_arena_slots.max(self.arena.len());
+            self.maybe_sample()?;
         }
     }
 }

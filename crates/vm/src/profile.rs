@@ -33,6 +33,15 @@ pub struct RunProfile {
     pub final_levels: Vec<OptLevel>,
     /// All recompilations, in order.
     pub recompilations: Vec<RecompileEvent>,
+    /// Deepest call stack observed (frames, entry included). Tracked at
+    /// every invoke in both dispatch loops, so it is exact in either mode.
+    pub peak_call_depth: usize,
+    /// Largest frame-arena occupancy observed, in value slots. The fast
+    /// loop samples it at frame pushes (a lower bound on the true peak);
+    /// the reference loop tracks it per instruction, making it exact —
+    /// the soundness suite checks it against the static
+    /// [`frame bounds`](evovm_bytecode::analysis::FrameBounds).
+    pub peak_arena_slots: usize,
 }
 
 impl RunProfile {
@@ -43,6 +52,8 @@ impl RunProfile {
             invocations: vec![0; n],
             final_levels: vec![OptLevel::Baseline; n],
             recompilations: Vec::new(),
+            peak_call_depth: 0,
+            peak_arena_slots: 0,
         }
     }
 

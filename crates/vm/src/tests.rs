@@ -423,7 +423,7 @@ func work/1 {
     let mut levels = vec![None; 2];
     levels[0] = Some(OptLevel::O2);
     levels[work.index()] = Some(OptLevel::O2);
-    vm.apply_strategy(&levels);
+    vm.apply_strategy(&levels).unwrap();
     assert!(vm.cycles() > cycles_before, "recompilation charged");
     let Outcome::Finished(r) = vm.resume().unwrap() else {
         panic!("expected completion");
@@ -440,7 +440,7 @@ func work/1 {
 fn charge_overhead_moves_the_clock() {
     let program = Arc::new(parse("entry func main/0 {\n  null\n  return\n}").unwrap());
     let mut vm = Vm::new(program, Box::new(BaselineOnlyPolicy), VmConfig::default()).unwrap();
-    vm.charge_overhead(1234);
+    vm.charge_overhead(1234).unwrap();
     assert_eq!(vm.cycles(), 1234);
     let Outcome::Finished(r) = vm.run().unwrap() else {
         panic!("expected completion");
@@ -533,7 +533,7 @@ fn launch_overhead_skips_ticks_instead_of_deferring_them() {
     // Ten intervals of prediction overhead before launch: nothing is
     // running, so the ticks are dropped (like a timer firing in an idle
     // VM), not delivered to the entry method's first instruction.
-    vm.charge_overhead(10_000);
+    vm.charge_overhead(10_000).unwrap();
     let Outcome::Finished(r) = vm.run().unwrap() else {
         panic!("expected completion");
     };
@@ -560,7 +560,7 @@ fn pause_overhead_delivers_ticks_to_the_paused_method() {
     // Five intervals of prediction overhead while main is paused
     // mid-method: an equal amount of executed cycles would have delivered
     // five samples, and so does the overhead.
-    vm.charge_overhead(5_000);
+    vm.charge_overhead(5_000).unwrap();
     let Outcome::Finished(r) = vm.resume().unwrap() else {
         panic!("expected completion");
     };

@@ -13,6 +13,8 @@
 //! - [`runtime`] — the `updateV`/`done` channel for features computed by
 //!   the running application itself.
 //! - [`vfs`] — the in-memory filesystem FILE components resolve against.
+//! - [`static_features`] — bytecode-shape features from whole-program
+//!   static analysis, for cold-start prediction before any run exists.
 //!
 //! # Example
 //!
@@ -40,6 +42,7 @@ pub mod extract;
 pub mod feature;
 pub mod runtime;
 pub mod spec;
+pub mod static_features;
 pub mod translate;
 pub mod vfs;
 
@@ -47,5 +50,6 @@ pub use error::XiclError;
 pub use feature::{FeatureValue, FeatureVector};
 pub use runtime::RuntimeChannel;
 pub use spec::XiclSpec;
+pub use static_features::StaticFeatures;
 pub use translate::{TranslationStats, Translator};
 pub use vfs::Vfs;

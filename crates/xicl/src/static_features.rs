@@ -1,0 +1,258 @@
+//! Bytecode-shape features: a cold-start input to cross-run learning.
+//!
+//! XICL characterizes a program's *inputs*; this module characterizes the
+//! *program itself*, from the whole-program static analysis in
+//! [`evovm_bytecode::analysis`]. The two meet in the same
+//! [`FeatureVector`] currency, so a future `CrossRunOptimizer` can seed
+//! its very first prediction from bytecode shape alone — the
+//! PGO-without-profiles idea the ROADMAP's learned-optimizer item calls
+//! for — before any dynamic profile exists.
+//!
+//! The schema is fixed (same names, same order, for every program), which
+//! is the property positional learners need; quantities that recursion
+//! makes statically unbounded are encoded with the `-1` sentinel rather
+//! than dropped.
+
+use evovm_bytecode::analysis::{self, OpClass, ProgramAnalysis};
+use evovm_bytecode::{Program, VerifyError};
+
+use crate::feature::{FeatureValue, FeatureVector};
+
+/// Whole-program static features summarizing a verified program's shape.
+///
+/// Construct with [`StaticFeatures::of`]; convert to the learning
+/// currency with [`StaticFeatures::to_feature_vector`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaticFeatures {
+    /// Total functions in the program.
+    pub functions: usize,
+    /// Functions unreachable from the entry.
+    pub dead_functions: usize,
+    /// Instructions in live functions.
+    pub live_instructions: usize,
+    /// Natural loops in live functions.
+    pub loops: usize,
+    /// Deepest loop nesting in any live function.
+    pub max_loop_depth: usize,
+    /// Largest verifier-proven operand-stack bound of any live function.
+    pub max_stack: usize,
+    /// Largest locals count of any live function.
+    pub max_locals: usize,
+    /// Whether recursion is reachable from the entry.
+    pub recursive: bool,
+    /// Static call-depth bound in frames (`None` when recursive).
+    pub call_depth_bound: Option<usize>,
+    /// Static frame-arena bound in slots (`None` when recursive).
+    pub arena_slots_bound: Option<usize>,
+    /// Sum of plain static cost over live functions.
+    pub static_cost: u64,
+    /// Sum of loop-weighted static cost over live functions.
+    pub weighted_cost: u64,
+    /// Instruction-mix fractions over live instructions, indexed by
+    /// [`OpClass::index`]. Sums to 1 for non-empty programs.
+    pub mix: [f64; OpClass::COUNT],
+}
+
+impl StaticFeatures {
+    /// Analyze `program` and summarize it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the verifier's error for unverifiable programs.
+    pub fn of(program: &Program) -> Result<StaticFeatures, VerifyError> {
+        Ok(StaticFeatures::from_analysis(&analysis::analyze(program)?))
+    }
+
+    /// Summarize an analysis already at hand (avoids re-analyzing).
+    pub fn from_analysis(analysis: &ProgramAnalysis) -> StaticFeatures {
+        let live = || {
+            analysis
+                .profiles
+                .iter()
+                .filter(|p| analysis.call_graph.is_live(p.id))
+        };
+        let live_instructions: usize = live().map(|p| p.code_len).sum();
+        let mut counts = [0u64; OpClass::COUNT];
+        let mut static_cost = 0u64;
+        for p in live() {
+            static_cost = static_cost.saturating_add(p.static_cost);
+            for (total, n) in counts.iter_mut().zip(p.mix.iter()) {
+                *total += u64::from(*n);
+            }
+        }
+        let mut mix = [0.0f64; OpClass::COUNT];
+        if live_instructions > 0 {
+            for (f, n) in mix.iter_mut().zip(counts.iter()) {
+                *f = *n as f64 / live_instructions as f64;
+            }
+        }
+        StaticFeatures {
+            functions: analysis.profiles.len(),
+            dead_functions: analysis.call_graph.dead_functions().len(),
+            live_instructions,
+            loops: live().map(|p| p.loops).sum(),
+            max_loop_depth: live().map(|p| p.loop_depth).max().unwrap_or(0),
+            max_stack: live().map(|p| p.max_stack).max().unwrap_or(0),
+            max_locals: live().map(|p| usize::from(p.locals)).max().unwrap_or(0),
+            recursive: analysis.call_graph.has_live_recursion(),
+            call_depth_bound: analysis.bounds.call_depth,
+            arena_slots_bound: analysis.bounds.arena_slots,
+            static_cost,
+            weighted_cost: analysis.live_weighted_cost(),
+            mix,
+        }
+    }
+
+    /// Render as a [`FeatureVector`] with the stable `bc.*` schema:
+    /// scalar shape features first, then one `bc.mix.<class>` fraction
+    /// per [`OpClass`]. Unbounded quantities appear as `-1`.
+    pub fn to_feature_vector(&self) -> FeatureVector {
+        let unbounded = |b: Option<usize>| b.map_or(-1.0, |v| v as f64);
+        let mut fv = FeatureVector::new();
+        fv.push("bc.functions", FeatureValue::Num(self.functions as f64));
+        fv.push(
+            "bc.dead_functions",
+            FeatureValue::Num(self.dead_functions as f64),
+        );
+        fv.push(
+            "bc.instructions",
+            FeatureValue::Num(self.live_instructions as f64),
+        );
+        fv.push("bc.loops", FeatureValue::Num(self.loops as f64));
+        fv.push(
+            "bc.max_loop_depth",
+            FeatureValue::Num(self.max_loop_depth as f64),
+        );
+        fv.push("bc.max_stack", FeatureValue::Num(self.max_stack as f64));
+        fv.push("bc.max_locals", FeatureValue::Num(self.max_locals as f64));
+        fv.push(
+            "bc.recursive",
+            FeatureValue::Cat(if self.recursive { "y" } else { "n" }.to_owned()),
+        );
+        fv.push(
+            "bc.call_depth",
+            FeatureValue::Num(unbounded(self.call_depth_bound)),
+        );
+        fv.push(
+            "bc.arena_slots",
+            FeatureValue::Num(unbounded(self.arena_slots_bound)),
+        );
+        fv.push("bc.static_cost", FeatureValue::Num(self.static_cost as f64));
+        fv.push(
+            "bc.weighted_cost",
+            FeatureValue::Num(self.weighted_cost as f64),
+        );
+        for class in OpClass::ALL {
+            fv.push(
+                format!("bc.mix.{}", class.name()),
+                FeatureValue::Num(self.mix[class.index()]),
+            );
+        }
+        fv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evovm_bytecode::asm::parse;
+
+    const LOOPY: &str = "entry func main/0 locals=1 {
+  const 0
+  store 0
+top:
+  load 0
+  const 5
+  icmpge
+  jumpif end
+  load 0
+  call helper
+  print
+  load 0
+  const 1
+  iadd
+  store 0
+  jump top
+end:
+  null
+  return
+}
+func helper/1 {
+  load 0
+  const 2
+  imul
+  return
+}
+func dead/0 {
+  const 1
+  return
+}";
+
+    #[test]
+    fn summarizes_shape_of_a_live_subprogram() {
+        let p = parse(LOOPY).unwrap();
+        let sf = StaticFeatures::of(&p).unwrap();
+        assert_eq!(sf.functions, 3);
+        assert_eq!(sf.dead_functions, 1);
+        assert_eq!(sf.loops, 1);
+        assert_eq!(sf.max_loop_depth, 1);
+        assert!(!sf.recursive);
+        assert_eq!(sf.call_depth_bound, Some(2));
+        assert!(sf.weighted_cost > sf.static_cost);
+        // Dead code is excluded from the instruction count.
+        let live_len: usize = p.functions()[..2].iter().map(|f| f.code.len()).sum();
+        assert_eq!(sf.live_instructions, live_len);
+        let mix_sum: f64 = sf.mix.iter().sum();
+        assert!((mix_sum - 1.0).abs() < 1e-9, "mix must sum to 1: {mix_sum}");
+    }
+
+    #[test]
+    fn feature_vector_schema_is_stable_across_programs() {
+        let a = StaticFeatures::of(&parse(LOOPY).unwrap())
+            .unwrap()
+            .to_feature_vector();
+        let b = StaticFeatures::of(
+            &parse("entry func main/0 {\n  const 1\n  print\n  null\n  return\n}").unwrap(),
+        )
+        .unwrap()
+        .to_feature_vector();
+        assert_eq!(
+            a.names(),
+            b.names(),
+            "schema must not depend on the program"
+        );
+        assert_eq!(a.len(), 12 + OpClass::COUNT);
+        assert_eq!(a.get("bc.recursive").unwrap().as_cat(), Some("n"));
+        assert!(a.get("bc.mix.branch").unwrap().as_num().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn recursion_uses_the_unbounded_sentinel() {
+        let p = parse(
+            "entry func main/0 {
+  const 3
+  call f
+  print
+  null
+  return
+}
+func f/1 {
+  load 0
+  jumpifnot stop
+  load 0
+  const 1
+  isub
+  call f
+  return
+stop:
+  const 0
+  return
+}",
+        )
+        .unwrap();
+        let fv = StaticFeatures::of(&p).unwrap().to_feature_vector();
+        assert_eq!(fv.get("bc.recursive").unwrap().as_cat(), Some("y"));
+        assert_eq!(fv.get("bc.call_depth").unwrap().as_num(), Some(-1.0));
+        assert_eq!(fv.get("bc.arena_slots").unwrap().as_num(), Some(-1.0));
+    }
+}

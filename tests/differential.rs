@@ -54,6 +54,52 @@ fn all_workloads_agree_across_levels() {
     }
 }
 
+/// Every workload must survive checked whole-program re-verification at
+/// every level: [`optimize_program`] runs the pipeline through
+/// `compile_checked`, which re-verifies each emitted function and
+/// surfaces any miscompile as a structured [`CompileError`] instead of
+/// handing unverifiable code to the VM.
+#[test]
+fn pipeline_reverifies_every_workload_at_every_level() {
+    use evolvable_vm::opt::optimize_program;
+    for name in workloads::names() {
+        let bench = workloads::by_name(name).expect("bundled");
+        let program = &bench.inputs[0].program;
+        for level in OptLevel::ALL {
+            let transformed = optimize_program(program, level)
+                .unwrap_or_else(|e| panic!("{name}@{level}: pipeline miscompiled: {e}"));
+            assert_eq!(
+                transformed.functions().len(),
+                program.functions().len(),
+                "{name}@{level}: function count changed"
+            );
+            evovm_bytecode::verify::verify(&transformed)
+                .unwrap_or_else(|e| panic!("{name}@{level}: emitted program unverifiable: {e}"));
+        }
+    }
+}
+
+/// A deliberately broken "optimizer output" must be rejected by the
+/// checked path with a structured error naming the function and level.
+#[test]
+fn compile_checked_rejects_unverifiable_output() {
+    use evolvable_vm::bytecode::asm::parse;
+    use evolvable_vm::opt::optimize_program;
+    // `pop` on an empty stack fails stack-depth verification; the asm
+    // parser accepts it, so this models a miscompile reaching the
+    // checked pipeline. At O0 the pipeline is the identity, so the
+    // broken code flows straight to re-verification, which must refuse.
+    let broken = parse("entry func main/0 locals=0 {\n  pop\n  null\n  return\n}\n");
+    let Ok(broken) = broken else {
+        // Parser already rejects it — the property is vacuously safe.
+        return;
+    };
+    let err = optimize_program(&broken, OptLevel::O0)
+        .expect_err("unverifiable code must not survive the checked pipeline");
+    assert_eq!(err.function, "main");
+    assert_eq!(err.level, OptLevel::O0);
+}
+
 #[test]
 fn optimized_code_is_smaller_or_equal_for_workload_hot_methods() {
     use evolvable_vm::opt::Optimizer;

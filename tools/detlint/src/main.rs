@@ -1,0 +1,349 @@
+//! `detlint` — a determinism lint for the reproduction's deterministic
+//! core.
+//!
+//! The virtual clock's central promise is that a run's cycle count is a
+//! pure function of (program, inputs, policy). Three things silently
+//! break that promise when they leak into the deterministic crates:
+//!
+//! 1. **Wall-clock reads** — `Instant::now` / `SystemTime` make control
+//!    flow depend on host speed.
+//! 2. **Hash-order iteration** — iterating a `HashMap`/`HashSet` visits
+//!    entries in randomized order (the default hasher is seeded per
+//!    process), so anything order-sensitive downstream diverges between
+//!    runs.
+//! 3. **OS randomness** — `thread_rng` and friends.
+//!
+//! This is a deliberate *line/token* lint, not a type-checked one: the
+//! shim set has no `syn`, and a light heuristic that occasionally needs
+//! an allowlist entry beats a heavy parser that cannot run offline. It
+//! scans the deterministic surface (`crates/vm`, `crates/bytecode`,
+//! `crates/opt`, and `core`'s `scheduler.rs`/`campaign.rs`), skips each
+//! file's trailing `#[cfg(test)]` module (repo convention keeps test
+//! modules at the bottom), and consults `tools/detlint/allowlist.txt`
+//! for vetted sites.
+//!
+//! Hash-order iteration is found in two passes: pass one collects names
+//! bound or typed as `HashMap`/`HashSet` in the file, pass two flags
+//! `name.iter()`, `name.keys()`, `name.values()`, `name.values_mut()`,
+//! `name.iter_mut()`, `name.drain…`, `name.retain`, `name.into_iter()`
+//! and `for … in &name`.
+//!
+//! Usage: `cargo run -p detlint [-- <repo-root>]` — exit 0 when clean,
+//! 1 on findings, 2 on usage/IO errors.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Paths scanned, relative to the repo root. Directories are walked
+/// recursively for `.rs` files.
+const SCAN_ROOTS: [&str; 5] = [
+    "crates/vm/src",
+    "crates/bytecode/src",
+    "crates/opt/src",
+    "crates/core/src/scheduler.rs",
+    "crates/core/src/campaign.rs",
+];
+
+/// Tokens that are nondeterministic wherever they appear.
+const BANNED_TOKENS: [&str; 3] = ["Instant::now", "SystemTime", "thread_rng"];
+
+/// Method calls that iterate a hash collection in hash order.
+const ITERATION_METHODS: [&str; 8] = [
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".drain",
+    ".retain",
+    ".into_iter()",
+];
+
+/// One finding.
+struct Finding {
+    path: String,
+    line: usize,
+    token: String,
+    text: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "detlint: {}:{}: `{}` — {}",
+            self.path,
+            self.line,
+            self.token,
+            self.text.trim()
+        )
+    }
+}
+
+/// An allowlist entry: a path suffix plus the token vetted there.
+struct Allow {
+    path_suffix: String,
+    token: String,
+}
+
+fn load_allowlist(root: &Path) -> Vec<Allow> {
+    let file = root.join("tools/detlint/allowlist.txt");
+    let Ok(contents) = std::fs::read_to_string(file) else {
+        return Vec::new();
+    };
+    contents
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let (path_suffix, token) = l.split_once(char::is_whitespace)?;
+            Some(Allow {
+                path_suffix: path_suffix.to_owned(),
+                token: token.trim().to_owned(),
+            })
+        })
+        .collect()
+}
+
+fn is_allowed(allows: &[Allow], path: &str, token: &str) -> bool {
+    allows
+        .iter()
+        .any(|a| path.ends_with(&a.path_suffix) && token.contains(&a.token))
+}
+
+/// Collect every `.rs` file under `root` (or `root` itself when a file).
+fn rust_files(root: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if root.is_file() {
+        out.push(root.to_path_buf());
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(root)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Identifier characters for token-boundary checks.
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Names in `line` bound or typed as a hash collection:
+/// `let foo: HashMap<…>`, `foo: HashSet<…>` (struct fields/params),
+/// `let foo = HashMap::new()`, `let mut foo = HashSet::from…`.
+fn hash_bound_names(line: &str) -> Vec<String> {
+    let mut names = Vec::new();
+    for marker in ["HashMap", "HashSet"] {
+        let Some(at) = line.find(marker) else {
+            continue;
+        };
+        // The binding name precedes `: Hash…` or `= Hash…`.
+        let before = line[..at].trim_end();
+        let before = before
+            .strip_suffix(':')
+            .or_else(|| before.strip_suffix('='))
+            .map(str::trim_end);
+        let Some(before) = before else { continue };
+        let name: String = before
+            .chars()
+            .rev()
+            .take_while(|&c| is_ident(c))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+            .collect();
+        if !name.is_empty() && !name.chars().next().is_some_and(|c| c.is_numeric()) {
+            names.push(name);
+        }
+    }
+    names
+}
+
+/// Whether `line` iterates one of `names` in hash order.
+fn iterates_hash(line: &str, names: &[String]) -> Option<String> {
+    for name in names {
+        // `for x in &name` / `for x in name` (token-bounded).
+        if let Some(at) = line.find(" in ") {
+            let tail = line[at + 4..].trim_start().trim_start_matches('&');
+            if tail.starts_with(name.as_str())
+                && !tail[name.len()..].chars().next().is_some_and(is_ident)
+                && line.trim_start().starts_with("for ")
+            {
+                return Some(format!("for … in {name}"));
+            }
+        }
+        // `name.iter()` and friends — also match through field access
+        // (`self.name.values()`).
+        for method in ITERATION_METHODS {
+            let pattern = format!("{name}{method}");
+            if let Some(at) = line.find(&pattern) {
+                let ok_left = at == 0 || !line[..at].ends_with(is_ident);
+                if ok_left {
+                    return Some(format!("{name}{method}"));
+                }
+            }
+        }
+    }
+    None
+}
+
+fn scan_file(path: &Path, rel: &str, allows: &[Allow], findings: &mut Vec<Finding>) {
+    let Ok(contents) = std::fs::read_to_string(path) else {
+        return;
+    };
+    // Pass 1: hash-typed names (whole file, cheap).
+    let mut names: Vec<String> = Vec::new();
+    for line in contents.lines() {
+        names.extend(hash_bound_names(line));
+    }
+    names.sort_unstable();
+    names.dedup();
+    // Pass 2: findings, stopping at the trailing test module.
+    for (i, line) in contents.lines().enumerate() {
+        if line.trim_start().starts_with("#[cfg(test)]") {
+            break;
+        }
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        for token in BANNED_TOKENS {
+            if line.contains(token) && !is_allowed(allows, rel, token) {
+                findings.push(Finding {
+                    path: rel.to_owned(),
+                    line: i + 1,
+                    token: token.to_owned(),
+                    text: line.to_owned(),
+                });
+            }
+        }
+        if let Some(what) = iterates_hash(line, &names) {
+            if !is_allowed(allows, rel, &what) {
+                findings.push(Finding {
+                    path: rel.to_owned(),
+                    line: i + 1,
+                    token: what,
+                    text: line.to_owned(),
+                });
+            }
+        }
+    }
+}
+
+fn run() -> Result<usize, String> {
+    let root = std::env::args()
+        .nth(1)
+        .map_or_else(|| PathBuf::from("."), PathBuf::from);
+    if !root.join("Cargo.toml").exists() {
+        return Err(format!(
+            "{} does not look like the repo root (no Cargo.toml)",
+            root.display()
+        ));
+    }
+    let allows = load_allowlist(&root);
+    let mut findings = Vec::new();
+    let mut scanned = 0usize;
+    for rel_root in SCAN_ROOTS {
+        let abs = root.join(rel_root);
+        if !abs.exists() {
+            return Err(format!("scan root {rel_root} is missing"));
+        }
+        let mut files = Vec::new();
+        rust_files(&abs, &mut files).map_err(|e| format!("{rel_root}: {e}"))?;
+        for file in files {
+            let rel = file
+                .strip_prefix(&root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .into_owned();
+            scan_file(&file, &rel, &allows, &mut findings);
+            scanned += 1;
+        }
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    println!(
+        "detlint: {scanned} file(s) scanned, {} finding(s)",
+        findings.len()
+    );
+    Ok(findings.len())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::from(1),
+        Err(message) => {
+            eprintln!("detlint: error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_hash_bound_names() {
+        assert_eq!(
+            hash_bound_names("    let mut lanes: HashMap<String, Lane> = HashMap::new();"),
+            vec!["lanes".to_owned()]
+        );
+        assert_eq!(
+            hash_bound_names("    seen: HashSet<u64>,"),
+            vec!["seen".to_owned()]
+        );
+        assert_eq!(
+            hash_bound_names("    let cache = HashMap::new();"),
+            vec!["cache".to_owned()]
+        );
+        assert!(hash_bound_names("let x = 5;").is_empty());
+    }
+
+    #[test]
+    fn flags_iteration_not_lookup() {
+        let names = vec!["lanes".to_owned()];
+        assert!(iterates_hash("for (k, v) in &lanes {", &names).is_some());
+        assert!(iterates_hash("self.lanes.values_mut().for_each(…)", &names).is_some());
+        assert!(iterates_hash("lanes.keys().max()", &names).is_some());
+        assert!(iterates_hash("lanes.get(&key)", &names).is_none());
+        assert!(iterates_hash("lanes.insert(k, v)", &names).is_none());
+        // Other identifiers sharing a suffix must not match.
+        assert!(iterates_hash("airplanes.iter()", &names).is_none());
+    }
+
+    #[test]
+    fn allowlist_matches_path_suffix_and_token() {
+        let allows = vec![Allow {
+            path_suffix: "scheduler.rs".to_owned(),
+            token: "lanes.values".to_owned(),
+        }];
+        assert!(is_allowed(
+            &allows,
+            "crates/core/src/scheduler.rs",
+            "lanes.values_mut()"
+        ));
+        assert!(!is_allowed(
+            &allows,
+            "crates/core/src/scheduler.rs",
+            "Instant::now"
+        ));
+        assert!(!is_allowed(
+            &allows,
+            "crates/vm/src/machine.rs",
+            "lanes.values()"
+        ));
+    }
+}
