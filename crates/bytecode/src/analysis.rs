@@ -86,11 +86,18 @@ pub enum OpClass {
     Math,
     /// Host interface: `print`, `publish`, `done`.
     Host,
+    /// Fused local/constant traffic (`loadload`, `loadconst`,
+    /// `storeload`).
+    FusedData,
+    /// Fused constant-operand arithmetic, bitwise and compare forms.
+    FusedArith,
+    /// Fused branch forms (`storejump` and the compare-and-branch family).
+    FusedBranch,
 }
 
 impl OpClass {
     /// All classes, in histogram order.
-    pub const ALL: [OpClass; 16] = [
+    pub const ALL: [OpClass; 19] = [
         OpClass::Const,
         OpClass::Local,
         OpClass::Stack,
@@ -107,6 +114,9 @@ impl OpClass {
         OpClass::Array,
         OpClass::Math,
         OpClass::Host,
+        OpClass::FusedData,
+        OpClass::FusedArith,
+        OpClass::FusedBranch,
     ];
 
     /// The number of classes (histogram width).
@@ -155,6 +165,28 @@ impl OpClass {
             Instr::NewArray | Instr::ALoad | Instr::AStore | Instr::ALen => OpClass::Array,
             Instr::Math(_) => OpClass::Math,
             Instr::Print | Instr::Publish(_) | Instr::Done => OpClass::Host,
+            Instr::LoadLoad(_, _)
+            | Instr::LoadConst(_, _)
+            | Instr::StoreLoad(_, _)
+            | Instr::LoadALoad(_) => OpClass::FusedData,
+            Instr::ConstIBin(_, _)
+            | Instr::ConstBin(_, _)
+            | Instr::ConstBit(_, _)
+            | Instr::ConstICmp(_, _)
+            | Instr::IBinStore(_, _)
+            | Instr::BinStore(_, _)
+            | Instr::BitStore(_, _)
+            | Instr::LoadIBin(_, _)
+            | Instr::LoadBin(_, _)
+            | Instr::LoadLoadBin(_, _, _)
+            | Instr::LoadConstIBin(_, _, _)
+            | Instr::ConstBitStoreLoad(_, _, _, _) => OpClass::FusedArith,
+            Instr::StoreJump(_, _)
+            | Instr::ICmpBr(_, _, _)
+            | Instr::CmpBr(_, _, _)
+            | Instr::ConstICmpBr(_, _, _, _)
+            | Instr::LoadLoadCmpBr(_, _, _, _, _)
+            | Instr::ConstIBinStoreJump(_, _, _, _) => OpClass::FusedBranch,
         }
     }
 
@@ -177,6 +209,9 @@ impl OpClass {
             OpClass::Array => "array",
             OpClass::Math => "math",
             OpClass::Host => "host",
+            OpClass::FusedData => "fused_data",
+            OpClass::FusedArith => "fused_arith",
+            OpClass::FusedBranch => "fused_branch",
         }
     }
 

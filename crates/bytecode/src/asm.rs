@@ -43,6 +43,7 @@ use std::collections::HashMap;
 use crate::builder::ProgramBuilder;
 use crate::instr::{Instr, MathFn};
 use crate::program::{FuncId, Function, Program};
+use crate::scalar::{BinOp, BitOp, CmpOp};
 use crate::BytecodeError;
 
 /// Parse assembly text into a verified-shape [`Program`].
@@ -337,7 +338,176 @@ fn parse_instr(
         }
         "done" => simple(Instr::Done),
         "nop" => simple(Instr::Nop),
+
+        // Fused superinstructions, in the disassembler's syntax: branch
+        // targets are labels, operators and the `if`/`ifnot` branch sense
+        // are keywords.
+        "loadload" | "storeload" => {
+            let [a, b] = toks(arg, 2, op, lineno)?[..] else {
+                unreachable!()
+            };
+            let (a, b) = (need_u16(a)?, need_u16(b)?);
+            Ok(match op {
+                "loadload" => Instr::LoadLoad(a, b),
+                _ => Instr::StoreLoad(a, b),
+            })
+        }
+        "loadconst" => {
+            let [n, v] = toks(arg, 2, op, lineno)?[..] else {
+                unreachable!()
+            };
+            Ok(Instr::LoadConst(need_u16(n)?, need_i64(v, lineno)?))
+        }
+        "storejump" => {
+            let [n, label] = toks(arg, 2, op, lineno)?[..] else {
+                unreachable!()
+            };
+            fixups.push((at, label.to_owned(), lineno));
+            Ok(Instr::StoreJump(need_u16(n)?, u32::MAX))
+        }
+        "constibin" | "constbin" => {
+            let [o, v] = toks(arg, 2, op, lineno)?[..] else {
+                unreachable!()
+            };
+            let o = BinOp::from_name(o).ok_or_else(|| err(format!("unknown operator `{o}`")))?;
+            let v = need_i64(v, lineno)?;
+            Ok(match op {
+                "constibin" => Instr::ConstIBin(o, v),
+                _ => Instr::ConstBin(o, v),
+            })
+        }
+        "constbit" => {
+            let [o, v] = toks(arg, 2, op, lineno)?[..] else {
+                unreachable!()
+            };
+            let o = BitOp::from_name(o).ok_or_else(|| err(format!("unknown operator `{o}`")))?;
+            Ok(Instr::ConstBit(o, need_i64(v, lineno)?))
+        }
+        "consticmp" => {
+            let [o, v] = toks(arg, 2, op, lineno)?[..] else {
+                unreachable!()
+            };
+            let o = CmpOp::from_name(o).ok_or_else(|| err(format!("unknown operator `{o}`")))?;
+            Ok(Instr::ConstICmp(o, need_i64(v, lineno)?))
+        }
+        "icmpbr" | "cmpbr" => {
+            let [o, when, label] = toks(arg, 3, op, lineno)?[..] else {
+                unreachable!()
+            };
+            let o = CmpOp::from_name(o).ok_or_else(|| err(format!("unknown operator `{o}`")))?;
+            let when = need_when(when, lineno)?;
+            fixups.push((at, label.to_owned(), lineno));
+            Ok(match op {
+                "icmpbr" => Instr::ICmpBr(o, u32::MAX, when),
+                _ => Instr::CmpBr(o, u32::MAX, when),
+            })
+        }
+        "consticmpbr" => {
+            let [o, v, when, label] = toks(arg, 4, op, lineno)?[..] else {
+                unreachable!()
+            };
+            let o = CmpOp::from_name(o).ok_or_else(|| err(format!("unknown operator `{o}`")))?;
+            let v = need_i64(v, lineno)?;
+            let when = need_when(when, lineno)?;
+            fixups.push((at, label.to_owned(), lineno));
+            Ok(Instr::ConstICmpBr(o, v, u32::MAX, when))
+        }
+        "ibinstore" | "binstore" | "loadibin" | "loadbin" => {
+            let [o, n] = toks(arg, 2, op, lineno)?[..] else {
+                unreachable!()
+            };
+            let o = BinOp::from_name(o).ok_or_else(|| err(format!("unknown operator `{o}`")))?;
+            let n = need_u16(n)?;
+            Ok(match op {
+                "ibinstore" => Instr::IBinStore(o, n),
+                "binstore" => Instr::BinStore(o, n),
+                "loadibin" => Instr::LoadIBin(o, n),
+                _ => Instr::LoadBin(o, n),
+            })
+        }
+        "bitstore" => {
+            let [o, n] = toks(arg, 2, op, lineno)?[..] else {
+                unreachable!()
+            };
+            let o = BitOp::from_name(o).ok_or_else(|| err(format!("unknown operator `{o}`")))?;
+            Ok(Instr::BitStore(o, need_u16(n)?))
+        }
+        "loadaload" => Ok(Instr::LoadALoad(need_u16(arg)?)),
+        "loadloadbin" => {
+            let [o, a, b] = toks(arg, 3, op, lineno)?[..] else {
+                unreachable!()
+            };
+            let o = BinOp::from_name(o).ok_or_else(|| err(format!("unknown operator `{o}`")))?;
+            Ok(Instr::LoadLoadBin(o, need_u16(a)?, need_u16(b)?))
+        }
+        "loadconstibin" => {
+            let [o, n, v] = toks(arg, 3, op, lineno)?[..] else {
+                unreachable!()
+            };
+            let o = BinOp::from_name(o).ok_or_else(|| err(format!("unknown operator `{o}`")))?;
+            Ok(Instr::LoadConstIBin(o, need_u16(n)?, need_i64(v, lineno)?))
+        }
+        "loadloadcmpbr" => {
+            let [o, when, a, b, label] = toks(arg, 5, op, lineno)?[..] else {
+                unreachable!()
+            };
+            let o = CmpOp::from_name(o).ok_or_else(|| err(format!("unknown operator `{o}`")))?;
+            let when = need_when(when, lineno)?;
+            let (a, b) = (need_u16(a)?, need_u16(b)?);
+            fixups.push((at, label.to_owned(), lineno));
+            Ok(Instr::LoadLoadCmpBr(o, a, b, u32::MAX, when))
+        }
+        "constbitstoreload" => {
+            let [o, v, n, m] = toks(arg, 4, op, lineno)?[..] else {
+                unreachable!()
+            };
+            let o = BitOp::from_name(o).ok_or_else(|| err(format!("unknown operator `{o}`")))?;
+            let v = need_i64(v, lineno)?;
+            Ok(Instr::ConstBitStoreLoad(o, v, need_u16(n)?, need_u16(m)?))
+        }
+        "constibinstorejump" => {
+            let [o, v, n, label] = toks(arg, 4, op, lineno)?[..] else {
+                unreachable!()
+            };
+            let o = BinOp::from_name(o).ok_or_else(|| err(format!("unknown operator `{o}`")))?;
+            let v = need_i64(v, lineno)?;
+            let n = need_u16(n)?;
+            fixups.push((at, label.to_owned(), lineno));
+            Ok(Instr::ConstIBinStoreJump(o, v, n, u32::MAX))
+        }
         other => Err(err(format!("unknown instruction `{other}`"))),
+    }
+}
+
+/// Split `arg` into exactly `n` whitespace-separated tokens.
+fn toks<'a>(arg: &'a str, n: usize, op: &str, line: usize) -> Result<Vec<&'a str>, BytecodeError> {
+    let v: Vec<&str> = arg.split_whitespace().collect();
+    if v.len() == n {
+        Ok(v)
+    } else {
+        Err(BytecodeError::Parse {
+            line,
+            message: format!("`{op}` needs {n} operands, got {}", v.len()),
+        })
+    }
+}
+
+fn need_i64(arg: &str, line: usize) -> Result<i64, BytecodeError> {
+    arg.parse().map_err(|_| BytecodeError::Parse {
+        line,
+        message: format!("bad integer `{arg}`"),
+    })
+}
+
+/// Parse the branch sense of the fused compare-and-branch forms.
+fn need_when(tok: &str, line: usize) -> Result<bool, BytecodeError> {
+    match tok {
+        "if" => Ok(true),
+        "ifnot" => Ok(false),
+        other => Err(BytecodeError::Parse {
+            line,
+            message: format!("expected `if` or `ifnot`, got `{other}`"),
+        }),
     }
 }
 
@@ -421,6 +591,48 @@ entry func main/0 {
             ref other => panic!("expected publish, got {other:?}"),
         }
         // Round-trips through the disassembler too.
+        let p2 = parse(&disassemble(&p)).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn fused_instructions_roundtrip() {
+        let src = "
+entry func main/0 locals=1 {
+  const 0
+  store 0
+top:
+  loadconst 0 10
+  icmpbr ge if end
+  loadload 0 0
+  constibin mul 3
+  constbit and 255
+  consticmp lt 7
+  pop
+  constbin add 1
+  storejump 0 top
+end:
+  load 0
+  consticmpbr eq 0 ifnot other
+  null
+  return
+other:
+  null
+  return
+}
+";
+        let p = parse(src).unwrap();
+        let main = p.function(p.entry());
+        assert_eq!(main.code[2], Instr::LoadConst(0, 10));
+        assert_eq!(
+            main.code[3],
+            Instr::ICmpBr(crate::scalar::CmpOp::Ge, 11, true)
+        );
+        assert_eq!(main.code[10], Instr::StoreJump(0, 2));
+        assert_eq!(
+            main.code[12],
+            Instr::ConstICmpBr(crate::scalar::CmpOp::Eq, 0, 15, false)
+        );
         let p2 = parse(&disassemble(&p)).unwrap();
         assert_eq!(p, p2);
     }

@@ -118,6 +118,59 @@ fn render(program: &Program, instr: &Instr, label_of: &dyn Fn(u32) -> Option<usi
         Instr::Publish(s) => format!("publish {:?}", program.string(*s)),
         Instr::Done => "done".into(),
         Instr::Nop => "nop".into(),
+        Instr::LoadLoad(a, b) => format!("loadload {a} {b}"),
+        Instr::LoadConst(n, v) => format!("loadconst {n} {v}"),
+        Instr::StoreLoad(n, m) => format!("storeload {n} {m}"),
+        Instr::StoreJump(n, t) => format!("storejump {n} {}", lbl(*t)),
+        Instr::ConstIBin(op, v) => format!("constibin {} {v}", op.name()),
+        Instr::ConstBin(op, v) => format!("constbin {} {v}", op.name()),
+        Instr::ConstBit(op, v) => format!("constbit {} {v}", op.name()),
+        Instr::ConstICmp(op, v) => format!("consticmp {} {v}", op.name()),
+        Instr::ICmpBr(op, t, when) => {
+            format!("icmpbr {} {} {}", op.name(), when_name(*when), lbl(*t))
+        }
+        Instr::CmpBr(op, t, when) => {
+            format!("cmpbr {} {} {}", op.name(), when_name(*when), lbl(*t))
+        }
+        Instr::ConstICmpBr(op, v, t, when) => format!(
+            "consticmpbr {} {v} {} {}",
+            op.name(),
+            when_name(*when),
+            lbl(*t)
+        ),
+        Instr::IBinStore(op, n) => format!("ibinstore {} {n}", op.name()),
+        Instr::BinStore(op, n) => format!("binstore {} {n}", op.name()),
+        Instr::BitStore(op, n) => format!("bitstore {} {n}", op.name()),
+        Instr::LoadIBin(op, n) => format!("loadibin {} {n}", op.name()),
+        Instr::LoadBin(op, n) => format!("loadbin {} {n}", op.name()),
+        Instr::LoadALoad(n) => format!("loadaload {n}"),
+        Instr::LoadLoadBin(op, a, b) => format!("loadloadbin {} {a} {b}", op.name()),
+        Instr::LoadConstIBin(op, n, v) => format!("loadconstibin {} {n} {v}", op.name()),
+        Instr::LoadLoadCmpBr(op, a, b, t, when) => {
+            format!(
+                "loadloadcmpbr {} {} {a} {b} {}",
+                op.name(),
+                when_name(*when),
+                lbl(*t)
+            )
+        }
+        Instr::ConstBitStoreLoad(op, v, n, m) => {
+            format!("constbitstoreload {} {v} {n} {m}", op.name())
+        }
+        Instr::ConstIBinStoreJump(op, v, n, t) => {
+            format!("constibinstorejump {} {v} {n} {}", op.name(), lbl(*t))
+        }
+    }
+}
+
+/// The branch-sense keyword of the fused compare-and-branch forms:
+/// `if` branches when the compare is truthy (a fused `jumpif`), `ifnot`
+/// when it is falsy.
+fn when_name(when: bool) -> &'static str {
+    if when {
+        "if"
+    } else {
+        "ifnot"
     }
 }
 

@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::program::{FuncId, StrId};
+use crate::scalar::{BinOp, BitOp, CmpOp};
 
 /// Math intrinsics available to bytecode programs.
 ///
@@ -261,9 +262,292 @@ pub enum Instr {
 
     /// No operation (left behind by some rewrites; erased by DCE).
     Nop,
+
+    // --- fused superinstructions ---
+    //
+    // Installed only by the O1/O2 fusion pass (`evovm-opt`'s `fuse`),
+    // never written by frontends. Each one executes exactly like its
+    // component sequence, costs the *sum* of its components
+    // ([`Instr::base_cost`]) and reports its component count to the
+    // retired-instruction counter, so the virtual clock and instruction
+    // totals are bit-identical to unfused code. The set is chosen from
+    // the measured opcode-pair distribution in `BENCH_dispatch.json`.
+    /// Fused `Load a; Load b`.
+    LoadLoad(u16, u16),
+    /// Fused `Load n; Const v`.
+    LoadConst(u16, i64),
+    /// Fused `Store n; Load m` (store the top of stack, then push another
+    /// local — the dominant statement seam).
+    StoreLoad(u16, u16),
+    /// Fused `Store n; Jump t` (the loop back-edge idiom). A terminator,
+    /// like the `Jump` it ends with.
+    StoreJump(u16, u32),
+    /// Fused `Const v; IAdd/ISub/IMul`: apply the int-specialized binop
+    /// with `v` as the right operand, in place on the top of stack.
+    ConstIBin(BinOp, i64),
+    /// Fused `Const v; Add/Sub/Mul` (the generic forms quickening could
+    /// not specialize; same semantics as [`Instr::ConstIBin`], generic
+    /// cost).
+    ConstBin(BinOp, i64),
+    /// Fused `Const v; Shl/Shr/BitAnd/BitOr/BitXor`.
+    ConstBit(BitOp, i64),
+    /// Fused `Const v; ICmpXx`: compare the top of stack against `v`,
+    /// leaving the 0/1 result in place.
+    ConstICmp(CmpOp, i64),
+    /// Fused `ICmpXx; JumpIf t` (`true`) / `JumpIfNot t` (`false`): pop
+    /// two, compare, branch when the comparison matches the flag.
+    ICmpBr(CmpOp, u32, bool),
+    /// Fused `CmpXx; JumpIf/JumpIfNot` (generic-compare flavour of
+    /// [`Instr::ICmpBr`]).
+    CmpBr(CmpOp, u32, bool),
+    /// Fused `Const v; ICmpXx; JumpIf/JumpIfNot` — the complete loop-head
+    /// idiom, a three-instruction superinstruction formed by fusing
+    /// [`Instr::ConstICmp`] with the branch.
+    ConstICmpBr(CmpOp, i64, u32, bool),
+    /// Fused `IAdd/ISub/IMul; Store n`: pop two, apply the
+    /// int-specialized binop, store the result into local `n`.
+    IBinStore(BinOp, u16),
+    /// Fused `Add/Sub/Mul; Store n` (generic flavour of
+    /// [`Instr::IBinStore`]).
+    BinStore(BinOp, u16),
+    /// Fused `Shl/Shr/BitAnd/BitOr/BitXor; Store n`.
+    BitStore(BitOp, u16),
+    /// Fused `Load n; IAdd/ISub/IMul`: apply the int-specialized binop
+    /// with local `n` as the right operand, in place on the top of stack.
+    LoadIBin(BinOp, u16),
+    /// Fused `Load n; Add/Sub/Mul` (generic flavour of
+    /// [`Instr::LoadIBin`]).
+    LoadBin(BinOp, u16),
+    /// Fused `Load n; ALoad`: index the array on top of stack with local
+    /// `n`, replacing the array with the element.
+    LoadALoad(u16),
+
+    // --- tier-3 superinstructions ---
+    //
+    // Formed by a second fixpoint round of the same fusion pass: the
+    // left element is itself a fused pair, so these cover the hot
+    // three- and four-instruction chains that remain after pair fusion
+    // (see the residual pair table in `BENCH_dispatch.json`).
+    /// Fused `Load a; Load b; Add/Sub/Mul`: push `a ⊕ b` (generic
+    /// arithmetic; `Div`/`Rem` stay unfused).
+    LoadLoadBin(BinOp, u16, u16),
+    /// Fused `Load n; Const v; IAdd/ISub/IMul`: push `n ⊕ v` with the
+    /// int-specialized cost (the array-indexing idiom `base + i*stride`).
+    LoadConstIBin(BinOp, u16, i64),
+    /// Fused `Load a; Load b; CmpXx; JumpIf/JumpIfNot`: the complete
+    /// two-local loop-head compare — no stack traffic at all.
+    LoadLoadCmpBr(CmpOp, u16, u16, u32, bool),
+    /// Fused `Const v; Shl/../BitXor; Store n; Load m`: mask-and-store
+    /// then start the next statement (the compress/bloat inner-loop
+    /// idiom).
+    ConstBitStoreLoad(BitOp, i64, u16, u16),
+    /// Fused `Const v; IAdd/ISub/IMul; Store n; Jump t`: the complete
+    /// `i = i ⊕ c; continue` back-edge. A terminator, like the `Jump` it
+    /// ends with (`Div`/`Rem` stay unfused).
+    ConstIBinStoreJump(BinOp, i64, u16, u32),
 }
 
+/// Mnemonic names of the dispatch classes, indexed by
+/// [`Instr::dispatch_class`]. Kept in declaration order of [`Instr`] so
+/// profile reports read like the ISA listing.
+const DISPATCH_CLASS_NAMES: [&str; Instr::DISPATCH_CLASSES] = [
+    "const",
+    "fconst",
+    "null",
+    "load",
+    "store",
+    "dup",
+    "pop",
+    "swap",
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "rem",
+    "neg",
+    "iadd",
+    "isub",
+    "imul",
+    "idiv",
+    "irem",
+    "ineg",
+    "fadd",
+    "fsub",
+    "fmul",
+    "fdiv",
+    "fneg",
+    "shl",
+    "shr",
+    "band",
+    "bor",
+    "bxor",
+    "cmpeq",
+    "cmpne",
+    "cmplt",
+    "cmple",
+    "cmpgt",
+    "cmpge",
+    "icmpeq",
+    "icmpne",
+    "icmplt",
+    "icmple",
+    "icmpgt",
+    "icmpge",
+    "fcmpeq",
+    "fcmpne",
+    "fcmplt",
+    "fcmple",
+    "fcmpgt",
+    "fcmpge",
+    "tofloat",
+    "toint",
+    "jump",
+    "jumpif",
+    "jumpifnot",
+    "call",
+    "return",
+    "newarray",
+    "aload",
+    "astore",
+    "alen",
+    "math",
+    "print",
+    "publish",
+    "done",
+    "nop",
+    "loadload",
+    "loadconst",
+    "storeload",
+    "storejump",
+    "constibin",
+    "constbin",
+    "constbit",
+    "consticmp",
+    "icmpbr",
+    "cmpbr",
+    "consticmpbr",
+    "ibinstore",
+    "binstore",
+    "bitstore",
+    "loadibin",
+    "loadbin",
+    "loadaload",
+    "loadloadbin",
+    "loadconstibin",
+    "loadloadcmpbr",
+    "constbitstoreload",
+    "constibinstorejump",
+];
+
 impl Instr {
+    /// Number of dispatch classes ([`Instr::dispatch_class`] values are
+    /// `0..DISPATCH_CLASSES`): one class per opcode, ignoring operands, so
+    /// an opcode-pair frequency table is `DISPATCH_CLASSES²` counters.
+    pub const DISPATCH_CLASSES: usize = 86;
+
+    /// The instruction's dispatch class: a dense 16-bit opcode index (the
+    /// operand is ignored) used by the interpreter's dispatch profiler to
+    /// bump per-opcode and opcode-pair counters without hashing.
+    pub fn dispatch_class(self) -> u16 {
+        match self {
+            Instr::Const(_) => 0,
+            Instr::FConst(_) => 1,
+            Instr::Null => 2,
+            Instr::Load(_) => 3,
+            Instr::Store(_) => 4,
+            Instr::Dup => 5,
+            Instr::Pop => 6,
+            Instr::Swap => 7,
+            Instr::Add => 8,
+            Instr::Sub => 9,
+            Instr::Mul => 10,
+            Instr::Div => 11,
+            Instr::Rem => 12,
+            Instr::Neg => 13,
+            Instr::IAdd => 14,
+            Instr::ISub => 15,
+            Instr::IMul => 16,
+            Instr::IDiv => 17,
+            Instr::IRem => 18,
+            Instr::INeg => 19,
+            Instr::FAdd => 20,
+            Instr::FSub => 21,
+            Instr::FMul => 22,
+            Instr::FDiv => 23,
+            Instr::FNeg => 24,
+            Instr::Shl => 25,
+            Instr::Shr => 26,
+            Instr::BitAnd => 27,
+            Instr::BitOr => 28,
+            Instr::BitXor => 29,
+            Instr::CmpEq => 30,
+            Instr::CmpNe => 31,
+            Instr::CmpLt => 32,
+            Instr::CmpLe => 33,
+            Instr::CmpGt => 34,
+            Instr::CmpGe => 35,
+            Instr::ICmpEq => 36,
+            Instr::ICmpNe => 37,
+            Instr::ICmpLt => 38,
+            Instr::ICmpLe => 39,
+            Instr::ICmpGt => 40,
+            Instr::ICmpGe => 41,
+            Instr::FCmpEq => 42,
+            Instr::FCmpNe => 43,
+            Instr::FCmpLt => 44,
+            Instr::FCmpLe => 45,
+            Instr::FCmpGt => 46,
+            Instr::FCmpGe => 47,
+            Instr::ToFloat => 48,
+            Instr::ToInt => 49,
+            Instr::Jump(_) => 50,
+            Instr::JumpIf(_) => 51,
+            Instr::JumpIfNot(_) => 52,
+            Instr::Call(_) => 53,
+            Instr::Return => 54,
+            Instr::NewArray => 55,
+            Instr::ALoad => 56,
+            Instr::AStore => 57,
+            Instr::ALen => 58,
+            Instr::Math(_) => 59,
+            Instr::Print => 60,
+            Instr::Publish(_) => 61,
+            Instr::Done => 62,
+            Instr::Nop => 63,
+            Instr::LoadLoad(_, _) => 64,
+            Instr::LoadConst(_, _) => 65,
+            Instr::StoreLoad(_, _) => 66,
+            Instr::StoreJump(_, _) => 67,
+            Instr::ConstIBin(_, _) => 68,
+            Instr::ConstBin(_, _) => 69,
+            Instr::ConstBit(_, _) => 70,
+            Instr::ConstICmp(_, _) => 71,
+            Instr::ICmpBr(_, _, _) => 72,
+            Instr::CmpBr(_, _, _) => 73,
+            Instr::ConstICmpBr(_, _, _, _) => 74,
+            Instr::IBinStore(_, _) => 75,
+            Instr::BinStore(_, _) => 76,
+            Instr::BitStore(_, _) => 77,
+            Instr::LoadIBin(_, _) => 78,
+            Instr::LoadBin(_, _) => 79,
+            Instr::LoadALoad(_) => 80,
+            Instr::LoadLoadBin(_, _, _) => 81,
+            Instr::LoadConstIBin(_, _, _) => 82,
+            Instr::LoadLoadCmpBr(_, _, _, _, _) => 83,
+            Instr::ConstBitStoreLoad(_, _, _, _) => 84,
+            Instr::ConstIBinStoreJump(_, _, _, _) => 85,
+        }
+    }
+
+    /// Mnemonic of a dispatch class, for profile reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class >= DISPATCH_CLASSES`.
+    pub fn dispatch_class_name(class: u16) -> &'static str {
+        DISPATCH_CLASS_NAMES[class as usize]
+    }
+
     /// Base virtual-cycle cost of the instruction.
     ///
     /// This is the canonical cost model shared by the interpreter, the
@@ -327,7 +611,152 @@ impl Instr {
             Instr::Print => 30,
             Instr::Publish(_) => 10,
             Instr::Done => 5,
+
+            // Fused superinstructions cost exactly the sum of their
+            // components — the invariant that keeps the virtual clock
+            // bit-identical between fused and unfused code (asserted by
+            // `fused_costs_are_component_sums` below and re-checked by
+            // the optimizer's cost-table test).
+            Instr::LoadLoad(_, _) | Instr::LoadConst(_, _) | Instr::StoreLoad(_, _) => 2,
+            Instr::StoreJump(_, _) => 2,
+            Instr::ConstIBin(op, _) => {
+                1 + match op {
+                    BinOp::Div | BinOp::Rem => 4,
+                    _ => 1,
+                }
+            }
+            Instr::ConstBin(op, _) => {
+                1 + match op {
+                    BinOp::Div | BinOp::Rem => 8,
+                    _ => 4,
+                }
+            }
+            Instr::ConstBit(_, _) => 2,
+            Instr::ConstICmp(_, _) => 2,
+            Instr::ICmpBr(_, _, _) => 3,
+            Instr::CmpBr(_, _, _) => 6,
+            Instr::ConstICmpBr(_, _, _, _) => 4,
+            Instr::IBinStore(op, _) | Instr::LoadIBin(op, _) => {
+                1 + match op {
+                    BinOp::Div | BinOp::Rem => 4,
+                    _ => 1,
+                }
+            }
+            Instr::BinStore(op, _) | Instr::LoadBin(op, _) => {
+                1 + match op {
+                    BinOp::Div | BinOp::Rem => 8,
+                    _ => 4,
+                }
+            }
+            Instr::BitStore(_, _) => 2,
+            Instr::LoadALoad(_) => 4,
+            // Tier-3: sums of the tier-1/2 sums. The fusion pass never
+            // forms the Div/Rem flavours, but the cost stays the exact
+            // component sum for every operand regardless.
+            Instr::LoadLoadBin(op, _, _) => {
+                2 + match op {
+                    BinOp::Div | BinOp::Rem => 8,
+                    _ => 4,
+                }
+            }
+            Instr::LoadConstIBin(op, _, _) => {
+                2 + match op {
+                    BinOp::Div | BinOp::Rem => 4,
+                    _ => 1,
+                }
+            }
+            Instr::LoadLoadCmpBr(_, _, _, _, _) => 8,
+            Instr::ConstBitStoreLoad(_, _, _, _) => 4,
+            Instr::ConstIBinStoreJump(op, _, _, _) => {
+                3 + match op {
+                    BinOp::Div | BinOp::Rem => 4,
+                    _ => 1,
+                }
+            }
         }
+    }
+
+    /// How many source instructions this opcode retires: 1 for everything
+    /// except fused superinstructions, which report their component count
+    /// so retired-instruction totals are identical fused and unfused.
+    pub fn component_count(&self) -> u64 {
+        match self {
+            Instr::LoadLoad(_, _)
+            | Instr::LoadConst(_, _)
+            | Instr::StoreLoad(_, _)
+            | Instr::StoreJump(_, _)
+            | Instr::ConstIBin(_, _)
+            | Instr::ConstBin(_, _)
+            | Instr::ConstBit(_, _)
+            | Instr::ConstICmp(_, _)
+            | Instr::ICmpBr(_, _, _)
+            | Instr::CmpBr(_, _, _)
+            | Instr::IBinStore(_, _)
+            | Instr::BinStore(_, _)
+            | Instr::BitStore(_, _)
+            | Instr::LoadIBin(_, _)
+            | Instr::LoadBin(_, _)
+            | Instr::LoadALoad(_) => 2,
+            Instr::ConstICmpBr(_, _, _, _)
+            | Instr::LoadLoadBin(_, _, _)
+            | Instr::LoadConstIBin(_, _, _) => 3,
+            Instr::LoadLoadCmpBr(_, _, _, _, _)
+            | Instr::ConstBitStoreLoad(_, _, _, _)
+            | Instr::ConstIBinStoreJump(_, _, _, _) => 4,
+            _ => 1,
+        }
+    }
+
+    /// The component sequence a fused superinstruction stands for
+    /// (`None` for ordinary instructions). The inverse of the fusion
+    /// pass, used by tests and disassembly tooling.
+    pub fn unfused(&self) -> Option<Vec<Instr>> {
+        let seq = match *self {
+            Instr::LoadLoad(a, b) => vec![Instr::Load(a), Instr::Load(b)],
+            Instr::LoadConst(n, v) => vec![Instr::Load(n), Instr::Const(v)],
+            Instr::StoreLoad(n, m) => vec![Instr::Store(n), Instr::Load(m)],
+            Instr::StoreJump(n, t) => vec![Instr::Store(n), Instr::Jump(t)],
+            Instr::ConstIBin(op, v) => vec![Instr::Const(v), ibin_of(op)],
+            Instr::ConstBin(op, v) => vec![Instr::Const(v), bin_of(op)],
+            Instr::ConstBit(op, v) => vec![Instr::Const(v), bit_of(op)],
+            Instr::ConstICmp(op, v) => vec![Instr::Const(v), icmp_of(op)],
+            Instr::ICmpBr(op, t, when) => vec![icmp_of(op), branch_of(t, when)],
+            Instr::CmpBr(op, t, when) => vec![cmp_of(op), branch_of(t, when)],
+            Instr::ConstICmpBr(op, v, t, when) => {
+                vec![Instr::Const(v), icmp_of(op), branch_of(t, when)]
+            }
+            Instr::IBinStore(op, n) => vec![ibin_of(op), Instr::Store(n)],
+            Instr::BinStore(op, n) => vec![bin_of(op), Instr::Store(n)],
+            Instr::BitStore(op, n) => vec![bit_of(op), Instr::Store(n)],
+            Instr::LoadIBin(op, n) => vec![Instr::Load(n), ibin_of(op)],
+            Instr::LoadBin(op, n) => vec![Instr::Load(n), bin_of(op)],
+            Instr::LoadALoad(n) => vec![Instr::Load(n), Instr::ALoad],
+            Instr::LoadLoadBin(op, a, b) => vec![Instr::Load(a), Instr::Load(b), bin_of(op)],
+            Instr::LoadConstIBin(op, n, v) => {
+                vec![Instr::Load(n), Instr::Const(v), ibin_of(op)]
+            }
+            Instr::LoadLoadCmpBr(op, a, b, t, when) => {
+                vec![
+                    Instr::Load(a),
+                    Instr::Load(b),
+                    cmp_of(op),
+                    branch_of(t, when),
+                ]
+            }
+            Instr::ConstBitStoreLoad(op, v, n, m) => {
+                vec![Instr::Const(v), bit_of(op), Instr::Store(n), Instr::Load(m)]
+            }
+            Instr::ConstIBinStoreJump(op, v, n, t) => {
+                vec![
+                    Instr::Const(v),
+                    ibin_of(op),
+                    Instr::Store(n),
+                    Instr::Jump(t),
+                ]
+            }
+            _ => return None,
+        };
+        Some(seq)
     }
 
     /// `(pops, pushes)` stack effect; `Call` pops the callee's arity, which
@@ -390,6 +819,24 @@ impl Instr {
             Instr::ALen => (1, 1),
 
             Instr::Math(m) => (m.arity(), 1),
+
+            // Fused forms execute in place, so their transient stack never
+            // exceeds what these net effects imply.
+            Instr::LoadLoad(_, _) | Instr::LoadConst(_, _) => (0, 2),
+            Instr::StoreLoad(_, _) => (1, 1),
+            Instr::StoreJump(_, _) => (1, 0),
+            Instr::ConstIBin(_, _)
+            | Instr::ConstBin(_, _)
+            | Instr::ConstBit(_, _)
+            | Instr::ConstICmp(_, _) => (1, 1),
+            Instr::ICmpBr(_, _, _) | Instr::CmpBr(_, _, _) => (2, 0),
+            Instr::ConstICmpBr(_, _, _, _) => (1, 0),
+            Instr::IBinStore(_, _) | Instr::BinStore(_, _) | Instr::BitStore(_, _) => (2, 0),
+            Instr::LoadIBin(_, _) | Instr::LoadBin(_, _) | Instr::LoadALoad(_) => (1, 1),
+            Instr::LoadLoadBin(_, _, _) | Instr::LoadConstIBin(_, _, _) => (0, 1),
+            Instr::LoadLoadCmpBr(_, _, _, _, _) => (0, 0),
+            Instr::ConstBitStoreLoad(_, _, _, _) => (1, 1),
+            Instr::ConstIBinStoreJump(_, _, _, _) => (1, 0),
         }
     }
 
@@ -397,30 +844,56 @@ impl Instr {
     pub fn branch_target(&self) -> Option<u32> {
         match self {
             Instr::Jump(t) | Instr::JumpIf(t) | Instr::JumpIfNot(t) => Some(*t),
+            Instr::StoreJump(_, t)
+            | Instr::ICmpBr(_, t, _)
+            | Instr::CmpBr(_, t, _)
+            | Instr::ConstICmpBr(_, _, t, _)
+            | Instr::LoadLoadCmpBr(_, _, _, t, _)
+            | Instr::ConstIBinStoreJump(_, _, _, t) => Some(*t),
             _ => None,
         }
     }
 
     /// Rewrite the branch target of a jump instruction, if any.
     pub fn with_branch_target(&self, target: u32) -> Instr {
-        match self {
+        match *self {
             Instr::Jump(_) => Instr::Jump(target),
             Instr::JumpIf(_) => Instr::JumpIf(target),
             Instr::JumpIfNot(_) => Instr::JumpIfNot(target),
-            other => *other,
+            Instr::StoreJump(n, _) => Instr::StoreJump(n, target),
+            Instr::ICmpBr(op, _, when) => Instr::ICmpBr(op, target, when),
+            Instr::CmpBr(op, _, when) => Instr::CmpBr(op, target, when),
+            Instr::ConstICmpBr(op, v, _, when) => Instr::ConstICmpBr(op, v, target, when),
+            Instr::LoadLoadCmpBr(op, a, b, _, when) => Instr::LoadLoadCmpBr(op, a, b, target, when),
+            Instr::ConstIBinStoreJump(op, v, n, _) => Instr::ConstIBinStoreJump(op, v, n, target),
+            other => other,
         }
     }
 
     /// True if control never falls through to the next instruction.
     pub fn is_terminator(&self) -> bool {
-        matches!(self, Instr::Jump(_) | Instr::Return)
+        matches!(
+            self,
+            Instr::Jump(_)
+                | Instr::Return
+                | Instr::StoreJump(_, _)
+                | Instr::ConstIBinStoreJump(_, _, _, _)
+        )
     }
 
     /// True if the instruction can branch (conditionally or not).
     pub fn is_branch(&self) -> bool {
         matches!(
             self,
-            Instr::Jump(_) | Instr::JumpIf(_) | Instr::JumpIfNot(_)
+            Instr::Jump(_)
+                | Instr::JumpIf(_)
+                | Instr::JumpIfNot(_)
+                | Instr::StoreJump(_, _)
+                | Instr::ICmpBr(_, _, _)
+                | Instr::CmpBr(_, _, _)
+                | Instr::ConstICmpBr(_, _, _, _)
+                | Instr::LoadLoadCmpBr(_, _, _, _, _)
+                | Instr::ConstIBinStoreJump(_, _, _, _)
         )
     }
 
@@ -448,7 +921,93 @@ impl Instr {
                 | Instr::FDiv
                 | Instr::ALoad
                 | Instr::ALen
+                // fused forms with a store, branch or div component
+                | Instr::StoreLoad(_, _)
+                | Instr::StoreJump(_, _)
+                | Instr::ICmpBr(_, _, _)
+                | Instr::CmpBr(_, _, _)
+                | Instr::ConstICmpBr(_, _, _, _)
+                | Instr::ConstIBin(BinOp::Div | BinOp::Rem, _)
+                | Instr::ConstBin(BinOp::Div | BinOp::Rem, _)
+                | Instr::IBinStore(_, _)
+                | Instr::BinStore(_, _)
+                | Instr::BitStore(_, _)
+                | Instr::LoadIBin(BinOp::Div | BinOp::Rem, _)
+                | Instr::LoadBin(BinOp::Div | BinOp::Rem, _)
+                | Instr::LoadALoad(_)
+                | Instr::LoadLoadBin(BinOp::Div | BinOp::Rem, _, _)
+                | Instr::LoadConstIBin(BinOp::Div | BinOp::Rem, _, _)
+                | Instr::LoadLoadCmpBr(_, _, _, _, _)
+                | Instr::ConstBitStoreLoad(_, _, _, _)
+                | Instr::ConstIBinStoreJump(_, _, _, _)
         )
+    }
+}
+
+/// The int-specialized arithmetic opcode for `op`.
+fn ibin_of(op: BinOp) -> Instr {
+    match op {
+        BinOp::Add => Instr::IAdd,
+        BinOp::Sub => Instr::ISub,
+        BinOp::Mul => Instr::IMul,
+        BinOp::Div => Instr::IDiv,
+        BinOp::Rem => Instr::IRem,
+    }
+}
+
+/// The generic arithmetic opcode for `op`.
+fn bin_of(op: BinOp) -> Instr {
+    match op {
+        BinOp::Add => Instr::Add,
+        BinOp::Sub => Instr::Sub,
+        BinOp::Mul => Instr::Mul,
+        BinOp::Div => Instr::Div,
+        BinOp::Rem => Instr::Rem,
+    }
+}
+
+/// The bitwise opcode for `op`.
+fn bit_of(op: BitOp) -> Instr {
+    match op {
+        BitOp::Shl => Instr::Shl,
+        BitOp::Shr => Instr::Shr,
+        BitOp::And => Instr::BitAnd,
+        BitOp::Or => Instr::BitOr,
+        BitOp::Xor => Instr::BitXor,
+    }
+}
+
+/// The int-specialized compare opcode for `op`.
+fn icmp_of(op: CmpOp) -> Instr {
+    match op {
+        CmpOp::Eq => Instr::ICmpEq,
+        CmpOp::Ne => Instr::ICmpNe,
+        CmpOp::Lt => Instr::ICmpLt,
+        CmpOp::Le => Instr::ICmpLe,
+        CmpOp::Gt => Instr::ICmpGt,
+        CmpOp::Ge => Instr::ICmpGe,
+    }
+}
+
+/// The generic compare opcode for `op`.
+fn cmp_of(op: CmpOp) -> Instr {
+    match op {
+        CmpOp::Eq => Instr::CmpEq,
+        CmpOp::Ne => Instr::CmpNe,
+        CmpOp::Lt => Instr::CmpLt,
+        CmpOp::Le => Instr::CmpLe,
+        CmpOp::Gt => Instr::CmpGt,
+        CmpOp::Ge => Instr::CmpGe,
+    }
+}
+
+/// The conditional branch for a fused compare-and-branch: `JumpIf` when
+/// the fused flag is `true`, `JumpIfNot` otherwise.
+fn branch_of(target: u32, when: bool) -> Instr {
+    if when {
+        Instr::JumpIf(target)
+    } else {
+        Instr::JumpIfNot(target)
     }
 }
 
@@ -496,6 +1055,238 @@ mod tests {
             assert_eq!(MathFn::from_mnemonic(m.mnemonic()), Some(*m));
         }
         assert_eq!(MathFn::from_mnemonic("tan"), None);
+    }
+
+    /// One exemplar of every variant, in declaration order.
+    fn exemplars() -> Vec<Instr> {
+        vec![
+            Instr::Const(1),
+            Instr::FConst(1.0),
+            Instr::Null,
+            Instr::Load(0),
+            Instr::Store(0),
+            Instr::Dup,
+            Instr::Pop,
+            Instr::Swap,
+            Instr::Add,
+            Instr::Sub,
+            Instr::Mul,
+            Instr::Div,
+            Instr::Rem,
+            Instr::Neg,
+            Instr::IAdd,
+            Instr::ISub,
+            Instr::IMul,
+            Instr::IDiv,
+            Instr::IRem,
+            Instr::INeg,
+            Instr::FAdd,
+            Instr::FSub,
+            Instr::FMul,
+            Instr::FDiv,
+            Instr::FNeg,
+            Instr::Shl,
+            Instr::Shr,
+            Instr::BitAnd,
+            Instr::BitOr,
+            Instr::BitXor,
+            Instr::CmpEq,
+            Instr::CmpNe,
+            Instr::CmpLt,
+            Instr::CmpLe,
+            Instr::CmpGt,
+            Instr::CmpGe,
+            Instr::ICmpEq,
+            Instr::ICmpNe,
+            Instr::ICmpLt,
+            Instr::ICmpLe,
+            Instr::ICmpGt,
+            Instr::ICmpGe,
+            Instr::FCmpEq,
+            Instr::FCmpNe,
+            Instr::FCmpLt,
+            Instr::FCmpLe,
+            Instr::FCmpGt,
+            Instr::FCmpGe,
+            Instr::ToFloat,
+            Instr::ToInt,
+            Instr::Jump(0),
+            Instr::JumpIf(0),
+            Instr::JumpIfNot(0),
+            Instr::Call(FuncId(0)),
+            Instr::Return,
+            Instr::NewArray,
+            Instr::ALoad,
+            Instr::AStore,
+            Instr::ALen,
+            Instr::Math(MathFn::Sqrt),
+            Instr::Print,
+            Instr::Publish(StrId(0)),
+            Instr::Done,
+            Instr::Nop,
+            Instr::LoadLoad(0, 1),
+            Instr::LoadConst(0, 1),
+            Instr::StoreLoad(0, 1),
+            Instr::StoreJump(0, 0),
+            Instr::ConstIBin(BinOp::Add, 1),
+            Instr::ConstBin(BinOp::Add, 1),
+            Instr::ConstBit(BitOp::And, 1),
+            Instr::ConstICmp(CmpOp::Lt, 1),
+            Instr::ICmpBr(CmpOp::Lt, 0, true),
+            Instr::CmpBr(CmpOp::Lt, 0, false),
+            Instr::ConstICmpBr(CmpOp::Lt, 1, 0, true),
+            Instr::IBinStore(BinOp::Add, 0),
+            Instr::BinStore(BinOp::Add, 0),
+            Instr::BitStore(BitOp::And, 0),
+            Instr::LoadIBin(BinOp::Add, 0),
+            Instr::LoadBin(BinOp::Add, 0),
+            Instr::LoadALoad(0),
+            Instr::LoadLoadBin(BinOp::Add, 0, 1),
+            Instr::LoadConstIBin(BinOp::Add, 0, 1),
+            Instr::LoadLoadCmpBr(CmpOp::Lt, 0, 1, 0, true),
+            Instr::ConstBitStoreLoad(BitOp::And, 1, 0, 1),
+            Instr::ConstIBinStoreJump(BinOp::Add, 1, 0, 0),
+        ]
+    }
+
+    #[test]
+    fn dispatch_classes_are_dense_and_named() {
+        let all = exemplars();
+        assert_eq!(all.len(), Instr::DISPATCH_CLASSES);
+        for (i, instr) in all.iter().enumerate() {
+            assert_eq!(
+                instr.dispatch_class() as usize,
+                i,
+                "{instr:?} must sit at class {i}"
+            );
+            assert!(!Instr::dispatch_class_name(i as u16).is_empty());
+        }
+        // Operands never change the class.
+        assert_eq!(
+            Instr::Const(7).dispatch_class(),
+            Instr::Const(-9).dispatch_class()
+        );
+        assert_eq!(
+            Instr::Load(0).dispatch_class(),
+            Instr::Load(200).dispatch_class()
+        );
+    }
+
+    #[test]
+    fn instr_stays_two_words() {
+        // The interpreter copies one `Instr` per dispatch; fused variants
+        // must pack into the existing 16-byte enum layout.
+        assert!(std::mem::size_of::<Instr>() <= 16);
+    }
+
+    /// Every fused exemplar across all operand flavours, for invariant
+    /// sweeps.
+    fn fused_exemplars() -> Vec<Instr> {
+        let mut v = vec![
+            Instr::LoadLoad(0, 1),
+            Instr::LoadConst(2, -7),
+            Instr::StoreLoad(1, 3),
+            Instr::StoreJump(0, 5),
+            Instr::LoadALoad(2),
+        ];
+        for op in [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div, BinOp::Rem] {
+            v.push(Instr::ConstIBin(op, 3));
+            v.push(Instr::ConstBin(op, 3));
+            v.push(Instr::IBinStore(op, 1));
+            v.push(Instr::BinStore(op, 1));
+            v.push(Instr::LoadIBin(op, 1));
+            v.push(Instr::LoadBin(op, 1));
+            v.push(Instr::LoadLoadBin(op, 0, 1));
+            v.push(Instr::LoadConstIBin(op, 1, 3));
+            v.push(Instr::ConstIBinStoreJump(op, 3, 1, 4));
+        }
+        for op in [BitOp::Shl, BitOp::Shr, BitOp::And, BitOp::Or, BitOp::Xor] {
+            v.push(Instr::ConstBit(op, 3));
+            v.push(Instr::BitStore(op, 1));
+            v.push(Instr::ConstBitStoreLoad(op, 3, 1, 2));
+        }
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
+            v.push(Instr::ConstICmp(op, 3));
+            for when in [true, false] {
+                v.push(Instr::ICmpBr(op, 4, when));
+                v.push(Instr::CmpBr(op, 4, when));
+                v.push(Instr::ConstICmpBr(op, 3, 4, when));
+                v.push(Instr::LoadLoadCmpBr(op, 0, 1, 4, when));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn fused_costs_are_component_sums() {
+        for fused in fused_exemplars() {
+            let parts = fused.unfused().expect("fused exemplar");
+            assert_eq!(
+                fused.base_cost(),
+                parts.iter().map(Instr::base_cost).sum::<u64>(),
+                "{fused:?} must cost the sum of {parts:?}"
+            );
+            assert_eq!(
+                fused.component_count(),
+                parts.len() as u64,
+                "{fused:?} must retire {} instructions",
+                parts.len()
+            );
+        }
+        assert_eq!(Instr::IAdd.component_count(), 1);
+        assert!(Instr::IAdd.unfused().is_none());
+    }
+
+    #[test]
+    fn fused_stack_effects_match_component_sequences() {
+        let arity = |_: FuncId| 0usize;
+        for fused in fused_exemplars() {
+            let parts = fused.unfused().expect("fused exemplar");
+            // Simulate the component sequence from a large depth and
+            // compare net effect.
+            let mut depth = 100i64;
+            for p in &parts {
+                let (pops, pushes) = p.stack_effect(arity);
+                depth = depth - pops as i64 + pushes as i64;
+            }
+            let (pops, pushes) = fused.stack_effect(arity);
+            assert_eq!(
+                100 - pops as i64 + pushes as i64,
+                depth,
+                "{fused:?} net stack effect must match {parts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_branch_metadata() {
+        assert_eq!(Instr::StoreJump(1, 9).branch_target(), Some(9));
+        assert!(Instr::StoreJump(1, 9).is_terminator());
+        assert!(Instr::StoreJump(1, 9).is_branch());
+        assert_eq!(
+            Instr::StoreJump(1, 9).with_branch_target(3),
+            Instr::StoreJump(1, 3)
+        );
+        let br = Instr::ConstICmpBr(CmpOp::Ge, 40, 11, true);
+        assert_eq!(br.branch_target(), Some(11));
+        assert!(!br.is_terminator());
+        assert!(br.is_branch());
+        assert_eq!(
+            br.with_branch_target(2),
+            Instr::ConstICmpBr(CmpOp::Ge, 40, 2, true)
+        );
+        assert_eq!(Instr::LoadLoad(0, 1).branch_target(), None);
+        assert!(Instr::LoadConst(0, 3).is_pure());
+        assert!(!Instr::StoreLoad(0, 1).is_pure());
+        assert!(!Instr::ConstIBin(BinOp::Div, 2).is_pure());
+        assert!(Instr::ConstIBin(BinOp::Add, 2).is_pure());
     }
 
     #[test]

@@ -94,7 +94,7 @@ impl std::error::Error for ArithError {}
 
 /// The binary arithmetic operators (generic or specialized — the semantics
 /// are identical; specialization only changes dispatch cost).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum BinOp {
     /// Addition.
     Add,
@@ -108,8 +108,34 @@ pub enum BinOp {
     Rem,
 }
 
+impl BinOp {
+    /// Stable lowercase name, used by the fused-instruction assembly
+    /// syntax (`constibin add 3`).
+    pub fn name(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+        }
+    }
+
+    /// Inverse of [`BinOp::name`].
+    pub fn from_name(s: &str) -> Option<BinOp> {
+        Some(match s {
+            "add" => BinOp::Add,
+            "sub" => BinOp::Sub,
+            "mul" => BinOp::Mul,
+            "div" => BinOp::Div,
+            "rem" => BinOp::Rem,
+            _ => return None,
+        })
+    }
+}
+
 /// The comparison operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum CmpOp {
     /// Equal.
     Eq,
@@ -125,8 +151,36 @@ pub enum CmpOp {
     Ge,
 }
 
+impl CmpOp {
+    /// Stable lowercase name, used by the fused-instruction assembly
+    /// syntax (`consticmp lt 3`).
+    pub fn name(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+        }
+    }
+
+    /// Inverse of [`CmpOp::name`].
+    pub fn from_name(s: &str) -> Option<CmpOp> {
+        Some(match s {
+            "eq" => CmpOp::Eq,
+            "ne" => CmpOp::Ne,
+            "lt" => CmpOp::Lt,
+            "le" => CmpOp::Le,
+            "gt" => CmpOp::Gt,
+            "ge" => CmpOp::Ge,
+            _ => return None,
+        })
+    }
+}
+
 /// The bitwise operators (integers only).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum BitOp {
     /// Shift left (count masked to 6 bits).
     Shl,
@@ -138,6 +192,32 @@ pub enum BitOp {
     Or,
     /// Xor.
     Xor,
+}
+
+impl BitOp {
+    /// Stable lowercase name, used by the fused-instruction assembly
+    /// syntax (`constbit and 255`).
+    pub fn name(self) -> &'static str {
+        match self {
+            BitOp::Shl => "shl",
+            BitOp::Shr => "shr",
+            BitOp::And => "and",
+            BitOp::Or => "or",
+            BitOp::Xor => "xor",
+        }
+    }
+
+    /// Inverse of [`BitOp::name`].
+    pub fn from_name(s: &str) -> Option<BitOp> {
+        Some(match s {
+            "shl" => BitOp::Shl,
+            "shr" => BitOp::Shr,
+            "and" => BitOp::And,
+            "or" => BitOp::Or,
+            "xor" => BitOp::Xor,
+            _ => return None,
+        })
+    }
 }
 
 /// Evaluate a binary arithmetic operator.

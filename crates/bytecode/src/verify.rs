@@ -225,6 +225,42 @@ pub fn verify_function_facts(
                     },
                 ));
             }
+            // Fused forms touching two locals: report the first offender.
+            Instr::LoadLoad(a, b)
+            | Instr::StoreLoad(a, b)
+            | Instr::LoadLoadBin(_, a, b)
+            | Instr::LoadLoadCmpBr(_, a, b, _, _)
+            | Instr::ConstBitStoreLoad(_, _, a, b)
+                if *a.max(b) >= f.locals =>
+            {
+                return Err(fail(
+                    Some(pc32),
+                    VerifyErrorKind::LocalOutOfRange {
+                        local: if *a >= f.locals { *a } else { *b },
+                        locals: f.locals,
+                    },
+                ));
+            }
+            Instr::LoadConst(n, _)
+            | Instr::StoreJump(n, _)
+            | Instr::IBinStore(_, n)
+            | Instr::BinStore(_, n)
+            | Instr::BitStore(_, n)
+            | Instr::LoadIBin(_, n)
+            | Instr::LoadBin(_, n)
+            | Instr::LoadALoad(n)
+            | Instr::LoadConstIBin(_, n, _)
+            | Instr::ConstIBinStoreJump(_, _, n, _)
+                if *n >= f.locals =>
+            {
+                return Err(fail(
+                    Some(pc32),
+                    VerifyErrorKind::LocalOutOfRange {
+                        local: *n,
+                        locals: f.locals,
+                    },
+                ));
+            }
             Instr::Call(callee) if callee.index() >= program.functions().len() => {
                 return Err(fail(
                     Some(pc32),

@@ -300,6 +300,87 @@ pub fn infer(program: &Program, f: &Function) -> TypeInfo {
                 s.stack.pop();
             }
             Instr::Done | Instr::Nop => {}
+
+            // Fused superinstructions only exist after the fusion pass,
+            // which runs last in the pipeline — these arms keep the
+            // analysis total (and sound) if it ever sees fused code.
+            Instr::LoadLoad(a, b) => {
+                s.stack.push(s.locals[a as usize]);
+                s.stack.push(s.locals[b as usize]);
+            }
+            Instr::LoadConst(n, _) => {
+                s.stack.push(s.locals[n as usize]);
+                s.stack.push(Ty::Int);
+            }
+            Instr::StoreLoad(n, m) => {
+                let t = s.stack.pop().expect("verified");
+                s.locals[n as usize] = t;
+                s.stack.push(s.locals[m as usize]);
+            }
+            Instr::StoreJump(n, t) => {
+                let ty = s.stack.pop().expect("verified");
+                s.locals[n as usize] = ty;
+                next_pcs.push(t);
+            }
+            Instr::ConstIBin(_, _) | Instr::ConstBit(_, _) | Instr::ConstICmp(_, _) => {
+                s.stack.pop();
+                s.stack.push(Ty::Int);
+            }
+            Instr::ConstBin(_, _) => {
+                let a = s.stack.pop().expect("verified");
+                s.stack.push(arith_result(a, Ty::Int));
+            }
+            Instr::ICmpBr(_, t, _) | Instr::CmpBr(_, t, _) => {
+                s.stack.pop();
+                s.stack.pop();
+                next_pcs.push(t);
+            }
+            Instr::ConstICmpBr(_, _, t, _) => {
+                s.stack.pop();
+                next_pcs.push(t);
+            }
+            Instr::IBinStore(_, n) | Instr::BitStore(_, n) => {
+                s.stack.pop();
+                s.stack.pop();
+                s.locals[n as usize] = Ty::Int;
+            }
+            Instr::BinStore(_, n) => {
+                let b = s.stack.pop().expect("verified");
+                let a = s.stack.pop().expect("verified");
+                s.locals[n as usize] = arith_result(a, b);
+            }
+            Instr::LoadIBin(_, _) => {
+                s.stack.pop();
+                s.stack.push(Ty::Int);
+            }
+            Instr::LoadBin(_, n) => {
+                let a = s.stack.pop().expect("verified");
+                s.stack.push(arith_result(a, s.locals[n as usize]));
+            }
+            Instr::LoadALoad(_) => {
+                s.stack.pop();
+                s.stack.push(Ty::Any);
+            }
+            Instr::LoadLoadBin(_, a, b) => {
+                s.stack
+                    .push(arith_result(s.locals[a as usize], s.locals[b as usize]));
+            }
+            Instr::LoadConstIBin(_, _, _) => {
+                s.stack.push(Ty::Int);
+            }
+            Instr::LoadLoadCmpBr(_, _, _, t, _) => {
+                next_pcs.push(t);
+            }
+            Instr::ConstBitStoreLoad(_, _, n, m) => {
+                s.stack.pop();
+                s.locals[n as usize] = Ty::Int;
+                s.stack.push(s.locals[m as usize]);
+            }
+            Instr::ConstIBinStoreJump(_, _, n, t) => {
+                s.stack.pop();
+                s.locals[n as usize] = Ty::Int;
+                next_pcs.push(t);
+            }
         }
 
         if !instr.is_terminator() {

@@ -333,6 +333,47 @@ pub fn run(code: &[Instr]) -> Vec<Instr> {
                 stack.push(Entry::unknown());
             }
             Instr::Done | Instr::Nop => {}
+
+            // Fused superinstructions only appear after the fusion pass,
+            // which runs after folding; model them conservatively so the
+            // pass stays total (and safe) on already-fused input.
+            Instr::LoadLoad(_, _) | Instr::LoadConst(_, _) => {
+                stack.push(Entry::unknown());
+                stack.push(Entry::unknown());
+            }
+            Instr::StoreLoad(_, _) => {
+                pop!();
+                stack.push(Entry::unknown());
+            }
+            Instr::ConstIBin(_, _)
+            | Instr::ConstBin(_, _)
+            | Instr::ConstBit(_, _)
+            | Instr::ConstICmp(_, _) => {
+                pop!();
+                stack.push(Entry::unknown());
+            }
+            Instr::IBinStore(_, _) | Instr::BinStore(_, _) | Instr::BitStore(_, _) => {
+                pop!();
+                pop!();
+            }
+            Instr::LoadIBin(_, _) | Instr::LoadBin(_, _) | Instr::LoadALoad(_) => {
+                pop!();
+                stack.push(Entry::unknown());
+            }
+            Instr::LoadLoadBin(_, _, _) | Instr::LoadConstIBin(_, _, _) => {
+                stack.push(Entry::unknown());
+            }
+            Instr::ConstBitStoreLoad(_, _, _, _) => {
+                pop!();
+                stack.push(Entry::unknown());
+            }
+            Instr::StoreJump(_, _) | Instr::ConstIBinStoreJump(_, _, _, _) => stack.clear(),
+            Instr::ICmpBr(_, _, _)
+            | Instr::CmpBr(_, _, _)
+            | Instr::ConstICmpBr(_, _, _, _)
+            | Instr::LoadLoadCmpBr(_, _, _, _, _) => {
+                stack.clear();
+            }
         }
     }
 

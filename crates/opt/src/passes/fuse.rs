@@ -1,0 +1,373 @@
+//! Superinstruction fusion: merge hot adjacent instruction pairs into
+//! single fused opcodes.
+//!
+//! The pair set is chosen from the measured opcode-pair distribution in
+//! `BENCH_dispatch.json` (regenerate with
+//! `cargo run --release --example perf_sweep -- --dispatch`). Fusion is a
+//! pure host-side dispatch optimization: every fused instruction's
+//! `base_cost` is exactly the sum of its components and it reports its
+//! component count to the retired-instruction counter, so the virtual
+//! clock, sampling and instruction totals are bit-identical to unfused
+//! execution (`tests/dispatch_profile.rs` proves it).
+//!
+//! The pass runs *last* in the O1/O2 pipeline: it only merges adjacent
+//! instructions earlier passes decided to keep, never across a branch
+//! target (the second instruction of a pair must not be a leader) and
+//! never starting at a branch, terminator or call.
+
+use evovm_bytecode::scalar::{BinOp, BitOp, CmpOp};
+use evovm_bytecode::Instr;
+
+use crate::passes::leaders;
+use crate::util;
+
+/// Fuse hot adjacent pairs until no more fusion applies (iterating lets
+/// chains like `Const; ICmpLt; JumpIf` first become `ConstICmpLt; JumpIf`
+/// and then a single branch-fused triple).
+pub fn run(code: &[Instr]) -> Vec<Instr> {
+    let mut code = code.to_vec();
+    loop {
+        let (next, changed) = fuse_once(&code);
+        code = next;
+        if !changed {
+            return code;
+        }
+    }
+}
+
+/// One left-to-right fusion sweep over non-overlapping adjacent pairs.
+fn fuse_once(code: &[Instr]) -> (Vec<Instr>, bool) {
+    let is_leader = leaders(code);
+    let mut out = code.to_vec();
+    let mut keep = vec![true; code.len()];
+    let mut changed = false;
+    let mut pc = 0;
+    while pc + 1 < code.len() {
+        // Never fuse across a control-flow seam: the second instruction
+        // must not be reachable on its own, and the first must fall
+        // through into it.
+        if is_leader[pc + 1] || code[pc].is_branch() || code[pc].is_terminator() {
+            pc += 1;
+            continue;
+        }
+        if let Some(fused) = fuse_pair(code[pc], code[pc + 1]) {
+            out[pc] = fused;
+            keep[pc + 1] = false;
+            changed = true;
+            pc += 2;
+        } else {
+            pc += 1;
+        }
+    }
+    if changed {
+        (util::compact(&out, &keep), true)
+    } else {
+        (out, false)
+    }
+}
+
+/// The fused-pair table. Returns the superinstruction replacing
+/// `first; second`, or `None` if the pair is not in the fusion set.
+///
+/// The set covers the top of the measured pair distribution
+/// (`BENCH_dispatch.json`): `load;load` 14.2%, `load;const` 7.6%,
+/// `store;load` 5.6%, `store;jump` 3.6% (loop back-edges), `const`
+/// feeding arithmetic/bitwise/compares ~9%, and compare-then-branch
+/// ~4.9%. A second tier picks up the next band: arithmetic/bitwise
+/// results flowing straight into a store (`iadd;store` 2.3%, `band;store`
+/// 2.2%) and locals feeding an op or array read (`load;isub` 1.9%,
+/// `load;aload` 1.5%) — the shapes left over once `load;const` pairs
+/// have been consumed by the first tier. A third tier pairs the fused
+/// forms themselves, covering the three- and four-instruction chains
+/// that dominate the *residual* distribution once tiers 1–2 have run
+/// (profiled with fusion on): `loadload;cmpbr` 4.4%, the
+/// `constbit;storeload` mask-store seam 3.1%, the
+/// `constibin;storejump` back-edge 2.9%, `loadconst;imul` 2.3% and
+/// `loadload;mul` (11% of mtrt/raytracer dispatches). `Div`/`Rem` stay
+/// unfused so a divide-by-zero trap keeps its own program counter;
+/// float-specialized compares stay unfused because their dispatch cost
+/// differs from the generic forms the fused costs encode.
+fn fuse_pair(first: Instr, second: Instr) -> Option<Instr> {
+    use Instr::{Const, Jump, JumpIf, JumpIfNot, Load, Store};
+    Some(match (first, second) {
+        (Load(a), Load(b)) => Instr::LoadLoad(a, b),
+        (Load(n), Const(v)) => Instr::LoadConst(n, v),
+        (Load(n), Instr::IAdd) => Instr::LoadIBin(BinOp::Add, n),
+        (Load(n), Instr::ISub) => Instr::LoadIBin(BinOp::Sub, n),
+        (Load(n), Instr::IMul) => Instr::LoadIBin(BinOp::Mul, n),
+        (Load(n), Instr::Add) => Instr::LoadBin(BinOp::Add, n),
+        (Load(n), Instr::Sub) => Instr::LoadBin(BinOp::Sub, n),
+        (Load(n), Instr::Mul) => Instr::LoadBin(BinOp::Mul, n),
+        (Load(n), Instr::ALoad) => Instr::LoadALoad(n),
+        (Store(n), Load(m)) => Instr::StoreLoad(n, m),
+        (Store(n), Jump(t)) => Instr::StoreJump(n, t),
+        (Instr::IAdd, Store(n)) => Instr::IBinStore(BinOp::Add, n),
+        (Instr::ISub, Store(n)) => Instr::IBinStore(BinOp::Sub, n),
+        (Instr::IMul, Store(n)) => Instr::IBinStore(BinOp::Mul, n),
+        (Instr::Add, Store(n)) => Instr::BinStore(BinOp::Add, n),
+        (Instr::Sub, Store(n)) => Instr::BinStore(BinOp::Sub, n),
+        (Instr::Mul, Store(n)) => Instr::BinStore(BinOp::Mul, n),
+        (Instr::Shl, Store(n)) => Instr::BitStore(BitOp::Shl, n),
+        (Instr::Shr, Store(n)) => Instr::BitStore(BitOp::Shr, n),
+        (Instr::BitAnd, Store(n)) => Instr::BitStore(BitOp::And, n),
+        (Instr::BitOr, Store(n)) => Instr::BitStore(BitOp::Or, n),
+        (Instr::BitXor, Store(n)) => Instr::BitStore(BitOp::Xor, n),
+        (Const(v), Instr::IAdd) => Instr::ConstIBin(BinOp::Add, v),
+        (Const(v), Instr::ISub) => Instr::ConstIBin(BinOp::Sub, v),
+        (Const(v), Instr::IMul) => Instr::ConstIBin(BinOp::Mul, v),
+        (Const(v), Instr::Add) => Instr::ConstBin(BinOp::Add, v),
+        (Const(v), Instr::Sub) => Instr::ConstBin(BinOp::Sub, v),
+        (Const(v), Instr::Mul) => Instr::ConstBin(BinOp::Mul, v),
+        (Const(v), Instr::Shl) => Instr::ConstBit(BitOp::Shl, v),
+        (Const(v), Instr::Shr) => Instr::ConstBit(BitOp::Shr, v),
+        (Const(v), Instr::BitAnd) => Instr::ConstBit(BitOp::And, v),
+        (Const(v), Instr::BitOr) => Instr::ConstBit(BitOp::Or, v),
+        (Const(v), Instr::BitXor) => Instr::ConstBit(BitOp::Xor, v),
+        (Const(v), second) => Instr::ConstICmp(icmp_op(second)?, v),
+        (Instr::ConstICmp(op, v), JumpIf(t)) => Instr::ConstICmpBr(op, v, t, true),
+        (Instr::ConstICmp(op, v), JumpIfNot(t)) => Instr::ConstICmpBr(op, v, t, false),
+        // Tier 3: the left element is itself a pair formed by an earlier
+        // sweep, so these only arise on the second fixpoint round.
+        (Instr::LoadLoad(a, b), Instr::Add) => Instr::LoadLoadBin(BinOp::Add, a, b),
+        (Instr::LoadLoad(a, b), Instr::Sub) => Instr::LoadLoadBin(BinOp::Sub, a, b),
+        (Instr::LoadLoad(a, b), Instr::Mul) => Instr::LoadLoadBin(BinOp::Mul, a, b),
+        (Instr::LoadLoad(a, b), Instr::CmpBr(op, t, when)) => {
+            Instr::LoadLoadCmpBr(op, a, b, t, when)
+        }
+        (Instr::LoadConst(n, v), Instr::IAdd) => Instr::LoadConstIBin(BinOp::Add, n, v),
+        (Instr::LoadConst(n, v), Instr::ISub) => Instr::LoadConstIBin(BinOp::Sub, n, v),
+        (Instr::LoadConst(n, v), Instr::IMul) => Instr::LoadConstIBin(BinOp::Mul, n, v),
+        (Instr::ConstBit(op, v), Instr::StoreLoad(n, m)) => Instr::ConstBitStoreLoad(op, v, n, m),
+        (Instr::ConstIBin(op, v), Instr::StoreJump(n, t))
+            if !matches!(op, BinOp::Div | BinOp::Rem) =>
+        {
+            Instr::ConstIBinStoreJump(op, v, n, t)
+        }
+        (first, JumpIf(t)) => match icmp_op(first) {
+            Some(op) => Instr::ICmpBr(op, t, true),
+            None => Instr::CmpBr(generic_cmp_op(first)?, t, true),
+        },
+        (first, JumpIfNot(t)) => match icmp_op(first) {
+            Some(op) => Instr::ICmpBr(op, t, false),
+            None => Instr::CmpBr(generic_cmp_op(first)?, t, false),
+        },
+        _ => return None,
+    })
+}
+
+/// The comparison operator of an int-specialized compare.
+fn icmp_op(i: Instr) -> Option<CmpOp> {
+    Some(match i {
+        Instr::ICmpEq => CmpOp::Eq,
+        Instr::ICmpNe => CmpOp::Ne,
+        Instr::ICmpLt => CmpOp::Lt,
+        Instr::ICmpLe => CmpOp::Le,
+        Instr::ICmpGt => CmpOp::Gt,
+        Instr::ICmpGe => CmpOp::Ge,
+        _ => return None,
+    })
+}
+
+/// The comparison operator of a generic compare.
+fn generic_cmp_op(i: Instr) -> Option<CmpOp> {
+    Some(match i {
+        Instr::CmpEq => CmpOp::Eq,
+        Instr::CmpNe => CmpOp::Ne,
+        Instr::CmpLt => CmpOp::Lt,
+        Instr::CmpLe => CmpOp::Le,
+        Instr::CmpGt => CmpOp::Gt,
+        Instr::CmpGe => CmpOp::Ge,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fuses_straightline_pairs() {
+        let code = vec![
+            Instr::Load(1),
+            Instr::Load(0),
+            Instr::Const(3),
+            Instr::IMul,
+            Instr::Const(255),
+            Instr::BitAnd,
+            Instr::IAdd,
+            Instr::Store(2),
+            Instr::Return,
+        ];
+        assert_eq!(
+            run(&code),
+            vec![
+                Instr::LoadLoad(1, 0),
+                Instr::ConstIBin(BinOp::Mul, 3),
+                Instr::ConstBit(BitOp::And, 255),
+                Instr::IBinStore(BinOp::Add, 2),
+                Instr::Return,
+            ]
+        );
+    }
+
+    #[test]
+    fn fuses_op_store_and_load_op_pairs() {
+        // `x = x & mask` / `acc += a[i]` shapes from the bench corpus:
+        // load;const pairs first, freeing the op;store tail to fuse too.
+        let code = vec![
+            Instr::Load(0),
+            Instr::Const(255),
+            Instr::BitAnd,
+            Instr::Store(0),
+            Instr::Load(1),
+            Instr::ALoad,
+            Instr::Load(2),
+            Instr::IAdd,
+            Instr::Return,
+        ];
+        assert_eq!(
+            run(&code),
+            vec![
+                Instr::LoadConst(0, 255),
+                Instr::BitStore(BitOp::And, 0),
+                Instr::LoadALoad(1),
+                Instr::LoadIBin(BinOp::Add, 2),
+                Instr::Return,
+            ]
+        );
+    }
+
+    #[test]
+    fn iterates_to_the_branch_fused_triple() {
+        // Round 1 fuses const+icmpge, round 2 folds in the branch. (The
+        // const must not follow a fusable load, or the greedy sweep pairs
+        // load+const instead — also correct, but a different shape.)
+        let code = vec![
+            Instr::Pop,
+            Instr::Const(10),
+            Instr::ICmpGe,
+            Instr::JumpIf(5),
+            Instr::Nop,
+            Instr::Return,
+        ];
+        assert_eq!(
+            run(&code),
+            vec![
+                Instr::Pop,
+                Instr::ConstICmpBr(CmpOp::Ge, 10, 3, true),
+                Instr::Nop,
+                Instr::Return,
+            ]
+        );
+    }
+
+    #[test]
+    fn loop_head_fuses_to_loadconst_and_icmpbr() {
+        // The canonical counted-loop head: load i; const N; icmpge; jumpif.
+        // Greedy left-to-right pairs load+const first, then cmp+branch:
+        // four dispatches become two.
+        let code = vec![
+            Instr::Load(0),
+            Instr::Const(10),
+            Instr::ICmpGe,
+            Instr::JumpIf(5),
+            Instr::Nop,
+            Instr::Return,
+        ];
+        assert_eq!(
+            run(&code),
+            vec![
+                Instr::LoadConst(0, 10),
+                Instr::ICmpBr(CmpOp::Ge, 3, true),
+                Instr::Nop,
+                Instr::Return,
+            ]
+        );
+    }
+
+    #[test]
+    fn never_fuses_across_a_branch_target() {
+        // pc 1 is the target of the jump, so load;load must stay split.
+        let code = vec![Instr::Load(0), Instr::Load(1), Instr::Jump(1)];
+        assert_eq!(run(&code), code);
+    }
+
+    #[test]
+    fn remaps_targets_after_compaction() {
+        // Fusing pcs 0-1 shifts the branch target at pc 3 down by one.
+        let code = vec![Instr::Load(0), Instr::Load(1), Instr::Pop, Instr::Jump(2)];
+        assert_eq!(
+            run(&code),
+            vec![Instr::LoadLoad(0, 1), Instr::Pop, Instr::Jump(1)]
+        );
+    }
+
+    #[test]
+    fn second_round_builds_tier3_chains() {
+        // A realistic loop body: the first sweep forms loadload, constbit
+        // and constibin/storejump seams; the second folds them into 3- and
+        // 4-component superinstructions. Seven source instructions end as
+        // two dispatches, and a counted-loop head (load;load;cmplt;jumpif)
+        // becomes one.
+        let code = vec![
+            Instr::Load(0),
+            Instr::Load(1),
+            Instr::Mul,
+            Instr::Const(255),
+            Instr::BitAnd,
+            Instr::Store(2),
+            Instr::Load(3),
+            Instr::Return,
+        ];
+        assert_eq!(
+            run(&code),
+            vec![
+                Instr::LoadLoadBin(BinOp::Mul, 0, 1),
+                Instr::ConstBitStoreLoad(BitOp::And, 255, 2, 3),
+                Instr::Return,
+            ]
+        );
+        let head = vec![
+            Instr::Load(0),
+            Instr::Load(1),
+            Instr::CmpLt,
+            Instr::JumpIf(5),
+            Instr::Nop,
+            Instr::Return,
+        ];
+        assert_eq!(
+            run(&head),
+            vec![
+                Instr::LoadLoadCmpBr(CmpOp::Lt, 0, 1, 2, true),
+                Instr::Nop,
+                Instr::Return,
+            ]
+        );
+        // The back-edge `i += step; jump top` tail: const+iadd fuses in
+        // round 1, store+jump in round 1 too, then the pair merges.
+        let tail = vec![
+            Instr::Pop,
+            Instr::Const(1),
+            Instr::IAdd,
+            Instr::Store(0),
+            Instr::Jump(0),
+        ];
+        assert_eq!(
+            run(&tail),
+            vec![Instr::Pop, Instr::ConstIBinStoreJump(BinOp::Add, 1, 0, 0),]
+        );
+    }
+
+    #[test]
+    fn leaves_trapping_and_float_pairs_alone() {
+        let code = vec![
+            Instr::Const(0),
+            Instr::IDiv,
+            Instr::FCmpLt,
+            Instr::JumpIf(0),
+        ];
+        // Only the compare-branch stays unfused too: FCmpLt has its own
+        // dispatch cost, so no CmpBr is formed.
+        assert_eq!(run(&code), code);
+    }
+}

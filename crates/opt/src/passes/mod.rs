@@ -9,6 +9,7 @@
 pub mod dce;
 pub mod dse;
 pub mod fold;
+pub mod fuse;
 pub mod inline;
 pub mod peephole;
 pub mod quicken;

@@ -4,11 +4,11 @@ use std::fmt;
 use std::sync::Arc;
 
 use evovm_bytecode::program::{Function, Program};
-use evovm_bytecode::verify::verify_function;
+use evovm_bytecode::verify::verify_function_facts;
 use evovm_bytecode::{FuncId, Instr, VerifyError};
 
 use crate::levels::OptLevel;
-use crate::passes::{dce, dse, fold, inline, peephole, quicken};
+use crate::passes::{dce, dse, fold, fuse, inline, peephole, quicken};
 
 /// A pass pipeline emitted code that fails re-verification — a
 /// miscompilation caught before the bad code could reach the interpreter.
@@ -64,12 +64,30 @@ pub struct CompiledCode {
     /// interpreter's hot loop does one indexed load per instruction
     /// instead of a multiply through two indirections.
     pub cost_milli: Arc<Vec<u64>>,
+    /// Maximum operand-stack depth this code can reach, proved by the
+    /// verifier's dataflow pass. The interpreter reserves
+    /// `locals + max_stack` arena slots at frame entry, which is what
+    /// lets its push sites skip the capacity check.
+    pub max_stack: u32,
 }
 
 /// The optimizing compiler: applies the pass pipeline for a level.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Optimizer {
     inline_budget: inline::InlineBudget,
+    /// Fuse hot opcode pairs into superinstructions at O1/O2 (on by
+    /// default; the VM's dispatch profiler turns it off to observe the
+    /// raw pair distribution).
+    fuse: bool,
+}
+
+impl Default for Optimizer {
+    fn default() -> Optimizer {
+        Optimizer {
+            inline_budget: inline::InlineBudget::default(),
+            fuse: true,
+        }
+    }
 }
 
 impl Optimizer {
@@ -78,18 +96,27 @@ impl Optimizer {
         Optimizer::default()
     }
 
+    /// Enable or disable superinstruction fusion at O1/O2.
+    ///
+    /// Fusion never changes the virtual clock (fused costs are the sum of
+    /// their parts and compilation charges by *source* length), so this
+    /// switch only affects which instruction stream the host executes.
+    #[must_use]
+    pub fn with_fusion(mut self, fuse: bool) -> Optimizer {
+        self.fuse = fuse;
+        self
+    }
+
     /// Compile `id` at `level`, transforming the original bytecode.
     ///
-    /// The output is re-verified in debug builds; all passes preserve the
-    /// verified invariants. Use [`Optimizer::compile_checked`] where a
-    /// structured error is preferable to a debug-only panic.
+    /// The output is always re-verified (the verifier's dataflow also
+    /// proves the `max_stack` bound the interpreter's arena reservation
+    /// relies on); a miscompile panics. Use
+    /// [`Optimizer::compile_checked`] where a structured error is
+    /// preferable to a panic.
     pub fn compile(&self, program: &Program, id: FuncId, level: OptLevel) -> CompiledCode {
-        let (code, locals) = self.run_pipeline(program, id, level);
-        if cfg!(debug_assertions) {
-            Self::reverify(program, id, level, &code, locals)
-                .expect("optimizer produced unverifiable code");
-        }
-        self.package(program, id, level, code, locals)
+        self.compile_checked(program, id, level)
+            .expect("optimizer produced unverifiable code")
     }
 
     /// Compile `id` at `level` and re-verify the emitted code in *every*
@@ -102,8 +129,8 @@ impl Optimizer {
         level: OptLevel,
     ) -> Result<CompiledCode, CompileError> {
         let (code, locals) = self.run_pipeline(program, id, level);
-        Self::reverify(program, id, level, &code, locals)?;
-        Ok(self.package(program, id, level, code, locals))
+        let max_stack = Self::reverify(program, id, level, &code, locals)?;
+        Ok(self.package(program, id, level, code, locals, max_stack))
     }
 
     /// Run the level's pass pipeline, producing transformed code and the
@@ -123,14 +150,15 @@ impl Optimizer {
         }
     }
 
-    /// Verify pipeline output against the surrounding program.
+    /// Verify pipeline output against the surrounding program, returning
+    /// the proven operand-stack bound.
     fn reverify(
         program: &Program,
         id: FuncId,
         level: OptLevel,
         code: &[Instr],
         locals: u16,
-    ) -> Result<(), CompileError> {
+    ) -> Result<u32, CompileError> {
         let f = program.function(id);
         let check = Function {
             name: f.name.clone(),
@@ -138,15 +166,18 @@ impl Optimizer {
             locals,
             code: code.to_vec(),
         };
-        verify_function(program, id, &check).map_err(|source| CompileError {
-            function: f.name.clone(),
-            id,
-            level,
-            source,
-        })
+        verify_function_facts(program, id, &check)
+            .map(|facts| facts.max_stack as u32)
+            .map_err(|source| CompileError {
+                function: f.name.clone(),
+                id,
+                level,
+                source,
+            })
     }
 
     /// Wrap pipeline output in the [`CompiledCode`] cost accounting.
+    #[allow(clippy::too_many_arguments)]
     fn package(
         &self,
         program: &Program,
@@ -154,6 +185,7 @@ impl Optimizer {
         level: OptLevel,
         code: Vec<Instr>,
         locals: u16,
+        max_stack: u32,
     ) -> CompiledCode {
         let f = program.function(id);
         let compile_cycles = level.compile_cost_per_instr() * f.code.len() as u64;
@@ -168,6 +200,7 @@ impl Optimizer {
             quality,
             quality_milli,
             cost_milli: Arc::new(cost_milli),
+            max_stack,
         }
     }
 
@@ -199,6 +232,12 @@ impl Optimizer {
                 code = quicken::run(program, &tmp);
                 code = dse::run(&code, locals);
             }
+        }
+        // Fusion runs last: it only ever *merges* adjacent instructions
+        // the earlier passes decided to keep, so nothing downstream has
+        // to understand fused forms.
+        if self.fuse {
+            code = fuse::run(&code);
         }
         code
     }
@@ -241,6 +280,7 @@ pub fn optimize_program(program: &Program, level: OptLevel) -> Result<Program, C
 mod tests {
     use super::*;
     use evovm_bytecode::asm::parse;
+    use evovm_bytecode::scalar::{BinOp, CmpOp};
 
     const PROGRAM: &str = "entry func main/0 locals=1 {
   const 0
@@ -286,14 +326,30 @@ func double/1 {
     #[test]
     fn o1_folds_and_quickens() {
         let p = parse(PROGRAM).unwrap();
-        let opt = Optimizer::new();
-        let cc = opt.compile(&p, p.entry(), OptLevel::O1);
-        // 2*3+94 folded to 100.
-        assert!(cc.code.contains(&Instr::Const(100)), "{:?}", cc.code);
-        // Loop arithmetic quickened.
-        assert!(cc.code.contains(&Instr::ICmpGe));
-        assert!(cc.code.contains(&Instr::IAdd));
-        assert!(cc.code.len() < p.function(p.entry()).code.len());
+        // With fusion off: 2*3+94 folded to 100, loop arithmetic
+        // quickened to the int-specialized forms.
+        let unfused = Optimizer::new()
+            .with_fusion(false)
+            .compile(&p, p.entry(), OptLevel::O1);
+        assert!(
+            unfused.code.contains(&Instr::Const(100)),
+            "{:?}",
+            unfused.code
+        );
+        assert!(unfused.code.contains(&Instr::ICmpGe));
+        assert!(unfused.code.contains(&Instr::IAdd));
+        assert!(unfused.code.len() < p.function(p.entry()).code.len());
+        // The default pipeline additionally fuses those results into
+        // superinstructions: the folded constant and quickened ops
+        // survive inside the fused forms.
+        let cc = Optimizer::new().compile(&p, p.entry(), OptLevel::O1);
+        assert!(cc.code.contains(&Instr::LoadConst(0, 100)), "{:?}", cc.code);
+        assert!(cc
+            .code
+            .iter()
+            .any(|i| matches!(i, Instr::ICmpBr(CmpOp::Ge, _, true))));
+        assert!(cc.code.contains(&Instr::IBinStore(BinOp::Add, 0)));
+        assert!(cc.code.len() < unfused.code.len());
     }
 
     #[test]

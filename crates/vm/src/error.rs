@@ -51,10 +51,15 @@ impl fmt::Display for Trap {
 #[derive(Debug, Clone, PartialEq)]
 pub enum VmError {
     /// The program failed the bytecode verifier before execution.
-    Verify(VerifyError),
+    ///
+    /// Boxed (as is `Miscompile`) to keep `VmError` at 24 bytes: the
+    /// interpreter's dispatch loop returns `Result<_, VmError>` per
+    /// instruction, so the error type's size is hot even though the
+    /// error paths are cold.
+    Verify(Box<VerifyError>),
     /// A JIT pipeline emitted code that failed re-verification; the bad
     /// code was rejected before it could execute.
-    Miscompile(CompileError),
+    Miscompile(Box<CompileError>),
     /// The program trapped at runtime.
     Trap(Trap),
     /// The run exceeded the configured cycle budget.
@@ -92,13 +97,13 @@ impl std::error::Error for VmError {
 
 impl From<VerifyError> for VmError {
     fn from(e: VerifyError) -> VmError {
-        VmError::Verify(e)
+        VmError::Verify(Box::new(e))
     }
 }
 
 impl From<CompileError> for VmError {
     fn from(e: CompileError) -> VmError {
-        VmError::Miscompile(e)
+        VmError::Miscompile(Box::new(e))
     }
 }
 

@@ -42,7 +42,7 @@ pub mod value;
 pub use error::{Trap, VmError};
 pub use machine::{InterpMode, Outcome, RunResult, Vm, VmConfig, CYCLES_PER_SECOND};
 pub use policy::{AosContext, AosPolicy, BaselineOnlyPolicy, CostBenefitPolicy};
-pub use profile::{RecompileEvent, RunProfile};
+pub use profile::{DispatchProfile, RecompileEvent, RunProfile};
 pub use value::{Heap, Value};
 
 #[cfg(test)]

@@ -56,7 +56,7 @@ use evovm_opt::{CompiledCode, OptLevel, Optimizer};
 
 use crate::error::{Trap, VmError};
 use crate::policy::{AosContext, AosPolicy};
-use crate::profile::{RecompileEvent, RunProfile};
+use crate::profile::{DispatchProfile, RecompileEvent, RunProfile};
 use crate::value::{Heap, Value};
 
 /// Virtual cycles per simulated second; converts clock readings into the
@@ -98,6 +98,17 @@ pub struct VmConfig {
     /// Which dispatch loop to run (differential-testing hook; defaults to
     /// [`InterpMode::Fast`]).
     pub interp: InterpMode,
+    /// Collect per-opcode and opcode-pair frequency counters into
+    /// [`RunProfile::dispatch`]. Off by default: the fast loop is compiled
+    /// in two monomorphic flavours, so the counters cost nothing when
+    /// disabled.
+    pub profile_dispatch: bool,
+    /// Let the optimizer fuse hot opcode pairs into superinstructions at
+    /// O1/O2. On by default; the off switch exists so the dispatch
+    /// profiler can measure the raw pre-fusion pair distribution and so
+    /// tests can compare fused against unfused runs (the virtual clock is
+    /// bit-identical either way).
+    pub fuse: bool,
 }
 
 impl Default for VmConfig {
@@ -107,11 +118,17 @@ impl Default for VmConfig {
             max_call_depth: 2048,
             cycle_budget: None,
             interp: InterpMode::Fast,
+            profile_dispatch: false,
+            fuse: true,
         }
     }
 }
 
 /// Why the machine returned control.
+// One `Outcome` moves per *run* (not per instruction), so the size gap
+// between the variants costs nothing measurable and boxing `RunResult`
+// would push indirection onto every caller.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum Outcome {
     /// The program ran to completion.
@@ -177,6 +194,20 @@ enum Step {
     Done,
 }
 
+/// One monomorphic call-site cache entry: everything a frame push needs,
+/// resolved once per (callee, compiled code) and reused until the callee
+/// recompiles. Because calls name their callee statically, caching per
+/// callee is exactly caching per call site.
+#[derive(Debug)]
+struct CallTarget {
+    arity: usize,
+    locals: u16,
+    max_stack: u32,
+    quality_milli: u64,
+    code: Arc<Vec<Instr>>,
+    cost_milli: Arc<Vec<u64>>,
+}
+
 /// What ended a fuel window.
 enum Pending {
     /// Fuel exhausted: a sample is due and/or the budget deadline passed.
@@ -199,6 +230,9 @@ pub struct Vm {
     policy: Box<dyn AosPolicy>,
     optimizer: Optimizer,
     cache: Vec<Option<CompiledCode>>,
+    /// Monomorphic call-site cache, indexed like `cache`; entries are
+    /// invalidated whenever the callee recompiles.
+    call_cache: Vec<Option<CallTarget>>,
     levels: Vec<OptLevel>,
     heap: Heap,
     frames: Vec<Frame>,
@@ -253,13 +287,18 @@ impl Vm {
             .unwrap_or(0)
             .min(config.max_call_depth);
         let n = program.functions().len();
+        let mut profile = RunProfile::new(n);
+        if config.profile_dispatch {
+            profile.dispatch = Some(DispatchProfile::new());
+        }
         Ok(Vm {
             program,
             next_sample_milli: config.sample_interval_cycles * 1000,
+            optimizer: Optimizer::new().with_fusion(config.fuse),
             config,
             policy,
-            optimizer: Optimizer::new(),
             cache: (0..n).map(|_| None).collect(),
+            call_cache: (0..n).map(|_| None).collect(),
             levels: vec![OptLevel::Baseline; n],
             heap: Heap::new(),
             frames: Vec::with_capacity(frame_capacity),
@@ -269,7 +308,7 @@ impl Vm {
             exec_milli: 0,
             compile_milli: 0,
             instructions: 0,
-            profile: RunProfile::new(n),
+            profile,
             output: Vec::new(),
             published: Vec::new(),
             pending_publish: Vec::new(),
@@ -364,7 +403,15 @@ impl Vm {
             self.invoke(entry, 0)?;
         }
         match self.config.interp {
-            InterpMode::Fast => self.execute(),
+            InterpMode::Fast => {
+                // Two monomorphic flavours: dispatch profiling off is the
+                // production path and pays nothing for the counters.
+                if self.profile.dispatch.is_some() {
+                    self.execute::<true>()
+                } else {
+                    self.execute::<false>()
+                }
+            }
             InterpMode::Reference => self.execute_reference(),
         }
     }
@@ -391,6 +438,8 @@ impl Vm {
         self.compile_milli += compiled.compile_cycles * 1000;
         self.levels[method.index()] = level;
         self.cache[method.index()] = Some(compiled);
+        // New code: any cached call target for this method is stale.
+        self.call_cache[method.index()] = None;
         Ok(())
     }
 
@@ -443,14 +492,68 @@ impl Vm {
         self.profile.invocations[method.index()] += 1;
         let compiled = self.cache[method.index()].as_ref().expect("just compiled");
         let locals_base = self.arena.len() - arity;
-        // Zero-fill the non-argument locals.
+        // Zero-fill the non-argument locals, then reserve the verified
+        // operand-stack bound: while this frame is on top the arena never
+        // outgrows `locals_base + locals + max_stack`, so the dispatch
+        // loop's push sites can skip the capacity check (see
+        // `push_tracked`). Capacity never shrinks, so the guarantee
+        // survives event windows and deeper calls (each reserves its own).
         self.arena
             .resize(locals_base + compiled.locals as usize, Value::Null);
+        self.arena.reserve(compiled.max_stack as usize);
         self.frames.push(Frame {
             method,
             code: Arc::clone(&compiled.code),
             cost_milli: Arc::clone(&compiled.cost_milli),
             quality_milli: compiled.quality_milli,
+            ip: 0,
+            locals_base,
+        });
+        self.profile.peak_call_depth = self.profile.peak_call_depth.max(self.frames.len());
+        self.profile.peak_arena_slots = self.profile.peak_arena_slots.max(self.arena.len());
+        Ok(())
+    }
+
+    /// [`Vm::invoke`] through the monomorphic call-site cache: on a hit
+    /// the frame push reads everything from one [`CallTarget`] record —
+    /// no function-table walk, no compiled-code cache probe, no policy
+    /// consultation (a hit implies the callee is already compiled, so
+    /// [`Vm::ensure_compiled`] would be a no-op anyway). A miss takes the
+    /// full [`Vm::invoke`] path and then primes the cache. Accounting
+    /// (depth check, invocation count, peaks) is identical in both paths
+    /// and the virtual clock is untouched either way.
+    fn invoke_cached(&mut self, callee: FuncId) -> Result<(), VmError> {
+        if self.call_cache[callee.index()].is_none() {
+            let arity = self.program.function(callee).arity as usize;
+            self.invoke(callee, arity)?;
+            let compiled = self.cache[callee.index()].as_ref().expect("just compiled");
+            self.call_cache[callee.index()] = Some(CallTarget {
+                arity,
+                locals: compiled.locals,
+                max_stack: compiled.max_stack,
+                quality_milli: compiled.quality_milli,
+                code: Arc::clone(&compiled.code),
+                cost_milli: Arc::clone(&compiled.cost_milli),
+            });
+            return Ok(());
+        }
+        if self.frames.len() >= self.config.max_call_depth {
+            return Err(VmError::Trap(Trap::StackOverflow));
+        }
+        self.profile.invocations[callee.index()] += 1;
+        let target = self.call_cache[callee.index()].as_ref().expect("checked");
+        let locals_base = self.arena.len() - target.arity;
+        // Same reservation as `Vm::invoke`: locals zero-filled, then the
+        // verified operand bound so hot-loop pushes can skip the capacity
+        // check.
+        self.arena
+            .resize(locals_base + target.locals as usize, Value::Null);
+        self.arena.reserve(target.max_stack as usize);
+        self.frames.push(Frame {
+            method: callee,
+            code: Arc::clone(&target.code),
+            cost_milli: Arc::clone(&target.cost_milli),
+            quality_milli: target.quality_milli,
             ip: 0,
             locals_base,
         });
@@ -544,22 +647,42 @@ impl Vm {
     /// The production dispatch loop: executes fuel windows of
     /// straight-line work and falls into the slow path only at event
     /// boundaries (sample ticks, budget deadline) and frame switches.
-    fn execute(&mut self) -> Result<Outcome, VmError> {
+    ///
+    /// `PROFILE` selects the dispatch-profiling flavour (counters bumped
+    /// at every fetch); [`Vm::run`] picks it from whether
+    /// [`RunProfile::dispatch`] is present, so the plain flavour carries
+    /// no trace of the counters.
+    fn execute<const PROFILE: bool>(&mut self) -> Result<Outcome, VmError> {
         self.check_budget()?;
+        // Arena high-water mark, kept in a local so the hot loop's
+        // net-push arms can bump it without touching `self.profile`;
+        // written back at every window boundary. Exact: the arena only
+        // grows at net-push instructions (tracked in `step_op`) and at
+        // frame pushes (tracked in `invoke`) — a `Return` can never set a
+        // new maximum because the popped frame already reached at least
+        // the post-return height while it ran.
+        let mut peak = self.profile.peak_arena_slots;
         loop {
             // One event window: no sample can become due and the budget
             // cannot trip while `fuel` stays positive, because only
-            // instruction costs move the clock inside the window (calls,
-            // which also charge compilation, break out of it).
+            // instruction costs move the clock inside the window. Calls
+            // and returns between frames stay *inside* the window on
+            // their hot paths (cached callee, depth in range, non-final
+            // return): a frame switch moves no clock, so the deadline is
+            // unchanged and the remaining fuel carries over — only the
+            // cold paths (first invocation, which charges compilation;
+            // depth overflow; the final return) fall out to the slow
+            // path below.
             let fuel0 = i64::try_from(self.event_deadline_milli().saturating_sub(self.clock_milli))
                 .unwrap_or(i64::MAX);
             let mut fuel = fuel0;
             let mut retired: u64 = 0;
-            let ip_after;
-            let pending = {
+            let pending = 'frames: loop {
                 // A shared borrow of the frame alongside mutable borrows
                 // of the disjoint execution state — no `Arc` clones and
-                // no `last_mut()` re-borrow per instruction.
+                // no `last_mut()` re-borrow per instruction. The borrow
+                // ends at every segment break below, freeing `frames`
+                // for the inline push/pop.
                 let frame = self.frames.last().expect("running without a frame");
                 let code: &[Instr] = &frame.code;
                 // Equal-length reslice so the optimizer can fold the two
@@ -568,12 +691,32 @@ impl Vm {
                 let costs: &[u64] = &frame.cost_milli[..code.len()];
                 let locals_base = frame.locals_base;
                 let mut ip = frame.ip;
-                let pending = loop {
-                    let instr = code[ip];
-                    let cost = costs[ip];
+                let segment = loop {
+                    // SAFETY: `ip` is always a valid pc of verified code.
+                    // The verifier rejects empty functions (`EmptyCode`,
+                    // so the entry pc 0 is valid), any branch whose target
+                    // is not `< code.len()` (`BranchOutOfRange` — and
+                    // `step_op` only assigns `ip` from such targets), and
+                    // any non-terminator at the last pc (`FallsOffEnd`,
+                    // so the `ip + 1` fall-through of a `Step::Next`
+                    // instruction is in range). `costs` is resliced to
+                    // `code.len()` above. The reference loop keeps its
+                    // checked fetch and the differential suite pins the
+                    // two loops instruction-for-instruction.
+                    let (instr, cost) = unsafe {
+                        debug_assert!(ip < code.len());
+                        (*code.get_unchecked(ip), *costs.get_unchecked(ip))
+                    };
                     ip += 1;
                     fuel -= cost as i64;
                     retired += 1;
+                    if PROFILE {
+                        self.profile
+                            .dispatch
+                            .as_mut()
+                            .expect("PROFILE flavour implies a dispatch profile")
+                            .record(instr.dispatch_class());
+                    }
                     match step_op(
                         &mut self.arena,
                         &mut self.heap,
@@ -582,6 +725,8 @@ impl Vm {
                         instr,
                         &mut ip,
                         locals_base,
+                        &mut retired,
+                        &mut peak,
                     ) {
                         Ok(Step::Next) => {
                             // Events fire *after* the instruction that
@@ -597,27 +742,100 @@ impl Vm {
                         Err(e) => break Pending::Fault(e),
                     }
                 };
-                ip_after = ip;
-                pending
+                match segment {
+                    Pending::Call(callee) => {
+                        let idx = callee.index();
+                        if self.call_cache[idx].is_some()
+                            && self.frames.len() < self.config.max_call_depth
+                        {
+                            // In-window frame push: the same work as
+                            // `invoke_cached`'s hit path, minus the window
+                            // teardown. A sample or budget check due *at*
+                            // the call instruction is not lost: `fuel <= 0`
+                            // breaks to the event path below, and because
+                            // the push moves no clock, the event fires with
+                            // the callee on top — exactly where the
+                            // window-per-call structure sampled it.
+                            self.frames.last_mut().expect("frame").ip = ip;
+                            self.profile.invocations[idx] += 1;
+                            let target = self.call_cache[idx].as_ref().expect("checked");
+                            let locals_base = self.arena.len() - target.arity;
+                            // Same locals fill + operand-bound reservation
+                            // as `Vm::invoke` (see there for the
+                            // `push_tracked` capacity invariant).
+                            self.arena
+                                .resize(locals_base + target.locals as usize, Value::Null);
+                            self.arena.reserve(target.max_stack as usize);
+                            self.frames.push(Frame {
+                                method: callee,
+                                code: Arc::clone(&target.code),
+                                cost_milli: Arc::clone(&target.cost_milli),
+                                quality_milli: target.quality_milli,
+                                ip: 0,
+                                locals_base,
+                            });
+                            self.profile.peak_call_depth =
+                                self.profile.peak_call_depth.max(self.frames.len());
+                            peak = peak.max(self.arena.len());
+                            if fuel <= 0 {
+                                // The callee frame's ip is already 0; no
+                                // write-back needed.
+                                break 'frames Pending::Event;
+                            }
+                            continue 'frames;
+                        }
+                        self.frames.last_mut().expect("frame").ip = ip;
+                        break 'frames Pending::Call(callee);
+                    }
+                    Pending::Return => {
+                        if self.frames.len() > 1 {
+                            // In-window frame pop: identical to the slow
+                            // path below except the window survives. The
+                            // caller frame's ip was stored when it made
+                            // the call.
+                            let value = self.arena.pop().expect("verified");
+                            let locals_base = self.frames.last().expect("frame").locals_base;
+                            self.arena.truncate(locals_base);
+                            self.frames.pop();
+                            self.arena.push(value);
+                            if fuel <= 0 {
+                                break 'frames Pending::Event;
+                            }
+                            continue 'frames;
+                        }
+                        break 'frames Pending::Return;
+                    }
+                    Pending::Event | Pending::Done => {
+                        self.frames.last_mut().expect("frame").ip = ip;
+                        break 'frames segment;
+                    }
+                    Pending::Fault(_) => break 'frames segment,
+                }
             };
             let spent = (fuel0 - fuel) as u64;
             self.clock_milli += spent;
             self.exec_milli += spent;
             self.instructions += retired;
+            if peak > self.profile.peak_arena_slots {
+                self.profile.peak_arena_slots = peak;
+            }
             match pending {
                 Pending::Event => {
-                    self.frames.last_mut().expect("frame").ip = ip_after;
                     self.maybe_sample()?;
                     self.check_budget()?;
                 }
                 Pending::Call(callee) => {
-                    self.frames.last_mut().expect("frame").ip = ip_after;
-                    let arity = self.program.function(callee).arity as usize;
-                    self.invoke(callee, arity)?;
+                    // Cold call: first invocation of the callee (compile +
+                    // cache priming, which moves the clock) or a depth
+                    // overflow about to trap.
+                    self.invoke_cached(callee)?;
+                    // The frame push may have grown the arena.
+                    peak = self.profile.peak_arena_slots;
                     self.maybe_sample()?;
                     self.check_budget()?;
                 }
                 Pending::Return => {
+                    // Final return: the program is done.
                     let value = self.arena.pop().expect("verified");
                     let locals_base = self.frames.last().expect("frame").locals_base;
                     self.arena.truncate(locals_base);
@@ -632,7 +850,6 @@ impl Vm {
                 Pending::Done => {
                     // Pause *after* advancing ip, then give the host
                     // control with resolved feature names.
-                    self.frames.last_mut().expect("frame").ip = ip_after;
                     self.flush_published();
                     self.maybe_sample()?;
                     return Ok(Outcome::FeaturesReady);
@@ -664,7 +881,13 @@ impl Vm {
             self.clock_milli += cost;
             self.exec_milli += cost;
             self.instructions += 1;
+            if let Some(d) = self.profile.dispatch.as_mut() {
+                // Recorded at fetch, exactly like the fast loop, so the
+                // two modes see the same global retirement order.
+                d.record(instr.dispatch_class());
+            }
             let mut next_ip = ip + 1;
+            let mut peak = self.profile.peak_arena_slots;
             match step_op(
                 &mut self.arena,
                 &mut self.heap,
@@ -673,6 +896,8 @@ impl Vm {
                 instr,
                 &mut next_ip,
                 locals_base,
+                &mut self.instructions,
+                &mut peak,
             )? {
                 Step::Next => self.frames.last_mut().expect("frame").ip = next_ip,
                 Step::Call(callee) => {
@@ -694,10 +919,10 @@ impl Vm {
                     return Ok(Outcome::FeaturesReady);
                 }
             }
-            // Exact arena-peak tracking: the reference loop pays one max
-            // per instruction so the soundness suite can compare the true
-            // dynamic peak against the static bound.
-            self.profile.peak_arena_slots = self.profile.peak_arena_slots.max(self.arena.len());
+            // Exact arena-peak tracking: fold in the step's net-push
+            // high-water mark (which sees transient heights inside fused
+            // instructions) plus the post-step length.
+            self.profile.peak_arena_slots = peak.max(self.arena.len());
             self.maybe_sample()?;
         }
     }
@@ -708,6 +933,41 @@ impl Vm {
 /// state it touches, so callers can keep a shared borrow of the current
 /// frame (code, cost table, locals base) alive across the call — no
 /// `Arc` clone or `frames.last_mut()` re-borrow per instruction.
+///
+/// `retired` is the caller's retired-instruction counter, already bumped
+/// by one for this dispatch; fused superinstructions add their remaining
+/// component count so retirement totals stay identical to unfused code.
+/// `peak` is the arena high-water mark; every net-push arm maxes it, which
+/// together with the frame-push tracking in `Vm::invoke` keeps the peak
+/// exact (see `RunProfile::peak_arena_slots`).
+/// Read local `n` of the running frame without a bounds check.
+///
+/// SAFETY: every program the VM runs has passed [`evovm_bytecode::verify`],
+/// which rejects any `Load`/`Store`-family operand with `n >= f.locals`
+/// (`LocalOutOfRange`, including the fused forms), and `Vm::invoke`
+/// establishes the frame layout `arena.len() >= locals_base + locals`
+/// before the first dispatch. Operand pops can never shrink the arena
+/// below `locals_base + locals` because the verifier proves the operand
+/// depth at every pc covers every pop (`InconsistentDepth` /
+/// `StackUnderflow` rejections), so `locals_base + n` stays in bounds
+/// for the whole life of the frame.
+#[inline(always)]
+fn local(stack: &[Value], locals_base: usize, n: u16) -> Value {
+    debug_assert!(locals_base + (n as usize) < stack.len());
+    unsafe { *stack.get_unchecked(locals_base + n as usize) }
+}
+
+/// Write local `n` of the running frame without a bounds check.
+///
+/// SAFETY: identical argument to [`local`].
+#[inline(always)]
+fn set_local(stack: &mut [Value], locals_base: usize, n: u16, v: Value) {
+    debug_assert!(locals_base + (n as usize) < stack.len());
+    unsafe {
+        *stack.get_unchecked_mut(locals_base + n as usize) = v;
+    }
+}
+
 #[inline(always)]
 #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 fn step_op(
@@ -718,22 +978,209 @@ fn step_op(
     instr: Instr,
     ip: &mut usize,
     locals_base: usize,
+    retired: &mut u64,
+    peak: &mut usize,
 ) -> Result<Step, VmError> {
+    // Arm order follows the measured retirement distribution in
+    // BENCH_dispatch.json: local traffic (load 36%, const 12%, store
+    // 10%), their fused forms, then branches lead the match.
     match instr {
-        Instr::Const(v) => stack.push(Value::Int(v)),
-        Instr::FConst(v) => stack.push(Value::Float(v)),
-        Instr::Null => stack.push(Value::Null),
         Instr::Load(n) => {
-            let v = stack[locals_base + n as usize];
-            stack.push(v);
+            let v = local(stack, locals_base, n);
+            push_tracked(stack, peak, v);
         }
         Instr::Store(n) => {
-            let v = stack.pop().expect("verified");
-            stack[locals_base + n as usize] = v;
+            let v = pop(stack);
+            set_local(stack, locals_base, n, v);
         }
+        Instr::Const(v) => push_tracked(stack, peak, Value::Int(v)),
+
+        // Fused superinstructions (formed by `evovm_opt`'s fusion pass).
+        // Each arm bumps `retired` once per extra component, placed so a
+        // trapping component leaves the same retirement count as its
+        // unfused expansion (components before the trapping one counted,
+        // later ones not).
+        Instr::LoadLoad(a, b) => {
+            *retired += 1;
+            let v = local(stack, locals_base, a);
+            push_tracked(stack, peak, v);
+            let v = local(stack, locals_base, b);
+            push_tracked(stack, peak, v);
+        }
+        Instr::LoadConst(n, v) => {
+            *retired += 1;
+            let l = local(stack, locals_base, n);
+            push_tracked(stack, peak, l);
+            push_tracked(stack, peak, Value::Int(v));
+        }
+        Instr::StoreLoad(n, m) => {
+            *retired += 1;
+            let v = pop(stack);
+            set_local(stack, locals_base, n, v);
+            let v = local(stack, locals_base, m);
+            push_tracked(stack, peak, v);
+        }
+        Instr::StoreJump(n, t) => {
+            *retired += 1;
+            let v = pop(stack);
+            set_local(stack, locals_base, n, v);
+            *ip = t as usize;
+        }
+        // In `const v; op` the constant is the most recently pushed
+        // operand, so the op computes `a op v` with `a` the prior top.
+        Instr::ConstIBin(op, v) | Instr::ConstBin(op, v) => {
+            *retired += 1;
+            let slot = top_mut(stack);
+            if let Value::Int(x) = *slot {
+                *slot = scalar::binop(op, x.into(), v.into())?.into();
+            } else {
+                let a = (*slot).as_scalar()?;
+                *slot = scalar::binop(op, a, v.into())?.into();
+            }
+        }
+        Instr::ConstBit(op, v) => {
+            *retired += 1;
+            let slot = top_mut(stack);
+            let a = (*slot).as_scalar()?;
+            *slot = scalar::bitop(op, a, v.into())?.into();
+        }
+        Instr::ConstICmp(op, v) => {
+            *retired += 1;
+            let slot = top_mut(stack);
+            *slot = cmp_values(op, *slot, Value::Int(v))?;
+        }
+        Instr::ICmpBr(op, t, when) | Instr::CmpBr(op, t, when) => {
+            let b = pop(stack);
+            let a = pop(stack);
+            let taken = cmp_values(op, a, b)?.truthy();
+            *retired += 1;
+            if taken == when {
+                *ip = t as usize;
+            }
+        }
+        Instr::ConstICmpBr(op, v, t, when) => {
+            *retired += 1;
+            let a = pop(stack);
+            let taken = cmp_values(op, a, Value::Int(v))?.truthy();
+            *retired += 1;
+            if taken == when {
+                *ip = t as usize;
+            }
+        }
+        // `op; store n`: the store component retires only once the op
+        // has produced a value, exactly as the unfused pair would.
+        Instr::IBinStore(op, n) | Instr::BinStore(op, n) => {
+            binary(stack, op)?;
+            *retired += 1;
+            let r = pop(stack);
+            set_local(stack, locals_base, n, r);
+        }
+        Instr::BitStore(op, n) => {
+            bitwise(stack, op)?;
+            *retired += 1;
+            let r = pop(stack);
+            set_local(stack, locals_base, n, r);
+        }
+        // `load n; op`: the loaded local is the most recently pushed
+        // operand, so the op computes `a op locals[n]`.
+        Instr::LoadIBin(op, n) | Instr::LoadBin(op, n) => {
+            *retired += 1;
+            let b = local(stack, locals_base, n);
+            let slot = top_mut(stack);
+            if let (Value::Int(x), Value::Int(y)) = (*slot, b) {
+                *slot = scalar::binop(op, x.into(), y.into())?.into();
+            } else {
+                let b = b.as_scalar()?;
+                let a = (*slot).as_scalar()?;
+                *slot = scalar::binop(op, a, b)?.into();
+            }
+        }
+        // `load n; aload`: the local is the element index, the array is
+        // the prior stack top; index conversion traps first, as unfused.
+        Instr::LoadALoad(n) => {
+            *retired += 1;
+            let index = local(stack, locals_base, n).as_int()?;
+            let slot = top_mut(stack);
+            *slot = heap.load(*slot, index)?;
+        }
+        // Tier-3 forms. Retirement bumps bracket the first component
+        // that can trap, so a fault leaves the same retired count as the
+        // unfused sequence (loads and consts retire before the op, the
+        // trailing store/branch components after it succeeds).
+        Instr::LoadLoadBin(op, a, b) => {
+            *retired += 2;
+            let x = local(stack, locals_base, a);
+            let y = local(stack, locals_base, b);
+            let r: Value = if let (Value::Int(x), Value::Int(y)) = (x, y) {
+                scalar::binop(op, x.into(), y.into())?.into()
+            } else {
+                scalar::binop(op, x.as_scalar()?, y.as_scalar()?)?.into()
+            };
+            push_tracked(stack, peak, r);
+        }
+        Instr::LoadConstIBin(op, n, v) => {
+            *retired += 2;
+            let a = local(stack, locals_base, n);
+            let r: Value = if let Value::Int(x) = a {
+                scalar::binop(op, x.into(), v.into())?.into()
+            } else {
+                scalar::binop(op, a.as_scalar()?, v.into())?.into()
+            };
+            push_tracked(stack, peak, r);
+        }
+        Instr::LoadLoadCmpBr(op, a, b, t, when) => {
+            *retired += 2;
+            let x = local(stack, locals_base, a);
+            let y = local(stack, locals_base, b);
+            let taken = cmp_values(op, x, y)?.truthy();
+            *retired += 1;
+            if taken == when {
+                *ip = t as usize;
+            }
+        }
+        // `const v; bit; store n; load m`: mask the top of stack into
+        // local `n`, then start the next statement from local `m`. The
+        // store lands before the load so `n == m` reloads the stored
+        // value, exactly as the unfused sequence would.
+        Instr::ConstBitStoreLoad(op, v, n, m) => {
+            *retired += 1;
+            let a = (*top_mut(stack)).as_scalar()?;
+            let r: Value = scalar::bitop(op, a, v.into())?.into();
+            *retired += 2;
+            set_local(stack, locals_base, n, r);
+            let next = local(stack, locals_base, m);
+            *top_mut(stack) = next;
+        }
+        Instr::ConstIBinStoreJump(op, v, n, t) => {
+            *retired += 1;
+            let a = pop(stack);
+            let r: Value = if let Value::Int(x) = a {
+                scalar::binop(op, x.into(), v.into())?.into()
+            } else {
+                scalar::binop(op, a.as_scalar()?, v.into())?.into()
+            };
+            *retired += 2;
+            set_local(stack, locals_base, n, r);
+            *ip = t as usize;
+        }
+
+        Instr::Jump(t) => *ip = t as usize,
+        Instr::JumpIf(t) => {
+            if pop(stack).truthy() {
+                *ip = t as usize;
+            }
+        }
+        Instr::JumpIfNot(t) => {
+            if !pop(stack).truthy() {
+                *ip = t as usize;
+            }
+        }
+
+        Instr::FConst(v) => push_tracked(stack, peak, Value::Float(v)),
+        Instr::Null => push_tracked(stack, peak, Value::Null),
         Instr::Dup => {
-            let v = *stack.last().expect("verified");
-            stack.push(v);
+            let v = *top_mut(stack);
+            push_tracked(stack, peak, v);
         }
         Instr::Pop => {
             stack.pop();
@@ -749,7 +1196,7 @@ fn step_op(
         Instr::Div | Instr::IDiv | Instr::FDiv => binary(stack, BinOp::Div)?,
         Instr::Rem | Instr::IRem => binary(stack, BinOp::Rem)?,
         Instr::Neg | Instr::INeg | Instr::FNeg => {
-            let slot = stack.last_mut().expect("verified");
+            let slot = top_mut(stack);
             let a = (*slot).as_scalar()?;
             *slot = scalar::neg(a).into();
         }
@@ -768,70 +1215,56 @@ fn step_op(
         Instr::CmpGe | Instr::ICmpGe | Instr::FCmpGe => compare(stack, CmpOp::Ge)?,
 
         Instr::ToFloat => {
-            let slot = stack.last_mut().expect("verified");
+            let slot = top_mut(stack);
             let a = (*slot).as_scalar()?;
             *slot = scalar::to_float(a).into();
         }
         Instr::ToInt => {
-            let slot = stack.last_mut().expect("verified");
+            let slot = top_mut(stack);
             let a = (*slot).as_scalar()?;
             *slot = scalar::to_int(a).into();
         }
 
-        Instr::Jump(t) => *ip = t as usize,
-        Instr::JumpIf(t) => {
-            if stack.pop().expect("verified").truthy() {
-                *ip = t as usize;
-            }
-        }
-        Instr::JumpIfNot(t) => {
-            if !stack.pop().expect("verified").truthy() {
-                *ip = t as usize;
-            }
-        }
-
         Instr::NewArray => {
-            let len = stack.pop().expect("verified").as_int()?;
-            let r = heap.alloc(len)?;
-            stack.push(r);
+            let slot = top_mut(stack);
+            let len = (*slot).as_int()?;
+            *slot = heap.alloc(len)?;
         }
         Instr::ALoad => {
-            let index = stack.pop().expect("verified").as_int()?;
-            let array = stack.pop().expect("verified");
-            let v = heap.load(array, index)?;
-            stack.push(v);
+            let index = pop(stack).as_int()?;
+            let slot = top_mut(stack);
+            *slot = heap.load(*slot, index)?;
         }
         Instr::AStore => {
-            let value = stack.pop().expect("verified");
-            let index = stack.pop().expect("verified").as_int()?;
-            let array = stack.pop().expect("verified");
+            let value = pop(stack);
+            let index = pop(stack).as_int()?;
+            let array = pop(stack);
             heap.store(array, index, value)?;
         }
         Instr::ALen => {
-            let array = stack.pop().expect("verified");
-            let len = heap.len(array)?;
-            stack.push(Value::Int(len));
+            let slot = top_mut(stack);
+            *slot = Value::Int(heap.len(*slot)?);
         }
 
         Instr::Math(m) => {
             if m.arity() == 1 {
-                let slot = stack.last_mut().expect("verified");
+                let slot = top_mut(stack);
                 let a = (*slot).as_scalar()?;
                 *slot = scalar::math1(m, a).into();
             } else {
-                let b = stack.pop().expect("verified").as_scalar()?;
-                let slot = stack.last_mut().expect("verified");
+                let b = pop(stack).as_scalar()?;
+                let slot = top_mut(stack);
                 let a = (*slot).as_scalar()?;
                 *slot = scalar::math2(m, a, b).into();
             }
         }
 
         Instr::Print => {
-            let v = stack.pop().expect("verified");
+            let v = pop(stack);
             output.push(v.to_string());
         }
         Instr::Publish(s) => {
-            let v = stack.pop().expect("verified");
+            let v = pop(stack);
             match v.as_scalar() {
                 Ok(value) => pending_publish.push((s, value)),
                 Err(_) => return Err(VmError::Trap(Trap::TypeError)),
@@ -846,14 +1279,65 @@ fn step_op(
     Ok(Step::Next)
 }
 
+/// Push onto the operand stack and keep the arena high-water mark
+/// current. Only the net-push arms of [`step_op`] go through here — every
+/// other instruction leaves the stack no taller than it found it.
+///
+/// SAFETY: skips `Vec::push`'s capacity check. `Vm::invoke` /
+/// `Vm::invoke_cached` reserve `locals + max_stack` arena slots at every
+/// frame entry, where `max_stack` is the operand-depth bound the verifier
+/// proved for the frame's code (`CompiledCode::max_stack`), and `Vec`
+/// capacity never shrinks. Every `step_op` push happens under a verified
+/// depth `< max_stack` of the top frame, so `len < capacity` holds here.
+#[inline(always)]
+fn push_tracked(stack: &mut Vec<Value>, peak: &mut usize, v: Value) {
+    let len = stack.len();
+    debug_assert!(len < stack.capacity());
+    unsafe {
+        std::ptr::write(stack.as_mut_ptr().add(len), v);
+        stack.set_len(len + 1);
+    }
+    if len + 1 > *peak {
+        *peak = len + 1;
+    }
+}
+
+/// Pop the operand-stack top without the emptiness check.
+///
+/// SAFETY: only called from [`step_op`] arms whose pop count the verifier
+/// proved is covered by the operand depth at that pc (`StackUnderflow` /
+/// `InconsistentDepth` rejections), so the stack is never empty here.
+#[inline(always)]
+fn pop(stack: &mut Vec<Value>) -> Value {
+    debug_assert!(!stack.is_empty());
+    unsafe {
+        let len = stack.len() - 1;
+        let v = *stack.get_unchecked(len);
+        stack.set_len(len);
+        v
+    }
+}
+
+/// The operand-stack top, mutably, without the emptiness check.
+///
+/// SAFETY: identical argument to [`pop`].
+#[inline(always)]
+fn top_mut(stack: &mut [Value]) -> &mut Value {
+    debug_assert!(!stack.is_empty());
+    unsafe {
+        let len = stack.len() - 1;
+        stack.get_unchecked_mut(len)
+    }
+}
+
 // The two-operand helpers pop the right operand and overwrite the left
 // operand's slot in place: one length decrement and one store instead of
 // a second pop plus a (capacity-checked) push.
 
 #[inline(always)]
 fn binary(stack: &mut Vec<Value>, op: BinOp) -> Result<(), VmError> {
-    let b = stack.pop().expect("verified");
-    let slot = stack.last_mut().expect("verified");
+    let b = pop(stack);
+    let slot = top_mut(stack);
     // Int×int first, skipping the Value↔Scalar round-trips; `scalar::binop`
     // stays the single source of the arithmetic semantics either way.
     if let (Value::Int(x), Value::Int(y)) = (*slot, b) {
@@ -868,8 +1352,8 @@ fn binary(stack: &mut Vec<Value>, op: BinOp) -> Result<(), VmError> {
 
 #[inline(always)]
 fn bitwise(stack: &mut Vec<Value>, op: BitOp) -> Result<(), VmError> {
-    let b = stack.pop().expect("verified");
-    let slot = stack.last_mut().expect("verified");
+    let b = pop(stack);
+    let slot = top_mut(stack);
     if let (Value::Int(x), Value::Int(y)) = (*slot, b) {
         *slot = scalar::bitop(op, x.into(), y.into())?.into();
         return Ok(());
@@ -882,9 +1366,18 @@ fn bitwise(stack: &mut Vec<Value>, op: BitOp) -> Result<(), VmError> {
 
 #[inline(always)]
 fn compare(stack: &mut Vec<Value>, op: CmpOp) -> Result<(), VmError> {
-    let b = stack.pop().expect("verified");
-    let a = *stack.last().expect("verified");
-    let result = match (a, b) {
+    let b = pop(stack);
+    let a = *top_mut(stack);
+    let result = cmp_values(op, a, b)?;
+    *top_mut(stack) = result;
+    Ok(())
+}
+
+/// The comparison semantics shared by plain compares and the fused
+/// compare-with-constant / compare-and-branch forms.
+#[inline(always)]
+fn cmp_values(op: CmpOp, a: Value, b: Value) -> Result<Value, VmError> {
+    Ok(match (a, b) {
         (Value::Int(x), Value::Int(y)) => scalar::cmp(op, x.into(), y.into()).into(),
         // Reference/null equality is identity; ordering is a type error.
         (Value::Null, Value::Null) => match op {
@@ -903,7 +1396,5 @@ fn compare(stack: &mut Vec<Value>, op: CmpOp) -> Result<(), VmError> {
             _ => return Err(VmError::Trap(Trap::TypeError)),
         },
         _ => scalar::cmp(op, a.as_scalar()?, b.as_scalar()?).into(),
-    };
-    *stack.last_mut().expect("verified") = result;
-    Ok(())
+    })
 }

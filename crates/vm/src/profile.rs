@@ -2,8 +2,106 @@
 
 use serde::{Deserialize, Serialize};
 
-use evovm_bytecode::FuncId;
+use evovm_bytecode::{FuncId, Instr};
 use evovm_opt::OptLevel;
+
+/// Sentinel for "no previous instruction yet" in the pair recorder.
+const NO_PREV: u16 = u16::MAX;
+
+/// Opcode and opcode-pair frequency counters gathered by the dispatch
+/// loops when [`crate::VmConfig::profile_dispatch`] is set.
+///
+/// Counters are indexed by [`Instr::dispatch_class`]: `counts[c]` is how
+/// often class `c` retired, and `pairs[prev * N + c]` how often class `c`
+/// retired immediately after class `prev` in the *global* retirement
+/// order (pairs deliberately span frame switches and event windows, so
+/// the fast and reference loops count identically — the dispatch-profile
+/// suite asserts it). Pair counts saturate at `u32::MAX` per cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DispatchProfile {
+    /// Retirements per dispatch class.
+    pub counts: Vec<u64>,
+    /// Flat `N×N` pair table, row = predecessor class.
+    pub pairs: Vec<u32>,
+    /// Class of the most recently retired instruction ([`NO_PREV`] before
+    /// the first one).
+    prev: u16,
+}
+
+impl Default for DispatchProfile {
+    fn default() -> DispatchProfile {
+        DispatchProfile::new()
+    }
+}
+
+impl DispatchProfile {
+    /// An empty profile sized for the full ISA.
+    pub fn new() -> DispatchProfile {
+        let n = Instr::DISPATCH_CLASSES;
+        DispatchProfile {
+            counts: vec![0; n],
+            pairs: vec![0; n * n],
+            prev: NO_PREV,
+        }
+    }
+
+    /// Record the retirement of one instruction of `class`.
+    #[inline(always)]
+    pub fn record(&mut self, class: u16) {
+        self.counts[class as usize] += 1;
+        if self.prev != NO_PREV {
+            let cell =
+                &mut self.pairs[self.prev as usize * Instr::DISPATCH_CLASSES + class as usize];
+            *cell = cell.saturating_add(1);
+        }
+        self.prev = class;
+    }
+
+    /// Total retirements recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Merge another profile's counters into this one (pair adjacency at
+    /// the seam is not synthesized — used for aggregating across runs).
+    pub fn absorb(&mut self, other: &DispatchProfile) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        for (a, b) in self.pairs.iter_mut().zip(&other.pairs) {
+            *a = a.saturating_add(*b);
+        }
+    }
+
+    /// Classes ordered by retirement count (descending, ties by class),
+    /// zero-count classes excluded.
+    pub fn top_classes(&self) -> Vec<(u16, u64)> {
+        let mut v: Vec<(u16, u64)> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(c, &n)| (c as u16, n))
+            .collect();
+        v.sort_by_key(|&(c, n)| (std::cmp::Reverse(n), c));
+        v
+    }
+
+    /// Pairs ordered by frequency (descending, ties by classes),
+    /// zero-count pairs excluded.
+    pub fn top_pairs(&self) -> Vec<(u16, u16, u64)> {
+        let n = Instr::DISPATCH_CLASSES;
+        let mut v: Vec<(u16, u16, u64)> = self
+            .pairs
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| ((i / n) as u16, (i % n) as u16, u64::from(c)))
+            .collect();
+        v.sort_by_key(|&(a, b, c)| (std::cmp::Reverse(c), a, b));
+        v
+    }
+}
 
 /// One recompilation performed during a run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -36,12 +134,17 @@ pub struct RunProfile {
     /// Deepest call stack observed (frames, entry included). Tracked at
     /// every invoke in both dispatch loops, so it is exact in either mode.
     pub peak_call_depth: usize,
-    /// Largest frame-arena occupancy observed, in value slots. The fast
-    /// loop samples it at frame pushes (a lower bound on the true peak);
-    /// the reference loop tracks it per instruction, making it exact —
-    /// the soundness suite checks it against the static
+    /// Largest frame-arena occupancy observed, in value slots. Exact in
+    /// *both* dispatch loops: arena length only grows at frame pushes and
+    /// at net-pushing instructions, and both loops track the high-water
+    /// mark at exactly those points — the soundness suite asserts the two
+    /// modes agree and checks the value against the static
     /// [`frame bounds`](evovm_bytecode::analysis::FrameBounds).
     pub peak_arena_slots: usize,
+    /// Opcode/opcode-pair counters, present when the VM ran with
+    /// [`crate::VmConfig::profile_dispatch`] set. (Serialized as `null`
+    /// when absent; the serde shim reads a missing field as `None`.)
+    pub dispatch: Option<DispatchProfile>,
 }
 
 impl RunProfile {
@@ -54,6 +157,7 @@ impl RunProfile {
             recompilations: Vec::new(),
             peak_call_depth: 0,
             peak_arena_slots: 0,
+            dispatch: None,
         }
     }
 
@@ -80,5 +184,25 @@ mod tests {
         p.samples = vec![5, 9, 5];
         assert_eq!(p.hottest(), vec![FuncId(1), FuncId(0), FuncId(2)]);
         assert_eq!(p.total_samples(), 19);
+    }
+
+    #[test]
+    fn dispatch_profile_counts_classes_and_pairs() {
+        let mut d = DispatchProfile::new();
+        let load = Instr::Load(0).dispatch_class();
+        let iadd = Instr::IAdd.dispatch_class();
+        d.record(load);
+        d.record(load);
+        d.record(iadd);
+        assert_eq!(d.total(), 3);
+        assert_eq!(d.top_classes()[0], (load, 2));
+        // Pairs: (load,load) once, (load,iadd) once; the first record has
+        // no predecessor.
+        assert_eq!(d.top_pairs(), vec![(load, load, 1), (load, iadd, 1)]);
+        let mut e = DispatchProfile::new();
+        e.record(iadd);
+        e.absorb(&d);
+        assert_eq!(e.counts[iadd as usize], 2);
+        assert_eq!(e.total(), 4);
     }
 }

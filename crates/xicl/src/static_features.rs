@@ -227,6 +227,36 @@ func dead/0 {
     }
 
     #[test]
+    fn fused_class_buckets_are_stable_schema_members() {
+        // The schema must carry the fused buckets even for programs with
+        // no fused code (cold-start vectors never change shape when the
+        // optimizer's fusion pass lands)...
+        let plain = StaticFeatures::of(&parse(LOOPY).unwrap())
+            .unwrap()
+            .to_feature_vector();
+        for bucket in [
+            "bc.mix.fused_data",
+            "bc.mix.fused_arith",
+            "bc.mix.fused_branch",
+        ] {
+            assert_eq!(plain.get(bucket).unwrap().as_num(), Some(0.0), "{bucket}");
+        }
+        // ...and fused instruction streams land in those buckets instead
+        // of silently shifting the plain-class fractions.
+        let fused = StaticFeatures::of(
+            &parse(
+                "entry func main/0 locals=2 {\n  loadloadbin add 0 1\n  \
+                 print\n  null\n  return\n}",
+            )
+            .unwrap(),
+        )
+        .unwrap()
+        .to_feature_vector();
+        assert!(fused.get("bc.mix.fused_arith").unwrap().as_num().unwrap() > 0.0);
+        assert_eq!(plain.names(), fused.names());
+    }
+
+    #[test]
     fn recursion_uses_the_unbounded_sentinel() {
         let p = parse(
             "entry func main/0 {

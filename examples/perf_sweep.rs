@@ -14,20 +14,28 @@
 //!
 //! ```text
 //! cargo run --release --example perf_sweep [-- --out BENCH_interp.json] [--reps N]
+//! cargo run --release --example perf_sweep -- --dispatch [--out BENCH_dispatch.json]
 //! ```
 //!
 //! If the output file already exists (the committed baseline), the sweep
 //! prints the delta of aggregate ns/instruction against it before
 //! overwriting — that is what the CI perf-smoke job surfaces.
+//!
+//! `--dispatch` runs the whole suite with the dispatch profiler on and
+//! superinstruction fusion *off*, writes the raw opcode/opcode-pair
+//! distribution to `BENCH_dispatch.json` (the data that justifies the
+//! fusion set in `crates/opt/src/passes/fuse.rs`), and reports the
+//! fused-vs-unfused host ns/instr delta.
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
-use evolvable_vm::bytecode::{asm::parse, Program};
+use evolvable_vm::bytecode::{asm::parse, Instr, Program};
 use evolvable_vm::vm::{
-    BaselineOnlyPolicy, CostBenefitPolicy, InterpMode, Outcome, RunResult, Vm, VmConfig,
+    BaselineOnlyPolicy, CostBenefitPolicy, DispatchProfile, InterpMode, Outcome, RunResult, Vm,
+    VmConfig,
 };
 use evolvable_vm::workloads;
 
@@ -156,13 +164,22 @@ func mix/1 locals=2 {
 /// Run one program to completion under `mode`, resuming through feature
 /// pauses like the campaign loop does.
 fn adaptive_run(program: &Arc<Program>, mode: InterpMode) -> RunResult {
-    let mut vm = Vm::new(
-        Arc::clone(program),
-        Box::new(CostBenefitPolicy::new()),
+    adaptive_run_cfg(
+        program,
         VmConfig {
             interp: mode,
             ..VmConfig::default()
         },
+    )
+}
+
+/// [`adaptive_run`] with full control of the config (dispatch profiling,
+/// fusion switch).
+fn adaptive_run_cfg(program: &Arc<Program>, config: VmConfig) -> RunResult {
+    let mut vm = Vm::new(
+        Arc::clone(program),
+        Box::new(CostBenefitPolicy::new()),
+        config,
     )
     .expect("workload programs verify");
     loop {
@@ -237,13 +254,221 @@ fn workload_row(name: &str, reps: u64) -> WorkloadRow {
     }
 }
 
+/// One opcode class with its share of all retirements.
+#[derive(Debug, Serialize, Deserialize)]
+struct ClassRow {
+    class: String,
+    count: u64,
+    share_pct: f64,
+}
+
+/// One adjacent opcode pair with its share of all retirements.
+#[derive(Debug, Serialize, Deserialize)]
+struct PairRow {
+    prev: String,
+    next: String,
+    count: u64,
+    share_pct: f64,
+}
+
+/// Per-workload slice of the dispatch profile.
+#[derive(Debug, Serialize, Deserialize)]
+struct DispatchWorkloadRow {
+    workload: String,
+    retired: u64,
+    top_pairs: Vec<PairRow>,
+}
+
+/// Fused-vs-unfused host throughput for one workload (both runs produce
+/// bit-identical virtual clocks; only host ns/instr differs).
+#[derive(Debug, Serialize, Deserialize)]
+struct FusionRow {
+    workload: String,
+    unfused_ns_per_instr: f64,
+    fused_ns_per_instr: f64,
+    speedup: f64,
+}
+
+/// The whole `BENCH_dispatch.json` report.
+#[derive(Debug, Serialize, Deserialize)]
+struct DispatchReport {
+    generated_by: String,
+    reps: u64,
+    total_retired: u64,
+    top_classes: Vec<ClassRow>,
+    top_pairs: Vec<PairRow>,
+    per_workload: Vec<DispatchWorkloadRow>,
+    fusion: Vec<FusionRow>,
+    fusion_aggregate_speedup: f64,
+    notes: Vec<String>,
+}
+
+fn pair_rows(profile: &DispatchProfile, total: u64, limit: usize) -> Vec<PairRow> {
+    profile
+        .top_pairs()
+        .into_iter()
+        .take(limit)
+        .map(|(a, b, n)| PairRow {
+            prev: Instr::dispatch_class_name(a).to_string(),
+            next: Instr::dispatch_class_name(b).to_string(),
+            count: n,
+            share_pct: 100.0 * n as f64 / total as f64,
+        })
+        .collect()
+}
+
+/// The `--dispatch` mode: measure the raw (fusion off) opcode-pair
+/// distribution over the whole suite, then time fused vs unfused fast
+/// loops.
+fn run_dispatch(out_path: &str, reps: u64) {
+    // The dispatch-heavy micro programs participate too: they are the
+    // benchmarks the fusion set most directly targets.
+    let micros = [
+        ("dispatch_40k_loop", DISPATCH_SRC),
+        ("calls_20k_frames", CALLS_SRC),
+    ];
+    let profiled = VmConfig {
+        profile_dispatch: true,
+        fuse: false,
+        ..VmConfig::default()
+    };
+    let mut aggregate = DispatchProfile::new();
+    let mut per_workload = Vec::new();
+    println!("dispatch profile (fusion off, adaptive runs):");
+    let programs: Vec<(String, Arc<Program>)> = TABLE1
+        .iter()
+        .map(|&w| {
+            let bench = workloads::by_name(w).expect("bundled workload");
+            (w.to_string(), Arc::clone(&bench.inputs[0].program))
+        })
+        .chain(
+            micros
+                .iter()
+                .map(|&(name, src)| (name.to_string(), Arc::new(parse(src).expect("valid asm")))),
+        )
+        .collect();
+    for (name, program) in &programs {
+        let result = adaptive_run_cfg(program, profiled.clone());
+        let profile = result
+            .profile
+            .dispatch
+            .expect("profiling was on for this run");
+        let retired = profile.total();
+        let top = pair_rows(&profile, retired, 10);
+        if let Some(first) = top.first() {
+            println!(
+                "  {:18} {:>9} retired  hottest pair {}->{} ({:.1}%)",
+                name, retired, first.prev, first.next, first.share_pct
+            );
+        }
+        aggregate.absorb(&profile);
+        per_workload.push(DispatchWorkloadRow {
+            workload: name.clone(),
+            retired,
+            top_pairs: top,
+        });
+    }
+    let total = aggregate.total();
+    let top_classes: Vec<ClassRow> = aggregate
+        .top_classes()
+        .into_iter()
+        .take(20)
+        .map(|(c, n)| ClassRow {
+            class: Instr::dispatch_class_name(c).to_string(),
+            count: n,
+            share_pct: 100.0 * n as f64 / total as f64,
+        })
+        .collect();
+    let top_pairs = pair_rows(&aggregate, total, 30);
+    println!("aggregate: {total} retirements; top pairs:");
+    for p in top_pairs.iter().take(15) {
+        println!(
+            "  {:>10} -> {:<10} {:>10}  {:>5.2}%",
+            p.prev, p.next, p.count, p.share_pct
+        );
+    }
+
+    // Fused vs unfused host throughput (fast loop, profiling off; the
+    // virtual clock is bit-identical between the two configs).
+    println!("fused vs unfused fast loop ({reps} reps):");
+    let mut fused_secs_total = 0.0;
+    let mut unfused_secs_total = 0.0;
+    let mut fusion = Vec::new();
+    for (name, program) in &programs {
+        let probe = adaptive_run_cfg(
+            program,
+            VmConfig {
+                fuse: false,
+                ..VmConfig::default()
+            },
+        );
+        let instrs = probe.instructions as f64 * reps as f64;
+        let unfused_secs = time_reps(reps, || {
+            adaptive_run_cfg(
+                program,
+                VmConfig {
+                    fuse: false,
+                    ..VmConfig::default()
+                },
+            );
+        });
+        let fused_secs = time_reps(reps, || {
+            adaptive_run_cfg(program, VmConfig::default());
+        });
+        println!(
+            "  {:18} {:>6.2} -> {:>6.2} ns/instr  ({:.2}x)",
+            name,
+            unfused_secs * 1e9 / instrs,
+            fused_secs * 1e9 / instrs,
+            unfused_secs / fused_secs
+        );
+        unfused_secs_total += unfused_secs;
+        fused_secs_total += fused_secs;
+        fusion.push(FusionRow {
+            workload: name.clone(),
+            unfused_ns_per_instr: unfused_secs * 1e9 / instrs,
+            fused_ns_per_instr: fused_secs * 1e9 / instrs,
+            speedup: unfused_secs / fused_secs,
+        });
+    }
+    let fusion_aggregate_speedup = unfused_secs_total / fused_secs_total;
+    println!("fused-vs-unfused aggregate speedup: {fusion_aggregate_speedup:.2}x");
+
+    let report = DispatchReport {
+        generated_by: "cargo run --release --example perf_sweep -- --dispatch".to_string(),
+        reps,
+        total_retired: total,
+        top_classes,
+        top_pairs,
+        per_workload,
+        fusion,
+        fusion_aggregate_speedup,
+        notes: vec![
+            "distribution measured with profile_dispatch=true and fuse=false so pairs \
+             reflect the raw pre-fusion instruction stream"
+                .to_string(),
+            "instruction counts are retired-instruction equivalents; fused ops report \
+             their component count, so totals match unfused runs bit for bit"
+                .to_string(),
+            "this distribution justifies the superinstruction set in \
+             crates/opt/src/passes/fuse.rs"
+                .to_string(),
+        ],
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(out_path, json + "\n").expect("write report");
+    println!("wrote {out_path}");
+}
+
 fn main() {
-    let mut out_path = String::from("BENCH_interp.json");
+    let mut out_path: Option<String> = None;
     let mut reps: u64 = 5;
+    let mut dispatch = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--out" => out_path = Some(args.next().expect("--out needs a path")),
+            "--dispatch" => dispatch = true,
             "--reps" => {
                 reps = args
                     .next()
@@ -254,6 +479,12 @@ fn main() {
             other => panic!("unknown argument: {other}"),
         }
     }
+    if dispatch {
+        let out = out_path.unwrap_or_else(|| "BENCH_dispatch.json".to_string());
+        run_dispatch(&out, reps);
+        return;
+    }
+    let out_path = out_path.unwrap_or_else(|| "BENCH_interp.json".to_string());
 
     let baseline: Option<Report> = std::fs::read_to_string(&out_path)
         .ok()

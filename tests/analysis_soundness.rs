@@ -43,11 +43,17 @@ impl AosPolicy for PinPolicy {
 /// profile's peak arena / call-depth figures are exact, not sampled.
 /// Returns the run result plus the static bounds the VM derived.
 fn run_reference(program: &Arc<Program>) -> (RunResult, FrameBounds) {
+    run_pinned(program, InterpMode::Reference)
+}
+
+/// Like [`run_reference`] but in the caller's choice of dispatch loop,
+/// still pinned at Baseline so both modes execute identical code.
+fn run_pinned(program: &Arc<Program>, interp: InterpMode) -> (RunResult, FrameBounds) {
     let mut vm = Vm::new(
         Arc::clone(program),
         Box::new(PinPolicy(OptLevel::Baseline)),
         VmConfig {
-            interp: InterpMode::Reference,
+            interp,
             cycle_budget: Some(2_000_000_000),
             ..VmConfig::default()
         },
@@ -117,6 +123,35 @@ fn workloads_obey_static_bounds_at_every_level() {
             assert_eq!(gating, 0, "{label}: vmlint gate would fail");
             let (result, bounds) = run_reference(&transformed);
             assert_sound(&label, &analysis, &result, bounds);
+        }
+    }
+}
+
+/// The fast loop's peak-arena tracking is exact, not a frame-push lower
+/// bound: for every workload at every level, both dispatch loops must
+/// report the *same* peak arena occupancy and call depth. (This is what
+/// lets `assert_sound` treat either mode's figures as ground truth.)
+#[test]
+fn fast_and_reference_agree_on_exact_peaks() {
+    for name in workloads::names() {
+        let bench = workloads::by_name(name).expect("bundled");
+        let input = &bench.inputs[0];
+        for level in OptLevel::ALL {
+            let label = format!("{name}@{level}");
+            let transformed = Arc::new(
+                optimize_program(&input.program, level)
+                    .unwrap_or_else(|e| panic!("{label}: miscompiled: {e}")),
+            );
+            let (fast, _) = run_pinned(&transformed, InterpMode::Fast);
+            let (reference, _) = run_pinned(&transformed, InterpMode::Reference);
+            assert_eq!(
+                fast.profile.peak_arena_slots, reference.profile.peak_arena_slots,
+                "{label}: fast/reference peak arena slots disagree"
+            );
+            assert_eq!(
+                fast.profile.peak_call_depth, reference.profile.peak_call_depth,
+                "{label}: fast/reference peak call depth disagree"
+            );
         }
     }
 }

@@ -1,0 +1,161 @@
+//! The dispatch profiler's contracts, asserted over the full Table I
+//! workload suite:
+//!
+//! 1. **Mode agreement** — the opcode and opcode-pair counters the fast
+//!    loop gathers are *identical* to the reference loop's, fused and
+//!    unfused, so profile-directed decisions never depend on which
+//!    dispatch loop happened to observe the program.
+//! 2. **Fusion transparency** — superinstruction fusion changes neither
+//!    retired-instruction-equivalent counts nor the virtual clock: a
+//!    fused op retires its component count, and fused costs are the
+//!    exact sum of their parts.
+
+use std::sync::Arc;
+
+use evolvable_vm::bytecode::{Instr, Program};
+use evolvable_vm::opt::{OptLevel, Optimizer};
+use evolvable_vm::vm::{
+    CostBenefitPolicy, DispatchProfile, InterpMode, Outcome, RunResult, Vm, VmConfig,
+};
+use evolvable_vm::workloads;
+use evovm_bytecode::FuncId;
+
+/// Run one workload program to completion under `config`, resuming
+/// through feature pauses like the campaign loop does.
+fn adaptive_run(program: &Arc<Program>, config: VmConfig) -> RunResult {
+    let mut vm = Vm::new(
+        Arc::clone(program),
+        Box::new(CostBenefitPolicy::new()),
+        config,
+    )
+    .expect("workload programs verify");
+    loop {
+        match vm.run().expect("workload programs do not trap") {
+            Outcome::Finished(result) => return result,
+            Outcome::FeaturesReady => continue,
+        }
+    }
+}
+
+fn dispatch_profile(program: &Arc<Program>, interp: InterpMode, fuse: bool) -> DispatchProfile {
+    let result = adaptive_run(
+        program,
+        VmConfig {
+            interp,
+            profile_dispatch: true,
+            fuse,
+            ..VmConfig::default()
+        },
+    );
+    result.profile.dispatch.expect("profiling was on")
+}
+
+/// The fast and reference loops must gather bit-identical opcode and
+/// opcode-pair counters on every workload, with fusion both off (the
+/// distribution `BENCH_dispatch.json` is built from) and on (the stream
+/// the tiered-up interpreter actually executes).
+#[test]
+fn pair_counters_agree_between_fast_and_reference() {
+    for name in workloads::names() {
+        let bench = workloads::by_name(name).expect("bundled");
+        let program = &bench.inputs[0].program;
+        for fuse in [false, true] {
+            let fast = dispatch_profile(program, InterpMode::Fast, fuse);
+            let reference = dispatch_profile(program, InterpMode::Reference, fuse);
+            assert_eq!(
+                fast, reference,
+                "{name} (fuse={fuse}): fast/reference dispatch profiles disagree"
+            );
+            assert!(fast.total() > 0, "{name}: empty dispatch profile");
+        }
+    }
+}
+
+/// Fusion must be invisible to everything except host dispatch count:
+/// retired-instruction-equivalent totals and the virtual clock are
+/// bit-identical with fusion on and off, while the fused run performs
+/// strictly fewer dispatches (that is the whole point).
+#[test]
+fn fusion_preserves_retired_counts_and_cycles() {
+    let mut fused_somewhere = false;
+    for name in workloads::names() {
+        let bench = workloads::by_name(name).expect("bundled");
+        let program = &bench.inputs[0].program;
+        let unfused = adaptive_run(
+            program,
+            VmConfig {
+                profile_dispatch: true,
+                fuse: false,
+                ..VmConfig::default()
+            },
+        );
+        let fused = adaptive_run(
+            program,
+            VmConfig {
+                profile_dispatch: true,
+                fuse: true,
+                ..VmConfig::default()
+            },
+        );
+        assert_eq!(
+            unfused.instructions, fused.instructions,
+            "{name}: fusion changed the retired-instruction count"
+        );
+        assert_eq!(
+            unfused.total_cycles, fused.total_cycles,
+            "{name}: fusion moved the virtual clock"
+        );
+        // Retired-equivalents come from component counts; dispatches come
+        // from the profiler. Fused dispatches never exceed unfused ones.
+        let unfused_dispatches = unfused.profile.dispatch.expect("profiled").total();
+        let fused_dispatches = fused.profile.dispatch.expect("profiled").total();
+        assert!(
+            fused_dispatches <= unfused_dispatches,
+            "{name}: fusion increased dispatch count \
+             ({fused_dispatches} > {unfused_dispatches})"
+        );
+        fused_somewhere |= fused_dispatches < unfused_dispatches;
+    }
+    assert!(
+        fused_somewhere,
+        "fusion never eliminated a dispatch on any workload"
+    );
+}
+
+/// Every fused opcode the optimizer actually emits at O1/O2 on the
+/// workload suite reports a component count equal to the length of the
+/// sequence it stands for, and a base cost equal to that sequence's
+/// exact sum — the invariant that keeps the folded cost tables (and so
+/// the virtual clock) bit-identical across fusion.
+#[test]
+fn emitted_fused_ops_report_exact_components_and_costs() {
+    let optimizer = Optimizer::new();
+    let mut fused_seen = 0usize;
+    for name in workloads::names() {
+        let bench = workloads::by_name(name).expect("bundled");
+        let program = &bench.inputs[0].program;
+        for level in [OptLevel::O1, OptLevel::O2] {
+            for id in 0..program.functions().len() {
+                let compiled = optimizer.compile(program, FuncId(id as u32), level);
+                for instr in compiled.code.iter() {
+                    let Some(parts) = instr.unfused() else {
+                        assert_eq!(instr.component_count(), 1, "{instr:?}");
+                        continue;
+                    };
+                    fused_seen += 1;
+                    assert_eq!(
+                        instr.component_count(),
+                        parts.len() as u64,
+                        "{name}@{level}: {instr:?} misreports its component count"
+                    );
+                    assert_eq!(
+                        instr.base_cost(),
+                        parts.iter().map(Instr::base_cost).sum::<u64>(),
+                        "{name}@{level}: {instr:?} cost is not the sum of its parts"
+                    );
+                }
+            }
+        }
+    }
+    assert!(fused_seen > 0, "O1/O2 emitted no fused ops on any workload");
+}
