@@ -160,6 +160,7 @@ fn run_requests(
         .map(|(index, (handle, request))| loop {
             match handle.next_event() {
                 Some(RunEvent::Record(record)) => on_record(index, &record),
+                Some(RunEvent::ForkSample(_)) => continue,
                 Some(RunEvent::Finished(result)) => {
                     break result.unwrap_or_else(|e| {
                         panic!("campaign failed for {}: {e}", request.workload)

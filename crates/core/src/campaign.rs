@@ -12,11 +12,14 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
+use evovm_learn::dataset::Raw;
 use evovm_vm::{InterpMode, Outcome, Vm, VmConfig, CYCLES_PER_SECOND};
+use evovm_xicl::FeatureValue;
 
 use crate::app::Bench;
 use crate::config::EvolveConfig;
 use crate::error::EvolveError;
+use crate::fork::{ForkExecutor, ForkPoint, ForkSample};
 use crate::optimizer::{self, RunPlan};
 use crate::oracle::DefaultOracle;
 use crate::store::ModelStore;
@@ -69,6 +72,11 @@ pub struct CampaignConfig {
     /// growing memory linearly with `runs`; the outcome's `records` then
     /// stays empty and its record-derived summaries report no data.
     pub retain_records: bool,
+    /// How many fork points each production run may self-capture at
+    /// recompilation decisions (see [`crate::fork`]). `0` (the default)
+    /// disables the counterfactual data factory entirely; campaigns with
+    /// forking off are bit-identical to campaigns that predate it.
+    pub fork_snapshots: usize,
 }
 
 impl CampaignConfig {
@@ -82,6 +90,7 @@ impl CampaignConfig {
             model_key: None,
             interp: InterpMode::Fast,
             retain_records: true,
+            fork_snapshots: 0,
         }
     }
 
@@ -121,6 +130,13 @@ impl CampaignConfig {
         self.retain_records = retain;
         self
     }
+
+    /// Set the per-run fork-point budget of the counterfactual data
+    /// factory (see [`CampaignConfig::fork_snapshots`]).
+    pub fn fork_snapshots(mut self, fork_snapshots: usize) -> CampaignConfig {
+        self.fork_snapshots = fork_snapshots;
+        self
+    }
 }
 
 /// Observer of a campaign's per-run records as they are produced.
@@ -135,6 +151,24 @@ pub trait RunSink {
     /// Called once per production run, in run order, with that run's
     /// record.
     fn on_record(&mut self, record: &RunRecord);
+
+    /// Offered each [`ForkPoint`] a run captured, after that run's
+    /// [`RunSink::on_record`] call. Returning the point back (the
+    /// default) tells the campaign to replay it inline through a
+    /// [`ForkExecutor`] and feed the resulting samples to
+    /// [`RunSink::on_fork_sample`]; returning `None` means the sink
+    /// *consumed* the point and replays it itself — this is how the
+    /// [`CampaignService`](crate::CampaignService) reroutes fork replays
+    /// through its worker pool as ordinary queue units.
+    fn on_fork_point(&mut self, point: ForkPoint) -> Option<ForkPoint> {
+        Some(point)
+    }
+
+    /// Called once per counterfactual sample produced by an inline fork
+    /// replay, in fork-point order then level order.
+    fn on_fork_sample(&mut self, sample: &ForkSample) {
+        let _ = sample;
+    }
 }
 
 /// Any `FnMut(&RunRecord)` closure is a sink.
@@ -364,12 +398,17 @@ impl<'a> Campaign<'a> {
             0
         });
 
+        // Campaign-wide fork counter: every fork point gets a distinct
+        // index so its samples group unambiguously in a cost dataset.
+        let mut fork_counter: u64 = 0;
+
         for run_index in 0..self.config.runs {
             let input_index = rng.gen_range(0..inputs.len());
             let input = &inputs[input_index];
             let default_cycles = oracle.default_cycles(input_index, input)?;
             arrived[input_index] = Some(default_cycles);
 
+            let mut fork_points: Vec<ForkPoint> = Vec::new();
             let record = match optimizer.prepare(input)? {
                 RunPlan::Baseline => RunRecord {
                     run_index,
@@ -392,6 +431,7 @@ impl<'a> Campaign<'a> {
                         VmConfig {
                             sample_interval_cycles: self.config.evolve.sample_interval_cycles,
                             interp: self.config.interp,
+                            fork_snapshots: self.config.fork_snapshots,
                             ..VmConfig::default()
                         },
                     )?;
@@ -402,8 +442,30 @@ impl<'a> Campaign<'a> {
                             Outcome::FeaturesReady => optimizer.features_ready(&mut vm)?,
                         }
                     };
+                    let captured = vm.take_fork_snapshots();
                     let cycles = result.total_cycles;
-                    let report = optimizer.observe(input, result)?;
+                    if !captured.is_empty() {
+                        let features = self.fork_features(input, &result.published)?;
+                        for snapshot in captured {
+                            let Some((method, decided_level)) = snapshot.pending_decision() else {
+                                continue;
+                            };
+                            fork_points.push(ForkPoint {
+                                fork_index: fork_counter,
+                                run_index,
+                                input_index,
+                                method,
+                                method_name: input.program.function(method).name.clone(),
+                                from_level: snapshot.level_of(method),
+                                decided_level,
+                                base_total_cycles: cycles,
+                                features: features.clone(),
+                                snapshot,
+                            });
+                            fork_counter += 1;
+                        }
+                    }
+                    let report = optimizer.observe(input, *result)?;
                     RunRecord {
                         run_index,
                         input_index,
@@ -425,6 +487,17 @@ impl<'a> Campaign<'a> {
             if self.config.retain_records {
                 records.push(record);
             }
+            // Fork replays happen strictly after the real run's record is
+            // delivered, so streaming consumers see the factual before
+            // its counterfactuals. Sinks that consume the points replay
+            // them elsewhere (e.g. on the service's worker pool).
+            for point in fork_points {
+                if let Some(point) = sink.on_fork_point(point) {
+                    for sample in ForkExecutor::new().replay(&point)? {
+                        sink.on_fork_sample(&sample);
+                    }
+                }
+            }
         }
 
         if let (Some(store), Some(key)) = (store, self.config.model_key.as_deref()) {
@@ -445,5 +518,35 @@ impl<'a> Campaign<'a> {
             default_seconds_per_input,
             state_recovered,
         })
+    }
+
+    /// The XICL feature row attached to a run's fork points: the input's
+    /// static features merged with the run's published runtime features —
+    /// the same vector the evolvable optimizer predicts from, so fork
+    /// samples slot into the training schema unchanged.
+    fn fork_features(
+        &self,
+        input: &crate::app::AppInput,
+        published: &[(String, evovm_bytecode::scalar::Scalar)],
+    ) -> Result<Vec<(String, Raw)>, EvolveError> {
+        let (mut vector, _stats) = self.bench.translator.translate(&input.args, &input.vfs)?;
+        for (name, value) in published {
+            vector.update(
+                &format!("runtime.{name}"),
+                FeatureValue::Num(value.as_f64()),
+            );
+        }
+        Ok(vector
+            .iter()
+            .map(|(name, value)| {
+                (
+                    name.to_owned(),
+                    match value {
+                        FeatureValue::Num(v) => Raw::Num(*v),
+                        FeatureValue::Cat(s) => Raw::Cat(s.clone()),
+                    },
+                )
+            })
+            .collect())
     }
 }

@@ -216,7 +216,7 @@ impl EvolvableVm {
                 Outcome::FeaturesReady => self.on_features_ready(&mut pending, &mut vm)?,
             }
         };
-        self.finish_run(pending, input, result)
+        self.finish_run(pending, input, *result)
     }
 
     /// Phase 1 of a run: translate the input, charge (capped) extraction

@@ -14,6 +14,10 @@
 //!   et al.), reimplemented from the paper's description.
 //! - [`campaign`] — the three-scenario experiment runner used by every
 //!   table and figure.
+//! - [`fork`] — the compilation-forking counterfactual data factory:
+//!   recompilation decisions snapshot the run, a [`ForkExecutor`] replays
+//!   each snapshot under every level, and the `(features, level, cost)`
+//!   samples become first-class training data.
 //! - [`service`] — the long-lived streaming campaign service (with
 //!   [`scheduler`] holding its pure scheduling/oracle-sharing logic and
 //!   [`engine`] as the batch-shaped facade).
@@ -39,6 +43,7 @@ pub mod config;
 pub mod engine;
 pub mod error;
 pub mod evolve;
+pub mod fork;
 pub mod metrics;
 pub mod optimizer;
 pub mod oracle;
@@ -54,6 +59,7 @@ pub use config::EvolveConfig;
 pub use engine::{CampaignEngine, CampaignSpec};
 pub use error::EvolveError;
 pub use evolve::{EvolvableVm, EvolveRunRecord, EvolveState};
+pub use fork::{ForkExecutor, ForkPoint, ForkSample};
 pub use metrics::{ServiceMetrics, ServiceMetricsSnapshot, StoreMetrics, StoreMetricsSnapshot};
 pub use optimizer::{CrossRunOptimizer, RunPlan, RunReport};
 pub use oracle::DefaultOracle;

@@ -107,7 +107,7 @@ pub(crate) fn run_default(
     )?;
     loop {
         match vm.run()? {
-            Outcome::Finished(result) => return Ok(result),
+            Outcome::Finished(result) => return Ok(*result),
             Outcome::FeaturesReady => continue,
         }
     }

@@ -227,6 +227,13 @@ impl RepPolicy {
 }
 
 impl AosPolicy for RepPolicy {
+    fn fork_box(&self) -> Box<dyn AosPolicy> {
+        Box::new(RepPolicy {
+            strategy: self.strategy.clone(),
+            fallback: self.fallback.clone(),
+        })
+    }
+
     fn on_first_compile(&mut self, method: FuncId, _ctx: AosContext<'_>) -> Option<OptLevel> {
         self.strategy
             .pairs

@@ -121,6 +121,13 @@ impl PredictedPolicy {
 }
 
 impl AosPolicy for PredictedPolicy {
+    fn fork_box(&self) -> Box<dyn AosPolicy> {
+        Box::new(PredictedPolicy {
+            strategy: self.strategy.clone(),
+            fallback: self.fallback.clone(),
+        })
+    }
+
     fn on_first_compile(&mut self, method: FuncId, _ctx: AosContext<'_>) -> Option<OptLevel> {
         self.strategy
             .levels

@@ -249,6 +249,104 @@ impl Dataset {
     }
 }
 
+/// One counterfactual cost observation from the compilation-forking data
+/// factory: a feature row, the optimization level the forked run executed
+/// under, and the run's total virtual cost under that level.
+///
+/// Samples sharing a `group` come from the *same* fork point (the same
+/// snapshot replayed under different levels), so their costs are directly
+/// comparable — the group's argmin is the empirically ideal level for
+/// that input, which is exactly the label the classification trees train
+/// on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostSample {
+    /// Fork-point group id; samples with equal groups replay one snapshot.
+    pub group: u64,
+    /// The feature row (XICL features of the run's input).
+    pub features: Vec<(String, Raw)>,
+    /// The level label, shifted to `0..=3` (Jikes level + 1).
+    pub level: u16,
+    /// Total virtual cycles of the whole run under this level.
+    pub cost: u64,
+}
+
+/// An accumulating set of [`CostSample`]s — the training-data side of the
+/// counterfactual fork factory. Unlike [`Dataset`], rows here carry a
+/// *cost* rather than a class; [`CostDataset::to_classification`] reduces
+/// each fork group to its cheapest level and emits ordinary labelled rows.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CostDataset {
+    samples: Vec<CostSample>,
+}
+
+impl CostDataset {
+    /// An empty cost dataset.
+    pub fn new() -> CostDataset {
+        CostDataset::default()
+    }
+
+    /// Append one cost observation.
+    pub fn push(&mut self, sample: CostSample) {
+        self.samples.push(sample);
+    }
+
+    /// Number of cost samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples have been added.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The raw samples, in insertion order.
+    pub fn samples(&self) -> &[CostSample] {
+        &self.samples
+    }
+
+    /// Distinct group ids, in first-seen order.
+    pub fn groups(&self) -> Vec<u64> {
+        let mut groups = Vec::new();
+        for s in &self.samples {
+            if !groups.contains(&s.group) {
+                groups.push(s.group);
+            }
+        }
+        groups
+    }
+
+    /// Reduce every fork group to its argmin-cost level (ties break to the
+    /// lower level, keeping the reduction deterministic) and emit one
+    /// classification row per group: the group's feature row labelled with
+    /// its empirically best level. The result feeds
+    /// [`ClassificationTree::fit`](crate::tree::ClassificationTree::fit)
+    /// exactly like the posterior ideal strategies do.
+    ///
+    /// # Errors
+    ///
+    /// [`DatasetError`] when groups disagree on the feature schema.
+    pub fn to_classification(&self) -> Result<Dataset, DatasetError> {
+        let mut dataset = Dataset::new();
+        for group in self.groups() {
+            let mut best: Option<&CostSample> = None;
+            for s in self.samples.iter().filter(|s| s.group == group) {
+                let better = match best {
+                    None => true,
+                    Some(b) => s.cost < b.cost || (s.cost == b.cost && s.level < b.level),
+                };
+                if better {
+                    best = Some(s);
+                }
+            }
+            if let Some(b) = best {
+                dataset.push(&b.features, b.level)?;
+            }
+        }
+        Ok(dataset)
+    }
+}
+
 fn intern(categories: &mut Vec<String>, s: &str) -> u32 {
     match categories.iter().position(|c| c == s) {
         Some(i) => i as u32,
@@ -338,6 +436,44 @@ mod tests {
             Encoded::Num(v) => assert!(v.is_nan()),
             ref other => panic!("expected NaN, got {other:?}"),
         }
+    }
+
+    fn cost(group: u64, n: f64, level: u16, cost: u64) -> CostSample {
+        CostSample {
+            group,
+            features: vec![("size".to_owned(), Raw::Num(n))],
+            level,
+            cost,
+        }
+    }
+
+    #[test]
+    fn cost_dataset_reduces_groups_to_argmin_levels() {
+        let mut d = CostDataset::new();
+        // Group 0: level 2 is cheapest. Group 1: level 0 is cheapest.
+        for (lvl, c) in [(0u16, 900), (1, 500), (2, 100), (3, 400)] {
+            d.push(cost(0, 10.0, lvl, c));
+        }
+        for (lvl, c) in [(0u16, 50), (1, 80), (2, 120), (3, 700)] {
+            d.push(cost(1, 99.0, lvl, c));
+        }
+        assert_eq!(d.len(), 8);
+        assert_eq!(d.groups(), vec![0, 1]);
+        let c = d.to_classification().unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.labels(), &[2, 0]);
+        assert_eq!(c.rows()[0][0], Encoded::Num(10.0));
+        assert_eq!(c.rows()[1][0], Encoded::Num(99.0));
+    }
+
+    #[test]
+    fn cost_dataset_ties_break_to_the_lower_level() {
+        let mut d = CostDataset::new();
+        d.push(cost(7, 1.0, 3, 100));
+        d.push(cost(7, 1.0, 1, 100));
+        d.push(cost(7, 1.0, 2, 100));
+        let c = d.to_classification().unwrap();
+        assert_eq!(c.labels(), &[1]);
     }
 
     #[test]

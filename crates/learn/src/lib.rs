@@ -38,5 +38,5 @@ pub mod tree;
 
 pub use baseline::MajorityClassifier;
 pub use confidence::ConfidenceTracker;
-pub use dataset::{Dataset, DatasetError, Encoded, FeatureKind, Raw};
+pub use dataset::{CostDataset, CostSample, Dataset, DatasetError, Encoded, FeatureKind, Raw};
 pub use tree::{ClassificationTree, TreeParams};

@@ -40,7 +40,7 @@ pub mod profile;
 pub mod value;
 
 pub use error::{Trap, VmError};
-pub use machine::{InterpMode, Outcome, RunResult, Vm, VmConfig, CYCLES_PER_SECOND};
+pub use machine::{InterpMode, Outcome, RunResult, RunSnapshot, Vm, VmConfig, CYCLES_PER_SECOND};
 pub use policy::{AosContext, AosPolicy, BaselineOnlyPolicy, CostBenefitPolicy};
 pub use profile::{DispatchProfile, RecompileEvent, RunProfile};
 pub use value::{Heap, Value};

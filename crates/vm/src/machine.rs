@@ -21,6 +21,27 @@
 //!   yields [`Outcome::FeaturesReady`] so the host can run prediction and
 //!   swap the policy before resuming.
 //!
+//! # Program context vs run state
+//!
+//! A [`Vm`] is split in two (see `DESIGN.md` §13):
+//!
+//! - the **program context** — the verified program, engine config,
+//!   optimizer and the statically proven frame bounds — is fixed for the
+//!   life of the machine;
+//! - the **[`RunState`]** — frame stack, value arena, heap, virtual
+//!   clock/budget accounting, sampler state, profile, pending publishes
+//!   *and* the compiled-code caches (recompilation is a run event that
+//!   moves the clock, so compilation state is run state) — is everything
+//!   execution mutates.
+//!
+//! Because the clock is virtual, a cloned `RunState` replays *exactly*:
+//! [`Vm::snapshot`] captures one at any host-side window boundary,
+//! [`Vm::resume`] rebuilds a machine around it, and the continuation is
+//! bit-identical to never having snapshotted (`tests/fork_equiv.rs`).
+//! With [`VmConfig::fork_snapshots`] set, the engine also self-captures at
+//! recompilation decisions — the fork points the compilation-forking data
+//! factory replays under counterfactual levels (`evovm_core::fork`).
+//!
 //! # Host-side performance (the interpreter hot path)
 //!
 //! The virtual clock above defines *what* a run costs; this section is
@@ -109,6 +130,13 @@ pub struct VmConfig {
     /// tests can compare fused against unfused runs (the virtual clock is
     /// bit-identical either way).
     pub fuse: bool,
+    /// Maximum number of fork points the engine self-captures at
+    /// recompilation decisions (a [`RunSnapshot`] taken right before each
+    /// decision applies, drained via [`Vm::take_fork_snapshots`]). Zero —
+    /// the default — disables capture entirely; the check lives on the
+    /// sample tick path, never in the dispatch loop, so production runs
+    /// pay nothing.
+    pub fork_snapshots: usize,
 }
 
 impl Default for VmConfig {
@@ -120,22 +148,21 @@ impl Default for VmConfig {
             interp: InterpMode::Fast,
             profile_dispatch: false,
             fuse: true,
+            fork_snapshots: 0,
         }
     }
 }
 
 /// Why the machine returned control.
-// One `Outcome` moves per *run* (not per instruction), so the size gap
-// between the variants costs nothing measurable and boxing `RunResult`
-// would push indirection onto every caller.
-#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum Outcome {
-    /// The program ran to completion.
-    Finished(RunResult),
+    /// The program ran to completion. Boxed: one `Outcome` moves per run,
+    /// and keeping the enum a pointer wide spares every pause/resume
+    /// round-trip from copying an inline [`RunResult`].
+    Finished(Box<RunResult>),
     /// The program executed `Done` (XICL `done()`): published features are
     /// complete and the host may predict + swap the policy, then call
-    /// [`Vm::resume`].
+    /// [`Vm::run`] again.
     FeaturesReady,
 }
 
@@ -169,7 +196,7 @@ impl RunResult {
 /// One active call: plain metadata into the shared arena. The records
 /// live in a pooled `Vec` (popping keeps capacity), so steady-state calls
 /// allocate nothing.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Frame {
     method: FuncId,
     code: Arc<Vec<Instr>>,
@@ -198,7 +225,7 @@ enum Step {
 /// resolved once per (callee, compiled code) and reused until the callee
 /// recompiles. Because calls name their callee statically, caching per
 /// callee is exactly caching per call site.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct CallTarget {
     arity: usize,
     locals: u16,
@@ -222,13 +249,15 @@ enum Pending {
     Fault(VmError),
 }
 
-/// The virtual machine.
-#[derive(Debug)]
-pub struct Vm {
-    program: Arc<Program>,
-    config: VmConfig,
-    policy: Box<dyn AosPolicy>,
-    optimizer: Optimizer,
+/// The run-mutable half of a [`Vm`]: everything execution changes.
+///
+/// This includes the compiled-code and call-site caches and the per-method
+/// levels — recompilations happen mid-run and charge the virtual clock, so
+/// compilation state *is* run state and must travel with a snapshot for
+/// the continuation to replay bit-identically. The immutable program
+/// context (program, config, optimizer, static bounds) stays on [`Vm`].
+#[derive(Debug, Clone)]
+struct RunState {
     cache: Vec<Option<CompiledCode>>,
     /// Monomorphic call-site cache, indexed like `cache`; entries are
     /// invalidated whenever the callee recompiles.
@@ -238,9 +267,6 @@ pub struct Vm {
     frames: Vec<Frame>,
     /// Locals + operand stacks of all active frames, contiguously.
     arena: Vec<Value>,
-    /// Static call-depth/arena bounds proven at construction; used to
-    /// pre-size `frames` and `arena` and exposed for soundness checks.
-    static_bounds: FrameBounds,
     clock_milli: u64,
     exec_milli: u64,
     compile_milli: u64,
@@ -255,6 +281,117 @@ pub struct Vm {
     pending_publish: Vec<(StrId, Scalar)>,
     started: bool,
     finished: bool,
+}
+
+/// A point-in-time copy of one run, taken at a window boundary — either
+/// by the host via [`Vm::snapshot`] (between [`Vm::run`] calls) or by the
+/// engine itself at a recompilation decision when
+/// [`VmConfig::fork_snapshots`] is set.
+///
+/// A snapshot is self-contained and `Send`: it carries the program, the
+/// config, a forked copy of the policy ([`AosPolicy::fork_box`]) and the
+/// full [`RunState`], so [`Vm::resume`] can rebuild the machine anywhere —
+/// on another worker thread, under a different cycle budget, or under a
+/// counterfactual level decision ([`RunSnapshot::override_decision`]).
+/// Resuming and running to completion is bit-identical to never having
+/// snapshotted, in both [`InterpMode`]s (`tests/fork_equiv.rs`).
+#[derive(Debug)]
+pub struct RunSnapshot {
+    program: Arc<Program>,
+    config: VmConfig,
+    static_bounds: FrameBounds,
+    policy: Box<dyn AosPolicy>,
+    state: RunState,
+    /// The recompilation decision captured at a fork point: the sampled
+    /// method and the level the live policy chose. `None` for host-side
+    /// snapshots.
+    decision: Option<(FuncId, OptLevel)>,
+    /// The level [`Vm::resume`] will actually compile `decision`'s method
+    /// to. Starts equal to the captured decision; forks override it per
+    /// counterfactual. `None` suppresses the recompilation entirely (the
+    /// "keep the current level" arm — and because upward-only recompile
+    /// semantics make any target `<=` the current level a no-op, lower
+    /// counterfactuals degrade to this arm naturally).
+    applied: Option<OptLevel>,
+    /// Arena capacity at capture. Cloning a `Vec` copies contents, not
+    /// spare capacity, and the dispatch loop's unchecked pushes rely on
+    /// the operand headroom reserved at frame entry — resume re-reserves
+    /// to this figure before executing anything.
+    arena_capacity: usize,
+}
+
+impl Clone for RunSnapshot {
+    fn clone(&self) -> RunSnapshot {
+        RunSnapshot {
+            program: Arc::clone(&self.program),
+            config: self.config.clone(),
+            static_bounds: self.static_bounds,
+            policy: self.policy.fork_box(),
+            state: self.state.clone(),
+            decision: self.decision,
+            applied: self.applied,
+            arena_capacity: self.arena_capacity,
+        }
+    }
+}
+
+impl RunSnapshot {
+    /// Virtual clock at capture, in cycles.
+    pub fn cycles(&self) -> u64 {
+        self.state.clock_milli / 1000
+    }
+
+    /// Instructions retired up to capture.
+    pub fn instructions(&self) -> u64 {
+        self.state.instructions
+    }
+
+    /// The recompilation decision pending at capture (`None` for
+    /// host-side snapshots): the sampled method and the level the live
+    /// policy chose for it.
+    pub fn pending_decision(&self) -> Option<(FuncId, OptLevel)> {
+        self.decision
+    }
+
+    /// The compiled level `method` had at capture.
+    pub fn level_of(&self, method: FuncId) -> OptLevel {
+        self.state.levels[method.index()]
+    }
+
+    /// Replace the level [`Vm::resume`] applies for the captured decision.
+    /// `None` suppresses the recompilation (the counterfactual "stay where
+    /// you are"). No effect on host-side snapshots, which carry no
+    /// decision.
+    pub fn override_decision(&mut self, level: Option<OptLevel>) {
+        if self.decision.is_some() {
+            self.applied = level;
+        }
+    }
+
+    /// Replace the cycle budget the resumed machine runs under. Forks use
+    /// this to lift a budget that already tripped, or to bound
+    /// counterfactual continuations.
+    pub fn set_cycle_budget(&mut self, budget: Option<u64>) {
+        self.config.cycle_budget = budget;
+    }
+}
+
+/// The virtual machine: the immutable program context plus one
+/// [`RunState`] (see the module docs on the split).
+#[derive(Debug)]
+pub struct Vm {
+    program: Arc<Program>,
+    config: VmConfig,
+    policy: Box<dyn AosPolicy>,
+    optimizer: Optimizer,
+    /// Static call-depth/arena bounds proven at construction; used to
+    /// pre-size `frames` and `arena` and exposed for soundness checks.
+    static_bounds: FrameBounds,
+    state: RunState,
+    /// Fork points self-captured at recompilation decisions, in decision
+    /// order, up to [`VmConfig::fork_snapshots`]. Kept outside `state` so
+    /// snapshots never nest.
+    fork_points: Vec<RunSnapshot>,
 }
 
 impl Vm {
@@ -293,27 +430,30 @@ impl Vm {
         }
         Ok(Vm {
             program,
-            next_sample_milli: config.sample_interval_cycles * 1000,
             optimizer: Optimizer::new().with_fusion(config.fuse),
+            state: RunState {
+                cache: (0..n).map(|_| None).collect(),
+                call_cache: (0..n).map(|_| None).collect(),
+                levels: vec![OptLevel::Baseline; n],
+                heap: Heap::new(),
+                frames: Vec::with_capacity(frame_capacity),
+                arena: Vec::with_capacity(arena_capacity),
+                clock_milli: 0,
+                exec_milli: 0,
+                compile_milli: 0,
+                next_sample_milli: config.sample_interval_cycles * 1000,
+                instructions: 0,
+                profile,
+                output: Vec::new(),
+                published: Vec::new(),
+                pending_publish: Vec::new(),
+                started: false,
+                finished: false,
+            },
             config,
             policy,
-            cache: (0..n).map(|_| None).collect(),
-            call_cache: (0..n).map(|_| None).collect(),
-            levels: vec![OptLevel::Baseline; n],
-            heap: Heap::new(),
-            frames: Vec::with_capacity(frame_capacity),
-            arena: Vec::with_capacity(arena_capacity),
             static_bounds,
-            clock_milli: 0,
-            exec_milli: 0,
-            compile_milli: 0,
-            instructions: 0,
-            profile,
-            output: Vec::new(),
-            published: Vec::new(),
-            pending_publish: Vec::new(),
-            started: false,
-            finished: false,
+            fork_points: Vec::new(),
         })
     }
 
@@ -332,7 +472,7 @@ impl Vm {
     /// and after the run finishes (names resolve from the string table at
     /// those points, not per `Publish`).
     pub fn published(&self) -> &[(String, Scalar)] {
-        &self.published
+        &self.state.published
     }
 
     /// Swap the recompilation policy, returning the old one. Intended for
@@ -344,7 +484,72 @@ impl Vm {
 
     /// Current virtual clock in cycles.
     pub fn cycles(&self) -> u64 {
-        self.clock_milli / 1000
+        self.state.clock_milli / 1000
+    }
+
+    /// Capture the run as a [`RunSnapshot`]. Valid at any point where the
+    /// host holds control — before the first [`Vm::run`], at a
+    /// `FeaturesReady` pause, or after an error returned with the state
+    /// intact (e.g. a tripped cycle budget) — which are exactly the event-
+    /// window boundaries: frame ips and accounting are fully written back
+    /// there, so the copy resumes bit-identically.
+    pub fn snapshot(&self) -> RunSnapshot {
+        self.make_snapshot(None)
+    }
+
+    /// Drain the fork points self-captured at recompilation decisions
+    /// (none unless [`VmConfig::fork_snapshots`] is set).
+    pub fn take_fork_snapshots(&mut self) -> Vec<RunSnapshot> {
+        std::mem::take(&mut self.fork_points)
+    }
+
+    /// Rebuild a machine from `snapshot` and re-enter the run exactly
+    /// where it was captured. If the snapshot carries a recompilation
+    /// decision (a fork point), the decision — or its counterfactual
+    /// override — is applied first, then any sample ticks the compilation
+    /// pushed the clock past are delivered, exactly continuing the
+    /// sampler loop the capture interrupted. The resumed machine never
+    /// self-captures fork points of its own (forks don't fork).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::Miscompile`] if replaying the captured decision
+    /// fails to produce verifiable code.
+    pub fn resume(snapshot: RunSnapshot) -> Result<Vm, VmError> {
+        let RunSnapshot {
+            program,
+            mut config,
+            static_bounds,
+            policy,
+            mut state,
+            decision,
+            applied,
+            arena_capacity,
+        } = snapshot;
+        config.fork_snapshots = 0;
+        // Re-establish the unchecked-push invariant: every active frame's
+        // entry reserved `locals + max_stack` arena slots and capacity
+        // never shrinks, so the capture-time capacity covers the verified
+        // operand headroom of every frame on the stack.
+        state
+            .arena
+            .reserve(arena_capacity.saturating_sub(state.arena.len()));
+        let mut vm = Vm {
+            optimizer: Optimizer::new().with_fusion(config.fuse),
+            program,
+            config,
+            policy,
+            static_bounds,
+            state,
+            fork_points: Vec::new(),
+        };
+        if decision.is_some() {
+            if let (Some((method, _)), Some(level)) = (decision, applied) {
+                vm.recompile(method, level)?;
+            }
+            vm.maybe_sample()?;
+        }
+        Ok(vm)
     }
 
     /// Apply a per-method level strategy to methods that are *already*
@@ -359,7 +564,7 @@ impl Vm {
     /// code for one of the recompiled methods.
     pub fn apply_strategy(&mut self, levels: &[Option<OptLevel>]) -> Result<(), VmError> {
         for (i, target) in levels.iter().enumerate() {
-            let (Some(level), true) = (target, self.cache[i].is_some()) else {
+            let (Some(level), true) = (target, self.state.cache[i].is_some()) else {
                 continue;
             };
             self.recompile(FuncId(i as u32), *level)?;
@@ -383,7 +588,7 @@ impl Vm {
     /// charged span triggers a recompilation whose pipeline emits
     /// unverifiable code.
     pub fn charge_overhead(&mut self, cycles: u64) -> Result<(), VmError> {
-        self.clock_milli += cycles * 1000;
+        self.state.clock_milli += cycles * 1000;
         self.maybe_sample()
     }
 
@@ -394,11 +599,11 @@ impl Vm {
     /// Runtime traps, budget exhaustion, or [`VmError::AlreadyFinished`]
     /// if called again after completion.
     pub fn run(&mut self) -> Result<Outcome, VmError> {
-        if self.finished {
+        if self.state.finished {
             return Err(VmError::AlreadyFinished);
         }
-        if !self.started {
-            self.started = true;
+        if !self.state.started {
+            self.state.started = true;
             let entry = self.program.entry();
             self.invoke(entry, 0)?;
         }
@@ -406,7 +611,7 @@ impl Vm {
             InterpMode::Fast => {
                 // Two monomorphic flavours: dispatch profiling off is the
                 // production path and pays nothing for the counters.
-                if self.profile.dispatch.is_some() {
+                if self.state.profile.dispatch.is_some() {
                     self.execute::<true>()
                 } else {
                     self.execute::<false>()
@@ -416,13 +621,19 @@ impl Vm {
         }
     }
 
-    /// Alias of [`Vm::run`] for readability at `FeaturesReady` pauses.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`Vm::run`].
-    pub fn resume(&mut self) -> Result<Outcome, VmError> {
-        self.run()
+    // --- snapshotting ---
+
+    fn make_snapshot(&self, decision: Option<(FuncId, OptLevel)>) -> RunSnapshot {
+        RunSnapshot {
+            program: Arc::clone(&self.program),
+            config: self.config.clone(),
+            static_bounds: self.static_bounds,
+            policy: self.policy.fork_box(),
+            state: self.state.clone(),
+            decision,
+            applied: decision.map(|(_, level)| level),
+            arena_capacity: self.state.arena.capacity(),
+        }
     }
 
     // --- compilation management ---
@@ -434,23 +645,23 @@ impl Vm {
         let compiled = self
             .optimizer
             .compile_checked(&self.program, method, level)?;
-        self.clock_milli += compiled.compile_cycles * 1000;
-        self.compile_milli += compiled.compile_cycles * 1000;
-        self.levels[method.index()] = level;
-        self.cache[method.index()] = Some(compiled);
+        self.state.clock_milli += compiled.compile_cycles * 1000;
+        self.state.compile_milli += compiled.compile_cycles * 1000;
+        self.state.levels[method.index()] = level;
+        self.state.cache[method.index()] = Some(compiled);
         // New code: any cached call target for this method is stale.
-        self.call_cache[method.index()] = None;
+        self.state.call_cache[method.index()] = None;
         Ok(())
     }
 
     fn recompile(&mut self, method: FuncId, to: OptLevel) -> Result<(), VmError> {
-        let from = self.levels[method.index()];
+        let from = self.state.levels[method.index()];
         if to <= from {
             return Ok(());
         }
         self.compile_to(method, to)?;
-        self.profile.recompilations.push(RecompileEvent {
-            at_cycles: self.clock_milli / 1000,
+        self.state.profile.recompilations.push(RecompileEvent {
+            at_cycles: self.state.clock_milli / 1000,
             method,
             from,
             to,
@@ -459,7 +670,7 @@ impl Vm {
     }
 
     fn ensure_compiled(&mut self, method: FuncId) -> Result<(), VmError> {
-        if self.cache[method.index()].is_some() {
+        if self.state.cache[method.index()].is_some() {
             return Ok(());
         }
         // First invocation: baseline-compile, then give the policy its
@@ -469,8 +680,8 @@ impl Vm {
             method,
             AosContext {
                 program: &self.program,
-                samples: &self.profile.samples,
-                levels: &self.levels,
+                samples: &self.state.profile.samples,
+                levels: &self.state.levels,
                 sample_interval_cycles: self.config.sample_interval_cycles,
             },
         );
@@ -485,23 +696,26 @@ impl Vm {
     /// head of the callee's locals in place — no argument vector, no
     /// locals vector, no operand-stack vector is allocated.
     fn invoke(&mut self, method: FuncId, arity: usize) -> Result<(), VmError> {
-        if self.frames.len() >= self.config.max_call_depth {
+        if self.state.frames.len() >= self.config.max_call_depth {
             return Err(VmError::Trap(Trap::StackOverflow));
         }
         self.ensure_compiled(method)?;
-        self.profile.invocations[method.index()] += 1;
-        let compiled = self.cache[method.index()].as_ref().expect("just compiled");
-        let locals_base = self.arena.len() - arity;
+        self.state.profile.invocations[method.index()] += 1;
+        let compiled = self.state.cache[method.index()]
+            .as_ref()
+            .expect("just compiled");
+        let locals_base = self.state.arena.len() - arity;
         // Zero-fill the non-argument locals, then reserve the verified
         // operand-stack bound: while this frame is on top the arena never
         // outgrows `locals_base + locals + max_stack`, so the dispatch
         // loop's push sites can skip the capacity check (see
         // `push_tracked`). Capacity never shrinks, so the guarantee
         // survives event windows and deeper calls (each reserves its own).
-        self.arena
+        self.state
+            .arena
             .resize(locals_base + compiled.locals as usize, Value::Null);
-        self.arena.reserve(compiled.max_stack as usize);
-        self.frames.push(Frame {
+        self.state.arena.reserve(compiled.max_stack as usize);
+        self.state.frames.push(Frame {
             method,
             code: Arc::clone(&compiled.code),
             cost_milli: Arc::clone(&compiled.cost_milli),
@@ -509,8 +723,16 @@ impl Vm {
             ip: 0,
             locals_base,
         });
-        self.profile.peak_call_depth = self.profile.peak_call_depth.max(self.frames.len());
-        self.profile.peak_arena_slots = self.profile.peak_arena_slots.max(self.arena.len());
+        self.state.profile.peak_call_depth = self
+            .state
+            .profile
+            .peak_call_depth
+            .max(self.state.frames.len());
+        self.state.profile.peak_arena_slots = self
+            .state
+            .profile
+            .peak_arena_slots
+            .max(self.state.arena.len());
         Ok(())
     }
 
@@ -523,11 +745,13 @@ impl Vm {
     /// (depth check, invocation count, peaks) is identical in both paths
     /// and the virtual clock is untouched either way.
     fn invoke_cached(&mut self, callee: FuncId) -> Result<(), VmError> {
-        if self.call_cache[callee.index()].is_none() {
+        if self.state.call_cache[callee.index()].is_none() {
             let arity = self.program.function(callee).arity as usize;
             self.invoke(callee, arity)?;
-            let compiled = self.cache[callee.index()].as_ref().expect("just compiled");
-            self.call_cache[callee.index()] = Some(CallTarget {
+            let compiled = self.state.cache[callee.index()]
+                .as_ref()
+                .expect("just compiled");
+            self.state.call_cache[callee.index()] = Some(CallTarget {
                 arity,
                 locals: compiled.locals,
                 max_stack: compiled.max_stack,
@@ -537,19 +761,22 @@ impl Vm {
             });
             return Ok(());
         }
-        if self.frames.len() >= self.config.max_call_depth {
+        if self.state.frames.len() >= self.config.max_call_depth {
             return Err(VmError::Trap(Trap::StackOverflow));
         }
-        self.profile.invocations[callee.index()] += 1;
-        let target = self.call_cache[callee.index()].as_ref().expect("checked");
-        let locals_base = self.arena.len() - target.arity;
+        self.state.profile.invocations[callee.index()] += 1;
+        let target = self.state.call_cache[callee.index()]
+            .as_ref()
+            .expect("checked");
+        let locals_base = self.state.arena.len() - target.arity;
         // Same reservation as `Vm::invoke`: locals zero-filled, then the
         // verified operand bound so hot-loop pushes can skip the capacity
         // check.
-        self.arena
+        self.state
+            .arena
             .resize(locals_base + target.locals as usize, Value::Null);
-        self.arena.reserve(target.max_stack as usize);
-        self.frames.push(Frame {
+        self.state.arena.reserve(target.max_stack as usize);
+        self.state.frames.push(Frame {
             method: callee,
             code: Arc::clone(&target.code),
             cost_milli: Arc::clone(&target.cost_milli),
@@ -557,28 +784,49 @@ impl Vm {
             ip: 0,
             locals_base,
         });
-        self.profile.peak_call_depth = self.profile.peak_call_depth.max(self.frames.len());
-        self.profile.peak_arena_slots = self.profile.peak_arena_slots.max(self.arena.len());
+        self.state.profile.peak_call_depth = self
+            .state
+            .profile
+            .peak_call_depth
+            .max(self.state.frames.len());
+        self.state.profile.peak_arena_slots = self
+            .state
+            .profile
+            .peak_arena_slots
+            .max(self.state.arena.len());
         Ok(())
     }
 
     fn take_sample(&mut self) -> Result<(), VmError> {
         let method = self
+            .state
             .frames
             .last()
             .expect("sampling requires a frame")
             .method;
-        self.profile.samples[method.index()] += 1;
+        self.state.profile.samples[method.index()] += 1;
         let target = self.policy.on_sample(
             method,
             AosContext {
                 program: &self.program,
-                samples: &self.profile.samples,
-                levels: &self.levels,
+                samples: &self.state.profile.samples,
+                levels: &self.state.levels,
                 sample_interval_cycles: self.config.sample_interval_cycles,
             },
         );
         if let Some(level) = target {
+            // Fork capture: the state is a consistent window boundary here
+            // (both dispatch loops write frame ips and accounting back
+            // before delivering samples), and the decision has not applied
+            // yet — so a resumed snapshot can replay it, or any
+            // counterfactual. Only genuine upgrades are fork points;
+            // `recompile` would no-op on the rest.
+            if self.fork_points.len() < self.config.fork_snapshots
+                && level > self.state.levels[method.index()]
+            {
+                let snap = self.make_snapshot(Some((method, level)));
+                self.fork_points.push(snap);
+            }
             self.recompile(method, level)?;
         }
         Ok(())
@@ -588,24 +836,25 @@ impl Vm {
     /// `Done` pauses and at finish, keeping the name allocation out of
     /// the dispatch loop.
     fn flush_published(&mut self) {
-        for (id, value) in self.pending_publish.drain(..) {
-            self.published
+        for (id, value) in self.state.pending_publish.drain(..) {
+            self.state
+                .published
                 .push((self.program.string(id).to_owned(), value));
         }
     }
 
     fn finish(&mut self) -> RunResult {
-        self.finished = true;
+        self.state.finished = true;
         self.flush_published();
-        self.profile.final_levels = self.levels.clone();
+        self.state.profile.final_levels = self.state.levels.clone();
         RunResult {
-            output: std::mem::take(&mut self.output),
-            published: std::mem::take(&mut self.published),
-            total_cycles: self.clock_milli / 1000,
-            exec_cycles: self.exec_milli / 1000,
-            compile_cycles: self.compile_milli / 1000,
-            instructions: self.instructions,
-            profile: std::mem::take(&mut self.profile),
+            output: std::mem::take(&mut self.state.output),
+            published: std::mem::take(&mut self.state.published),
+            total_cycles: self.state.clock_milli / 1000,
+            exec_cycles: self.state.exec_milli / 1000,
+            compile_cycles: self.state.compile_milli / 1000,
+            instructions: self.state.instructions,
+            profile: std::mem::take(&mut self.state.profile),
         }
     }
 
@@ -620,12 +869,12 @@ impl Vm {
             .config
             .cycle_budget
             .map_or(u64::MAX, |b| b.saturating_add(1).saturating_mul(1000));
-        self.next_sample_milli.min(budget_deadline)
+        self.state.next_sample_milli.min(budget_deadline)
     }
 
     fn check_budget(&self) -> Result<(), VmError> {
         if let Some(budget) = self.config.cycle_budget {
-            if self.clock_milli / 1000 > budget {
+            if self.state.clock_milli / 1000 > budget {
                 return Err(VmError::CycleBudgetExceeded { budget });
             }
         }
@@ -633,9 +882,9 @@ impl Vm {
     }
 
     fn maybe_sample(&mut self) -> Result<(), VmError> {
-        while self.clock_milli >= self.next_sample_milli {
-            self.next_sample_milli += self.config.sample_interval_cycles * 1000;
-            if !self.frames.is_empty() {
+        while self.state.clock_milli >= self.state.next_sample_milli {
+            self.state.next_sample_milli += self.config.sample_interval_cycles * 1000;
+            if !self.state.frames.is_empty() {
                 self.take_sample()?;
             }
         }
@@ -655,13 +904,13 @@ impl Vm {
     fn execute<const PROFILE: bool>(&mut self) -> Result<Outcome, VmError> {
         self.check_budget()?;
         // Arena high-water mark, kept in a local so the hot loop's
-        // net-push arms can bump it without touching `self.profile`;
+        // net-push arms can bump it without touching the profile;
         // written back at every window boundary. Exact: the arena only
         // grows at net-push instructions (tracked in `step_op`) and at
         // frame pushes (tracked in `invoke`) — a `Return` can never set a
         // new maximum because the popped frame already reached at least
         // the post-return height while it ran.
-        let mut peak = self.profile.peak_arena_slots;
+        let mut peak = self.state.profile.peak_arena_slots;
         loop {
             // One event window: no sample can become due and the budget
             // cannot trip while `fuel` stays positive, because only
@@ -673,8 +922,11 @@ impl Vm {
             // cold paths (first invocation, which charges compilation;
             // depth overflow; the final return) fall out to the slow
             // path below.
-            let fuel0 = i64::try_from(self.event_deadline_milli().saturating_sub(self.clock_milli))
-                .unwrap_or(i64::MAX);
+            let fuel0 = i64::try_from(
+                self.event_deadline_milli()
+                    .saturating_sub(self.state.clock_milli),
+            )
+            .unwrap_or(i64::MAX);
             let mut fuel = fuel0;
             let mut retired: u64 = 0;
             let pending = 'frames: loop {
@@ -683,7 +935,7 @@ impl Vm {
                 // no `last_mut()` re-borrow per instruction. The borrow
                 // ends at every segment break below, freeing `frames`
                 // for the inline push/pop.
-                let frame = self.frames.last().expect("running without a frame");
+                let frame = self.state.frames.last().expect("running without a frame");
                 let code: &[Instr] = &frame.code;
                 // Equal-length reslice so the optimizer can fold the two
                 // per-instruction bounds checks into one (the compiler
@@ -711,17 +963,18 @@ impl Vm {
                     fuel -= cost as i64;
                     retired += 1;
                     if PROFILE {
-                        self.profile
+                        self.state
+                            .profile
                             .dispatch
                             .as_mut()
                             .expect("PROFILE flavour implies a dispatch profile")
                             .record(instr.dispatch_class());
                     }
                     match step_op(
-                        &mut self.arena,
-                        &mut self.heap,
-                        &mut self.output,
-                        &mut self.pending_publish,
+                        &mut self.state.arena,
+                        &mut self.state.heap,
+                        &mut self.state.output,
+                        &mut self.state.pending_publish,
                         instr,
                         &mut ip,
                         locals_base,
@@ -745,8 +998,8 @@ impl Vm {
                 match segment {
                     Pending::Call(callee) => {
                         let idx = callee.index();
-                        if self.call_cache[idx].is_some()
-                            && self.frames.len() < self.config.max_call_depth
+                        if self.state.call_cache[idx].is_some()
+                            && self.state.frames.len() < self.config.max_call_depth
                         {
                             // In-window frame push: the same work as
                             // `invoke_cached`'s hit path, minus the window
@@ -756,17 +1009,18 @@ impl Vm {
                             // the push moves no clock, the event fires with
                             // the callee on top — exactly where the
                             // window-per-call structure sampled it.
-                            self.frames.last_mut().expect("frame").ip = ip;
-                            self.profile.invocations[idx] += 1;
-                            let target = self.call_cache[idx].as_ref().expect("checked");
-                            let locals_base = self.arena.len() - target.arity;
+                            self.state.frames.last_mut().expect("frame").ip = ip;
+                            self.state.profile.invocations[idx] += 1;
+                            let target = self.state.call_cache[idx].as_ref().expect("checked");
+                            let locals_base = self.state.arena.len() - target.arity;
                             // Same locals fill + operand-bound reservation
                             // as `Vm::invoke` (see there for the
                             // `push_tracked` capacity invariant).
-                            self.arena
+                            self.state
+                                .arena
                                 .resize(locals_base + target.locals as usize, Value::Null);
-                            self.arena.reserve(target.max_stack as usize);
-                            self.frames.push(Frame {
+                            self.state.arena.reserve(target.max_stack as usize);
+                            self.state.frames.push(Frame {
                                 method: callee,
                                 code: Arc::clone(&target.code),
                                 cost_milli: Arc::clone(&target.cost_milli),
@@ -774,9 +1028,12 @@ impl Vm {
                                 ip: 0,
                                 locals_base,
                             });
-                            self.profile.peak_call_depth =
-                                self.profile.peak_call_depth.max(self.frames.len());
-                            peak = peak.max(self.arena.len());
+                            self.state.profile.peak_call_depth = self
+                                .state
+                                .profile
+                                .peak_call_depth
+                                .max(self.state.frames.len());
+                            peak = peak.max(self.state.arena.len());
                             if fuel <= 0 {
                                 // The callee frame's ip is already 0; no
                                 // write-back needed.
@@ -784,20 +1041,20 @@ impl Vm {
                             }
                             continue 'frames;
                         }
-                        self.frames.last_mut().expect("frame").ip = ip;
+                        self.state.frames.last_mut().expect("frame").ip = ip;
                         break 'frames Pending::Call(callee);
                     }
                     Pending::Return => {
-                        if self.frames.len() > 1 {
+                        if self.state.frames.len() > 1 {
                             // In-window frame pop: identical to the slow
                             // path below except the window survives. The
                             // caller frame's ip was stored when it made
                             // the call.
-                            let value = self.arena.pop().expect("verified");
-                            let locals_base = self.frames.last().expect("frame").locals_base;
-                            self.arena.truncate(locals_base);
-                            self.frames.pop();
-                            self.arena.push(value);
+                            let value = self.state.arena.pop().expect("verified");
+                            let locals_base = self.state.frames.last().expect("frame").locals_base;
+                            self.state.arena.truncate(locals_base);
+                            self.state.frames.pop();
+                            self.state.arena.push(value);
                             if fuel <= 0 {
                                 break 'frames Pending::Event;
                             }
@@ -806,18 +1063,18 @@ impl Vm {
                         break 'frames Pending::Return;
                     }
                     Pending::Event | Pending::Done => {
-                        self.frames.last_mut().expect("frame").ip = ip;
+                        self.state.frames.last_mut().expect("frame").ip = ip;
                         break 'frames segment;
                     }
                     Pending::Fault(_) => break 'frames segment,
                 }
             };
             let spent = (fuel0 - fuel) as u64;
-            self.clock_milli += spent;
-            self.exec_milli += spent;
-            self.instructions += retired;
-            if peak > self.profile.peak_arena_slots {
-                self.profile.peak_arena_slots = peak;
+            self.state.clock_milli += spent;
+            self.state.exec_milli += spent;
+            self.state.instructions += retired;
+            if peak > self.state.profile.peak_arena_slots {
+                self.state.profile.peak_arena_slots = peak;
             }
             match pending {
                 Pending::Event => {
@@ -830,20 +1087,20 @@ impl Vm {
                     // overflow about to trap.
                     self.invoke_cached(callee)?;
                     // The frame push may have grown the arena.
-                    peak = self.profile.peak_arena_slots;
+                    peak = self.state.profile.peak_arena_slots;
                     self.maybe_sample()?;
                     self.check_budget()?;
                 }
                 Pending::Return => {
                     // Final return: the program is done.
-                    let value = self.arena.pop().expect("verified");
-                    let locals_base = self.frames.last().expect("frame").locals_base;
-                    self.arena.truncate(locals_base);
-                    self.frames.pop();
-                    if self.frames.is_empty() {
-                        return Ok(Outcome::Finished(self.finish()));
+                    let value = self.state.arena.pop().expect("verified");
+                    let locals_base = self.state.frames.last().expect("frame").locals_base;
+                    self.state.arena.truncate(locals_base);
+                    self.state.frames.pop();
+                    if self.state.frames.is_empty() {
+                        return Ok(Outcome::Finished(Box::new(self.finish())));
                     }
-                    self.arena.push(value);
+                    self.state.arena.push(value);
                     self.maybe_sample()?;
                     self.check_budget()?;
                 }
@@ -868,49 +1125,49 @@ impl Vm {
     fn execute_reference(&mut self) -> Result<Outcome, VmError> {
         loop {
             if let Some(budget) = self.config.cycle_budget {
-                if self.clock_milli / 1000 > budget {
+                if self.state.clock_milli / 1000 > budget {
                     return Err(VmError::CycleBudgetExceeded { budget });
                 }
             }
-            let frame = self.frames.last().expect("running without a frame");
+            let frame = self.state.frames.last().expect("running without a frame");
             let ip = frame.ip;
             let instr = frame.code[ip];
             let locals_base = frame.locals_base;
             let cost = instr.base_cost() * frame.quality_milli;
-            self.frames.last_mut().expect("frame").ip = ip + 1;
-            self.clock_milli += cost;
-            self.exec_milli += cost;
-            self.instructions += 1;
-            if let Some(d) = self.profile.dispatch.as_mut() {
+            self.state.frames.last_mut().expect("frame").ip = ip + 1;
+            self.state.clock_milli += cost;
+            self.state.exec_milli += cost;
+            self.state.instructions += 1;
+            if let Some(d) = self.state.profile.dispatch.as_mut() {
                 // Recorded at fetch, exactly like the fast loop, so the
                 // two modes see the same global retirement order.
                 d.record(instr.dispatch_class());
             }
             let mut next_ip = ip + 1;
-            let mut peak = self.profile.peak_arena_slots;
+            let mut peak = self.state.profile.peak_arena_slots;
             match step_op(
-                &mut self.arena,
-                &mut self.heap,
-                &mut self.output,
-                &mut self.pending_publish,
+                &mut self.state.arena,
+                &mut self.state.heap,
+                &mut self.state.output,
+                &mut self.state.pending_publish,
                 instr,
                 &mut next_ip,
                 locals_base,
-                &mut self.instructions,
+                &mut self.state.instructions,
                 &mut peak,
             )? {
-                Step::Next => self.frames.last_mut().expect("frame").ip = next_ip,
+                Step::Next => self.state.frames.last_mut().expect("frame").ip = next_ip,
                 Step::Call(callee) => {
                     let arity = self.program.function(callee).arity as usize;
                     self.invoke(callee, arity)?;
                 }
                 Step::Return => {
-                    let value = self.arena.pop().expect("verified");
-                    self.arena.truncate(locals_base);
-                    self.frames.pop();
-                    match self.frames.last() {
-                        Some(_) => self.arena.push(value),
-                        None => return Ok(Outcome::Finished(self.finish())),
+                    let value = self.state.arena.pop().expect("verified");
+                    self.state.arena.truncate(locals_base);
+                    self.state.frames.pop();
+                    match self.state.frames.last() {
+                        Some(_) => self.state.arena.push(value),
+                        None => return Ok(Outcome::Finished(Box::new(self.finish()))),
                     }
                 }
                 Step::Done => {
@@ -922,7 +1179,7 @@ impl Vm {
             // Exact arena-peak tracking: fold in the step's net-push
             // high-water mark (which sees transient heights inside fused
             // instructions) plus the post-step length.
-            self.profile.peak_arena_slots = peak.max(self.arena.len());
+            self.state.profile.peak_arena_slots = peak.max(self.state.arena.len());
             self.maybe_sample()?;
         }
     }
@@ -1287,8 +1544,10 @@ fn step_op(
 /// `Vm::invoke_cached` reserve `locals + max_stack` arena slots at every
 /// frame entry, where `max_stack` is the operand-depth bound the verifier
 /// proved for the frame's code (`CompiledCode::max_stack`), and `Vec`
-/// capacity never shrinks. Every `step_op` push happens under a verified
-/// depth `< max_stack` of the top frame, so `len < capacity` holds here.
+/// capacity never shrinks (a resumed snapshot re-reserves the capture-time
+/// capacity before executing, preserving the bound across `Vm::resume`).
+/// Every `step_op` push happens under a verified depth `< max_stack` of
+/// the top frame, so `len < capacity` holds here.
 #[inline(always)]
 fn push_tracked(stack: &mut Vec<Value>, peak: &mut usize, v: Value) {
     let len = stack.len();

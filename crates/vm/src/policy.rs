@@ -47,6 +47,13 @@ pub trait AosPolicy: std::fmt::Debug + Send {
         let (_, _) = (method, ctx);
         None
     }
+
+    /// Clone this policy for a forked run. A [`crate::RunSnapshot`] carries
+    /// an owned policy so a resumed fork replays the original's decisions
+    /// independently; implementations are expected to return a faithful
+    /// copy of their current decision state (for the stateless built-in
+    /// policies this is a plain `Clone`).
+    fn fork_box(&self) -> Box<dyn AosPolicy>;
 }
 
 /// The reactive default: Jikes RVM's cost-benefit model.
@@ -98,6 +105,10 @@ impl CostBenefitPolicy {
 }
 
 impl AosPolicy for CostBenefitPolicy {
+    fn fork_box(&self) -> Box<dyn AosPolicy> {
+        Box::new(self.clone())
+    }
+
     fn on_sample(&mut self, method: FuncId, ctx: AosContext<'_>) -> Option<OptLevel> {
         let cur = ctx.levels[method.index()];
         let f = ctx.program.function(method);
@@ -126,7 +137,11 @@ impl AosPolicy for CostBenefitPolicy {
 #[derive(Debug, Clone, Default)]
 pub struct BaselineOnlyPolicy;
 
-impl AosPolicy for BaselineOnlyPolicy {}
+impl AosPolicy for BaselineOnlyPolicy {
+    fn fork_box(&self) -> Box<dyn AosPolicy> {
+        Box::new(self.clone())
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -19,7 +19,7 @@ fn run_src_with(src: &str, config: VmConfig) -> crate::RunResult {
     let program = Arc::new(parse(src).unwrap());
     let mut vm = Vm::new(program, Box::new(CostBenefitPolicy::new()), config).unwrap();
     match vm.run().unwrap() {
-        Outcome::Finished(r) => r,
+        Outcome::Finished(r) => *r,
         Outcome::FeaturesReady => panic!("unexpected pause"),
     }
 }
@@ -273,7 +273,7 @@ fn adaptive_run_beats_baseline_only_run() {
     let program = Arc::new(parse(&src).unwrap());
     let mut vm = Vm::new(program, Box::new(BaselineOnlyPolicy), VmConfig::default()).unwrap();
     let baseline = match vm.run().unwrap() {
-        Outcome::Finished(r) => r,
+        Outcome::Finished(r) => *r,
         Outcome::FeaturesReady => unreachable!(),
     };
     assert_eq!(
@@ -316,7 +316,7 @@ fn publish_and_done_pause_the_machine() {
     );
     // Swap in a different policy mid-pause (the evolvable VM's move).
     let _old = vm.replace_policy(Box::new(CostBenefitPolicy::new()));
-    match vm.resume().unwrap() {
+    match vm.run().unwrap() {
         Outcome::Finished(r) => assert_eq!(r.output, vec!["1"]),
         Outcome::FeaturesReady => panic!("expected completion"),
     }
@@ -335,7 +335,7 @@ fn determinism_same_program_same_cycles() {
 #[test]
 fn optimized_code_is_semantically_identical() {
     // Force every method to each level via a policy that pins levels.
-    #[derive(Debug)]
+    #[derive(Debug, Clone)]
     struct PinPolicy(OptLevel);
     impl crate::AosPolicy for PinPolicy {
         fn on_first_compile(
@@ -344,6 +344,9 @@ fn optimized_code_is_semantically_identical() {
             _ctx: crate::AosContext<'_>,
         ) -> Option<OptLevel> {
             Some(self.0)
+        }
+        fn fork_box(&self) -> Box<dyn crate::AosPolicy> {
+            Box::new(self.clone())
         }
     }
     let src = hot_program(500);
@@ -363,7 +366,7 @@ fn optimized_code_is_semantically_identical() {
 
 #[test]
 fn pinned_higher_levels_run_fewer_exec_cycles() {
-    #[derive(Debug)]
+    #[derive(Debug, Clone)]
     struct PinPolicy(OptLevel);
     impl crate::AosPolicy for PinPolicy {
         fn on_first_compile(
@@ -372,6 +375,9 @@ fn pinned_higher_levels_run_fewer_exec_cycles() {
             _ctx: crate::AosContext<'_>,
         ) -> Option<OptLevel> {
             Some(self.0)
+        }
+        fn fork_box(&self) -> Box<dyn crate::AosPolicy> {
+            Box::new(self.clone())
         }
     }
     let src = hot_program(500);
@@ -425,7 +431,7 @@ func work/1 {
     levels[work.index()] = Some(OptLevel::O2);
     vm.apply_strategy(&levels).unwrap();
     assert!(vm.cycles() > cycles_before, "recompilation charged");
-    let Outcome::Finished(r) = vm.resume().unwrap() else {
+    let Outcome::Finished(r) = vm.run().unwrap() else {
         panic!("expected completion");
     };
     assert_eq!(r.output, vec!["10"]);
@@ -561,7 +567,7 @@ fn pause_overhead_delivers_ticks_to_the_paused_method() {
     // mid-method: an equal amount of executed cycles would have delivered
     // five samples, and so does the overhead.
     vm.charge_overhead(5_000).unwrap();
-    let Outcome::Finished(r) = vm.resume().unwrap() else {
+    let Outcome::Finished(r) = vm.run().unwrap() else {
         panic!("expected completion");
     };
     assert_eq!(r.profile.total_samples(), 5);
@@ -573,4 +579,167 @@ fn run_result_counts_retired_instructions() {
     let r =
         run_src("entry func main/0 {\n  const 6\n  const 7\n  mul\n  print\n  null\n  return\n}");
     assert_eq!(r.instructions, 6);
+}
+
+/// Compare every bit-comparable field of two results (floats via output
+/// formatting, which is already exact for identical bits).
+fn assert_identical(a: &crate::RunResult, b: &crate::RunResult) {
+    assert_eq!(a.output, b.output);
+    assert_eq!(a.published, b.published);
+    assert_eq!(a.total_cycles, b.total_cycles);
+    assert_eq!(a.exec_cycles, b.exec_cycles);
+    assert_eq!(a.compile_cycles, b.compile_cycles);
+    assert_eq!(a.instructions, b.instructions);
+    assert_eq!(a.profile.samples, b.profile.samples);
+    assert_eq!(a.profile.invocations, b.profile.invocations);
+    assert_eq!(a.profile.final_levels, b.profile.final_levels);
+    assert_eq!(a.profile.recompilations, b.profile.recompilations);
+    assert_eq!(a.profile.peak_call_depth, b.profile.peak_call_depth);
+    assert_eq!(a.profile.peak_arena_slots, b.profile.peak_arena_slots);
+}
+
+#[test]
+fn snapshot_at_pause_resumes_bit_identically() {
+    let src = "entry func main/0 {
+  const 1
+  publish \"x\"
+  done
+  const 5
+  call work
+  print
+  null
+  return
+}
+func work/1 locals=2 {
+  const 0
+  store 1
+inner:
+  load 1
+  const 50
+  cmpge
+  jumpif out
+  load 1
+  const 1
+  add
+  store 1
+  jump inner
+out:
+  load 0
+  load 1
+  imul
+  return
+}";
+    for mode in [InterpMode::Fast, InterpMode::Reference] {
+        let config = VmConfig {
+            sample_interval_cycles: 1_000,
+            interp: mode,
+            ..VmConfig::default()
+        };
+        let program = Arc::new(parse(src).unwrap());
+        let mut straight = Vm::new(
+            Arc::clone(&program),
+            Box::new(CostBenefitPolicy::new()),
+            config.clone(),
+        )
+        .unwrap();
+        let Outcome::FeaturesReady = straight.run().unwrap() else {
+            panic!("expected pause");
+        };
+        // Fork the paused run, then drive both to completion.
+        let snap = straight.snapshot();
+        let mut resumed = Vm::resume(snap).unwrap();
+        let Outcome::Finished(a) = straight.run().unwrap() else {
+            panic!("expected completion");
+        };
+        let Outcome::Finished(b) = resumed.run().unwrap() else {
+            panic!("expected completion");
+        };
+        assert_identical(&a, &b);
+    }
+}
+
+#[test]
+fn fork_points_capture_recompilation_decisions() {
+    let src = hot_program(2_000);
+    for mode in [InterpMode::Fast, InterpMode::Reference] {
+        let config = VmConfig {
+            sample_interval_cycles: 10_000,
+            interp: mode,
+            fork_snapshots: 8,
+            ..VmConfig::default()
+        };
+        let program = Arc::new(parse(&src).unwrap());
+        let mut vm = Vm::new(program, Box::new(CostBenefitPolicy::new()), config).unwrap();
+        let Outcome::Finished(straight) = vm.run().unwrap() else {
+            panic!("expected completion");
+        };
+        let forks = vm.take_fork_snapshots();
+        assert!(
+            !straight.profile.recompilations.is_empty(),
+            "run must recompile for the test to mean anything"
+        );
+        // Sample-driven decisions are captured (the proactive
+        // on_first_compile path is not a fork point), and each snapshot
+        // replays its decision to the same final result.
+        assert!(!forks.is_empty());
+        assert!(forks.len() <= straight.profile.recompilations.len());
+        for snap in forks {
+            let (method, level) = snap.pending_decision().expect("fork carries a decision");
+            assert!(level > snap.level_of(method));
+            let mut replay = Vm::resume(snap).unwrap();
+            let Outcome::Finished(r) = replay.run().unwrap() else {
+                panic!("expected completion");
+            };
+            assert_identical(&straight, &r);
+        }
+    }
+}
+
+#[test]
+fn overridden_fork_decision_diverges_from_the_original() {
+    let src = hot_program(2_000);
+    let config = VmConfig {
+        sample_interval_cycles: 10_000,
+        fork_snapshots: 1,
+        ..VmConfig::default()
+    };
+    let program = Arc::new(parse(&src).unwrap());
+    let mut vm = Vm::new(program, Box::new(CostBenefitPolicy::new()), config).unwrap();
+    let Outcome::Finished(straight) = vm.run().unwrap() else {
+        panic!("expected completion");
+    };
+    let mut forks = vm.take_fork_snapshots();
+    let mut snap = forks.pop().expect("one fork point");
+    // Suppress the recompilation: the counterfactual keeps the sampled
+    // method at its current level for now. The stateless cost-benefit
+    // policy re-makes the decision on a later tick, so the observable
+    // output is unchanged but the recompilation timeline shifts.
+    snap.override_decision(None);
+    let mut replay = Vm::resume(snap).unwrap();
+    let Outcome::Finished(r) = replay.run().unwrap() else {
+        panic!("expected completion");
+    };
+    assert_eq!(straight.output, r.output);
+    assert_ne!(straight.profile.recompilations, r.profile.recompilations);
+}
+
+#[test]
+fn resumed_runs_never_self_capture() {
+    let src = hot_program(2_000);
+    let config = VmConfig {
+        sample_interval_cycles: 10_000,
+        fork_snapshots: 8,
+        ..VmConfig::default()
+    };
+    let program = Arc::new(parse(&src).unwrap());
+    let mut vm = Vm::new(program, Box::new(CostBenefitPolicy::new()), config).unwrap();
+    vm.run().unwrap();
+    let snap = vm
+        .take_fork_snapshots()
+        .into_iter()
+        .next()
+        .expect("one fork point");
+    let mut replay = Vm::resume(snap).unwrap();
+    replay.run().unwrap();
+    assert!(replay.take_fork_snapshots().is_empty());
 }

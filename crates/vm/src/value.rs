@@ -92,7 +92,7 @@ impl fmt::Display for Value {
 /// The array heap. Arrays are the only heap objects; garbage is never
 /// collected within a run (runs are short and the paper's GC work is out
 /// of scope — see `DESIGN.md`).
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Heap {
     arrays: Vec<Vec<Value>>,
 }

@@ -195,7 +195,7 @@ mod tests {
             panic!("expected a pause at done")
         };
         assert_eq!(vm.published()[0].0, "spheres");
-        let evovm_vm::Outcome::Finished(result) = vm.resume().unwrap() else {
+        let evovm_vm::Outcome::Finished(result) = vm.run().unwrap() else {
             panic!("expected completion")
         };
         assert_eq!(result.output.len(), 1);

@@ -65,6 +65,7 @@ fn main() -> Result<(), EvolveError> {
                         );
                         speedups.push(record.speedup);
                     }
+                    Some(RunEvent::ForkSample(_)) => continue,
                     Some(RunEvent::Finished(result)) => {
                         let outcome = result.expect("campaign succeeds");
                         assert!(

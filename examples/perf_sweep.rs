@@ -15,11 +15,15 @@
 //! ```text
 //! cargo run --release --example perf_sweep [-- --out BENCH_interp.json] [--reps N]
 //! cargo run --release --example perf_sweep -- --dispatch [--out BENCH_dispatch.json]
+//! cargo run --release --example perf_sweep -- --assert-flat 5
 //! ```
 //!
 //! If the output file already exists (the committed baseline), the sweep
 //! prints the delta of aggregate ns/instruction against it before
 //! overwriting — that is what the CI perf-smoke job surfaces.
+//! `--assert-flat PCT` turns that delta into a gate: exit nonzero when
+//! the aggregate fast ns/instruction moved more than ±PCT% from the
+//! committed baseline (or when there is no baseline to compare against).
 //!
 //! `--dispatch` runs the whole suite with the dispatch profiler on and
 //! superinstruction fusion *off*, writes the raw opcode/opcode-pair
@@ -184,7 +188,7 @@ fn adaptive_run_cfg(program: &Arc<Program>, config: VmConfig) -> RunResult {
     .expect("workload programs verify");
     loop {
         match vm.run().expect("workload programs do not trap") {
-            Outcome::Finished(result) => return result,
+            Outcome::Finished(result) => return *result,
             Outcome::FeaturesReady => continue,
         }
     }
@@ -464,6 +468,7 @@ fn main() {
     let mut out_path: Option<String> = None;
     let mut reps: u64 = 5;
     let mut dispatch = false;
+    let mut assert_flat: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -475,6 +480,14 @@ fn main() {
                     .expect("--reps needs a number")
                     .parse()
                     .expect("--reps needs a number");
+            }
+            "--assert-flat" => {
+                assert_flat = Some(
+                    args.next()
+                        .expect("--assert-flat needs a percentage")
+                        .parse()
+                        .expect("--assert-flat needs a percentage"),
+                );
             }
             other => panic!("unknown argument: {other}"),
         }
@@ -546,7 +559,7 @@ fn main() {
         aggregate.fast_ns_per_instr, aggregate.reference_ns_per_instr, aggregate.speedup
     );
 
-    match &baseline {
+    let baseline_delta = match &baseline {
         Some(prev) => {
             let delta = 100.0 * (aggregate.fast_ns_per_instr - prev.aggregate.fast_ns_per_instr)
                 / prev.aggregate.fast_ns_per_instr;
@@ -555,8 +568,30 @@ fn main() {
                  (baseline {:.2}, now {:.2})",
                 prev.aggregate.fast_ns_per_instr, aggregate.fast_ns_per_instr
             );
+            Some(delta)
         }
-        None => println!("no committed baseline at {out_path}; writing a fresh one"),
+        None => {
+            println!("no committed baseline at {out_path}; writing a fresh one");
+            None
+        }
+    };
+    if let Some(limit) = assert_flat {
+        match baseline_delta {
+            Some(delta) if delta.abs() <= limit => {
+                println!("assert-flat: {delta:+.1}% is within ±{limit}%");
+            }
+            Some(delta) => {
+                eprintln!(
+                    "assert-flat FAILED: aggregate fast ns/instr moved {delta:+.1}%, \
+                     outside ±{limit}%"
+                );
+                std::process::exit(1);
+            }
+            None => {
+                eprintln!("assert-flat FAILED: no committed baseline at {out_path}");
+                std::process::exit(1);
+            }
+        }
     }
 
     let report = Report {

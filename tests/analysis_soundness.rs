@@ -35,6 +35,10 @@ impl AosPolicy for PinPolicy {
     fn on_first_compile(&mut self, _m: FuncId, _ctx: AosContext<'_>) -> Option<OptLevel> {
         Some(self.0)
     }
+
+    fn fork_box(&self) -> Box<dyn AosPolicy> {
+        Box::new(PinPolicy(self.0))
+    }
 }
 
 /// Run `program` to completion under the *reference* interpreter with
@@ -62,7 +66,7 @@ fn run_pinned(program: &Arc<Program>, interp: InterpMode) -> (RunResult, FrameBo
     let bounds = vm.static_bounds();
     loop {
         match vm.run().expect("program runs") {
-            Outcome::Finished(r) => return (r, bounds),
+            Outcome::Finished(r) => return (*r, bounds),
             Outcome::FeaturesReady => continue,
         }
     }

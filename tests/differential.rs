@@ -17,6 +17,10 @@ impl AosPolicy for PinPolicy {
     fn on_first_compile(&mut self, _m: FuncId, _ctx: AosContext<'_>) -> Option<OptLevel> {
         Some(self.0)
     }
+
+    fn fork_box(&self) -> Box<dyn AosPolicy> {
+        Box::new(PinPolicy(self.0))
+    }
 }
 
 fn run_pinned(program: &Arc<evovm_bytecode::Program>, level: OptLevel) -> (Vec<String>, u64) {

@@ -31,7 +31,7 @@ fn adaptive_run(program: &Arc<Program>, config: VmConfig) -> RunResult {
     .expect("workload programs verify");
     loop {
         match vm.run().expect("workload programs do not trap") {
-            Outcome::Finished(result) => return result,
+            Outcome::Finished(result) => return *result,
             Outcome::FeaturesReady => continue,
         }
     }

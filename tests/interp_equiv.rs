@@ -55,7 +55,7 @@ fn adaptive_run(program: &Arc<evolvable_vm::bytecode::Program>, mode: InterpMode
     .expect("workload programs verify");
     loop {
         match vm.run().expect("workload programs do not trap") {
-            Outcome::Finished(result) => return result,
+            Outcome::Finished(result) => return *result,
             Outcome::FeaturesReady => continue,
         }
     }

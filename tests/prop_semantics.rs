@@ -19,6 +19,10 @@ impl AosPolicy for PinPolicy {
     fn on_first_compile(&mut self, _m: FuncId, _ctx: AosContext<'_>) -> Option<OptLevel> {
         Some(self.0)
     }
+
+    fn fork_box(&self) -> Box<dyn AosPolicy> {
+        Box::new(PinPolicy(self.0))
+    }
 }
 
 /// Everything observable about a run.

@@ -28,8 +28,8 @@ use std::time::{Duration, Instant};
 use evolvable_vm::evovm::service::Probe;
 use evolvable_vm::evovm::{
     Bench, Campaign, CampaignConfig, CampaignEngine, CampaignHandle, CampaignOutcome,
-    CampaignService, CampaignSpec, DefaultOracle, EvolveError, ModelStore, RunEvent, RunRecord,
-    Scenario, ShardedStore, ShutdownMode,
+    CampaignService, CampaignSpec, DefaultOracle, EvolveError, ForkPoint, ForkSample, ModelStore,
+    RunEvent, RunRecord, RunSink, Scenario, ShardedStore, ShutdownMode,
 };
 use evolvable_vm::workloads;
 
@@ -71,6 +71,7 @@ fn collect(handle: CampaignHandle) -> (Vec<RunRecord>, Result<CampaignOutcome, E
             .expect("the stream must end with a terminal event")
         {
             RunEvent::Record(record) => records.push(record),
+            RunEvent::ForkSample(_) => continue,
             RunEvent::Finished(result) => return (records, result),
         }
     }
@@ -403,6 +404,159 @@ fn worker_panic_is_contained_and_the_pool_keeps_serving() {
     assert_eq!(metrics.completed, 2, "the panic still counts as served");
     assert_eq!(metrics.per_worker_busy.iter().sum::<u64>(), 2);
     service.shutdown(ShutdownMode::Drain);
+}
+
+/// Inline reference for the fork pipeline: collects records, fork
+/// points (cloned) and the samples of the campaign's own inline
+/// replays.
+#[derive(Default)]
+struct ForkCollectSink {
+    records: Vec<RunRecord>,
+    points: Vec<ForkPoint>,
+    samples: Vec<ForkSample>,
+}
+
+impl RunSink for ForkCollectSink {
+    fn on_record(&mut self, record: &RunRecord) {
+        self.records.push(record.clone());
+    }
+
+    fn on_fork_point(&mut self, point: ForkPoint) -> Option<ForkPoint> {
+        self.points.push(point.clone());
+        Some(point)
+    }
+
+    fn on_fork_sample(&mut self, sample: &ForkSample) {
+        self.samples.push(sample.clone());
+    }
+}
+
+/// Bit-pattern view of a fork sample's labelled payload.
+fn sample_key(s: &ForkSample) -> (u64, i8, u64, u64, bool) {
+    (
+        s.fork_index,
+        s.level.as_i8(),
+        s.total_cycles,
+        s.base_total_cycles,
+        s.chosen,
+    )
+}
+
+#[test]
+fn fork_replays_run_as_queue_units_and_samples_stream_before_finished() {
+    let bench = bench("search");
+    let config = CampaignConfig::new(Scenario::Evolve)
+        .runs(3)
+        .seed(7)
+        .fork_snapshots(2);
+
+    // Inline reference: the same campaign replaying its own forks.
+    let oracle = DefaultOracle::for_bench(&bench, config.evolve.sample_interval_cycles);
+    let mut reference = ForkCollectSink::default();
+    Campaign::new(&bench, config.clone())
+        .expect("campaign")
+        .run_with_sink(&oracle, None, &mut reference)
+        .expect("reference run succeeds");
+    assert!(
+        !reference.points.is_empty(),
+        "the Evolve campaign must capture fork points for this test to bite"
+    );
+
+    // Service path: the campaign's sink consumes each point and
+    // re-enqueues it; replays run on the worker pool and stream
+    // RunEvent::ForkSample back on the campaign's own handle.
+    let service = CampaignService::builder().workers(test_workers()).spawn();
+    let handle = service
+        .submit(Arc::clone(&bench), config)
+        .expect("fresh service accepts submissions");
+    let mut records = Vec::new();
+    let mut samples: Vec<ForkSample> = Vec::new();
+    let outcome = loop {
+        match handle
+            .next_event()
+            .expect("the stream must end with a terminal event")
+        {
+            RunEvent::Record(record) => records.push(record),
+            RunEvent::ForkSample(sample) => samples.push(sample),
+            // The rendezvous holds the terminal back until every fork
+            // resolves, so Finished is necessarily the last event.
+            RunEvent::Finished(result) => break result.expect("campaign succeeds"),
+        }
+    };
+    assert!(
+        handle.next_event().is_none(),
+        "nothing streams after the terminal event"
+    );
+
+    // The factual stream is untouched by rerouting the counterfactuals.
+    assert_records_identical(&records, &reference.records);
+    assert_records_identical(&outcome.records, &reference.records);
+
+    // The pool's replays produce exactly the inline samples. Workers
+    // race across fork points, so compare as sorted multisets.
+    let mut streamed: Vec<_> = samples.iter().map(sample_key).collect();
+    let mut inline: Vec<_> = reference.samples.iter().map(sample_key).collect();
+    streamed.sort_unstable();
+    inline.sort_unstable();
+    assert_eq!(streamed, inline, "counterfactual costs diverged");
+
+    let metrics = service.metrics();
+    assert_eq!(metrics.forks_spawned as usize, reference.points.len());
+    assert_eq!(metrics.forks_completed, metrics.forks_spawned);
+    assert_eq!(metrics.forks_cancelled, 0);
+    assert_eq!(metrics.fork_samples as usize, samples.len());
+    assert_eq!(
+        metrics.completed, 1,
+        "fork jobs are not campaign completions"
+    );
+    service.shutdown(ShutdownMode::Drain);
+}
+
+#[test]
+fn keyed_forks_park_behind_the_parent_lane_and_still_resolve() {
+    // With a model key, the parent campaign occupies the key's lane for
+    // its whole run, so every fork it spawns parks and can only execute
+    // after the campaign job releases the lane — while the campaign's
+    // terminal is itself parked in the rendezvous until those forks
+    // resolve. This test locks that handshake (a lane/rendezvous
+    // deadlock would hang it).
+    let bench = bench("search");
+    let root = temp_root("fork-keyed");
+    let store = Arc::new(ShardedStore::new(&root));
+    let service = CampaignService::builder()
+        .workers(test_workers())
+        .store(Arc::clone(&store) as Arc<dyn ModelStore>)
+        .spawn();
+    let handle = service
+        .submit(
+            Arc::clone(&bench),
+            CampaignConfig::new(Scenario::Evolve)
+                .runs(3)
+                .seed(7)
+                .model_key("search/forked")
+                .fork_snapshots(2),
+        )
+        .expect("fresh service accepts submissions");
+    let mut samples = 0usize;
+    loop {
+        match handle
+            .next_event()
+            .expect("the stream must end with a terminal event")
+        {
+            RunEvent::Record(_) => {}
+            RunEvent::ForkSample(_) => samples += 1,
+            RunEvent::Finished(result) => {
+                result.expect("keyed forked campaign succeeds");
+                break;
+            }
+        }
+    }
+    let metrics = service.metrics();
+    assert!(metrics.forks_spawned > 0, "the campaign must fork");
+    assert_eq!(metrics.forks_completed, metrics.forks_spawned);
+    assert_eq!(samples as u64, metrics.fork_samples);
+    service.shutdown(ShutdownMode::Drain);
+    let _ = std::fs::remove_dir_all(&root);
 }
 
 #[test]

@@ -37,12 +37,13 @@ use std::process::ExitCode;
 
 /// Paths scanned, relative to the repo root. Directories are walked
 /// recursively for `.rs` files.
-const SCAN_ROOTS: [&str; 5] = [
+const SCAN_ROOTS: [&str; 6] = [
     "crates/vm/src",
     "crates/bytecode/src",
     "crates/opt/src",
     "crates/core/src/scheduler.rs",
     "crates/core/src/campaign.rs",
+    "crates/core/src/fork.rs",
 ];
 
 /// Tokens that are nondeterministic wherever they appear.
